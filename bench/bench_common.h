@@ -1,0 +1,203 @@
+#ifndef SGTREE_BENCH_BENCH_COMMON_H_
+#define SGTREE_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/linear_scan.h"
+#include "common/stats.h"
+#include "data/census_generator.h"
+#include "data/quest_generator.h"
+#include "sgtable/sg_table.h"
+#include "sgtree/search.h"
+#include "sgtree/sg_tree.h"
+
+namespace sgtree::bench {
+
+/// Scale control. The paper's experiments run at D = 100K-500K; the bench
+/// binaries default to 10% of the paper's cardinalities so the whole
+/// harness completes in minutes on a laptop. Set SG_BENCH_SCALE=full (or a
+/// factor like 0.5) to approach paper scale, SG_BENCH_QUERIES to change the
+/// per-instance query count (paper: 100).
+inline double ScaleFactor() {
+  const char* env = std::getenv("SG_BENCH_SCALE");
+  if (env == nullptr) return 0.1;
+  const std::string value(env);
+  if (value == "full") return 1.0;
+  const double factor = std::atof(env);
+  return factor > 0 ? factor : 0.1;
+}
+
+inline uint32_t ScaledD(uint32_t paper_d) {
+  const auto d = static_cast<uint32_t>(paper_d * ScaleFactor());
+  return d < 1000 ? 1000 : d;
+}
+
+inline uint32_t NumQueries() {
+  const char* env = std::getenv("SG_BENCH_QUERIES");
+  if (env == nullptr) return 50;
+  const int n = std::atoi(env);
+  return n > 0 ? static_cast<uint32_t>(n) : 50;
+}
+
+/// Quest options matching the paper's synthetic instances: dictionary of
+/// 1000 items and a pattern pool that scales with D so the transactions-
+/// per-pattern density (and therefore the cluster structure) matches the
+/// paper's full-scale datasets.
+inline QuestOptions PaperQuest(double t, double i, uint32_t paper_d,
+                               uint64_t seed = 1) {
+  QuestOptions options;
+  options.num_transactions = ScaledD(paper_d);
+  options.avg_transaction_size = t;
+  options.avg_itemset_size = i;
+  options.num_items = 1000;
+  options.num_patterns = std::max<uint32_t>(
+      100, static_cast<uint32_t>(2000 * ScaleFactor()));
+  options.seed = seed;
+  return options;
+}
+
+inline CensusOptions PaperCensus(uint64_t seed = 7) {
+  CensusOptions options;
+  options.num_tuples = ScaledD(200'000);
+  options.seed = seed;
+  return options;
+}
+
+/// Default index configurations used across the experiments.
+inline SgTreeOptions DefaultTreeOptions(const Dataset& dataset) {
+  SgTreeOptions options;
+  options.num_bits = dataset.num_items;
+  options.fixed_dimensionality = dataset.fixed_dimensionality;
+  options.split_policy = SplitPolicy::kAverage;  // Section 5.2 pick.
+  options.buffer_pages = 64;
+  return options;
+}
+
+inline SgTableOptions DefaultTableOptions() {
+  SgTableOptions options;
+  options.clustering.num_signatures = 12;
+  options.clustering.critical_mass_fraction = 0.1;
+  options.activation_threshold = 2;
+  return options;
+}
+
+/// Builds the SG-tree by per-transaction insertion (the structure the
+/// paper's experiments measure) and returns the build wall time.
+struct BuiltTree {
+  std::unique_ptr<SgTree> tree;
+  double build_ms = 0;
+};
+
+inline BuiltTree BuildTree(const Dataset& dataset,
+                           const SgTreeOptions& options) {
+  BuiltTree built;
+  built.tree = std::make_unique<SgTree>(options);
+  Timer timer;
+  for (const Transaction& txn : dataset.transactions) {
+    built.tree->Insert(txn);
+  }
+  built.build_ms = timer.ElapsedMs();
+  return built;
+}
+
+/// Per-method aggregate over a query workload: the three series the paper's
+/// combined diagrams report.
+struct MethodResult {
+  double pct_data = 0;   // % of transactions compared per query.
+  double cpu_ms = 0;     // CPU time per query (ms).
+  double random_ios = 0; // Random I/Os per query.
+};
+
+inline std::vector<Signature> ToSignatures(
+    const std::vector<Transaction>& queries, uint32_t num_bits) {
+  std::vector<Signature> sigs;
+  sigs.reserve(queries.size());
+  for (const Transaction& q : queries) {
+    sigs.push_back(Signature::FromItems(q.items, num_bits));
+  }
+  return sigs;
+}
+
+/// Runs k-NN queries against the tree with a cold buffer per query (the
+/// paper measures per-query random I/O).
+inline MethodResult RunTreeKnn(const SgTree& tree,
+                               const std::vector<Signature>& queries,
+                               uint32_t k, size_t dataset_size) {
+  QueryStats stats;
+  Timer timer;
+  for (const Signature& q : queries) {
+    tree.buffer_pool().Clear();
+    DfsKNearest(tree, q, k, &stats);
+  }
+  const double elapsed = timer.ElapsedMs();
+  const double n = static_cast<double>(queries.size());
+  return {100.0 * stats.transactions_compared / (n * dataset_size),
+          elapsed / n, stats.random_ios / n};
+}
+
+inline MethodResult RunTableKnn(const SgTable& table,
+                                const std::vector<Signature>& queries,
+                                uint32_t k, size_t dataset_size) {
+  QueryStats stats;
+  Timer timer;
+  for (const Signature& q : queries) {
+    table.KNearest(q, k, &stats);
+  }
+  const double elapsed = timer.ElapsedMs();
+  const double n = static_cast<double>(queries.size());
+  return {100.0 * stats.transactions_compared / (n * dataset_size),
+          elapsed / n, stats.random_ios / n};
+}
+
+inline MethodResult RunTreeRange(const SgTree& tree,
+                                 const std::vector<Signature>& queries,
+                                 double epsilon, size_t dataset_size) {
+  QueryStats stats;
+  Timer timer;
+  for (const Signature& q : queries) {
+    tree.buffer_pool().Clear();
+    RangeSearch(tree, q, epsilon, &stats);
+  }
+  const double elapsed = timer.ElapsedMs();
+  const double n = static_cast<double>(queries.size());
+  return {100.0 * stats.transactions_compared / (n * dataset_size),
+          elapsed / n, stats.random_ios / n};
+}
+
+inline MethodResult RunTableRange(const SgTable& table,
+                                  const std::vector<Signature>& queries,
+                                  double epsilon, size_t dataset_size) {
+  QueryStats stats;
+  Timer timer;
+  for (const Signature& q : queries) {
+    table.Range(q, epsilon, &stats);
+  }
+  const double elapsed = timer.ElapsedMs();
+  const double n = static_cast<double>(queries.size());
+  return {100.0 * stats.transactions_compared / (n * dataset_size),
+          elapsed / n, stats.random_ios / n};
+}
+
+/// Table printing helpers: one row per (x, method).
+inline void PrintHeader(const std::string& title, const std::string& x_name) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(scale factor %.2f, %u queries per instance)\n", ScaleFactor(),
+              NumQueries());
+  std::printf("%-14s %-10s %12s %12s %14s\n", x_name.c_str(), "method",
+              "%data", "cpu_ms", "random_ios");
+}
+
+inline void PrintRow(const std::string& x, const std::string& method,
+                     const MethodResult& result) {
+  std::printf("%-14s %-10s %12.2f %12.3f %14.1f\n", x.c_str(), method.c_str(),
+              result.pct_data, result.cpu_ms, result.random_ios);
+}
+
+}  // namespace sgtree::bench
+
+#endif  // SGTREE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,46 @@
+// Figure 13: k-NN search varying k (1..10000) on T30.I18.D200K. For small
+// to medium k the SG-tree is significantly faster; at very large k the
+// dimensionality curse makes any index useless.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+namespace sgtree::bench {
+namespace {
+
+void Run() {
+  QuestOptions qopt = PaperQuest(30, 18, 200'000);
+  QuestGenerator gen(qopt);
+  const Dataset dataset = gen.Generate();
+  const auto queries =
+      ToSignatures(gen.GenerateQueries(NumQueries()), dataset.num_items);
+
+  const BuiltTree built = BuildTree(dataset, DefaultTreeOptions(dataset));
+  const SgTable table(dataset, DefaultTableOptions());
+
+  PrintHeader("Figure 13: k-NN varying k (T30.I18.D200K)", "k");
+  uint32_t previous_k = 0;
+  for (uint32_t paper_k : {1u, 10u, 100u, 1000u, 10000u}) {
+    // Scale k with the dataset so k/D matches the paper's ratios.
+    const uint32_t k = std::max<uint32_t>(
+        1, static_cast<uint32_t>(paper_k * ScaleFactor()));
+    if (k == previous_k) continue;
+    previous_k = k;
+    const std::string x = "k=" + std::to_string(k);
+    PrintRow(x, "SG-table", RunTableKnn(table, queries, k, dataset.size()));
+    PrintRow(x, "SG-tree",
+             RunTreeKnn(*built.tree, queries, k, dataset.size()));
+  }
+  std::printf("\nExpected shape (paper): SG-tree clearly faster for small\n"
+              "and medium k; for very large k both degenerate (the k-th\n"
+              "neighbor is nearly as far as a random transaction).\n");
+}
+
+}  // namespace
+}  // namespace sgtree::bench
+
+int main() {
+  sgtree::bench::Run();
+  return 0;
+}

@@ -1,0 +1,32 @@
+#ifndef SGTREE_COMMON_BIT_OPS_H_
+#define SGTREE_COMMON_BIT_OPS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace sgtree {
+
+/// Number of bits in one signature word.
+inline constexpr uint32_t kBitsPerWord = 64;
+
+/// Number of 64-bit words needed to hold `num_bits` bits.
+constexpr uint32_t WordsForBits(uint32_t num_bits) {
+  return (num_bits + kBitsPerWord - 1) / kBitsPerWord;
+}
+
+/// Population count of a single word.
+inline uint32_t PopCount(uint64_t word) {
+  return static_cast<uint32_t>(std::popcount(word));
+}
+
+/// Mask selecting the valid low bits of the last word of a bitmap with
+/// `num_bits` total bits. Returns all-ones when `num_bits` is a multiple of
+/// the word size.
+constexpr uint64_t TailMask(uint32_t num_bits) {
+  const uint32_t rem = num_bits % kBitsPerWord;
+  return rem == 0 ? ~uint64_t{0} : ((uint64_t{1} << rem) - 1);
+}
+
+}  // namespace sgtree
+
+#endif  // SGTREE_COMMON_BIT_OPS_H_

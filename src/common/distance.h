@@ -1,0 +1,73 @@
+#ifndef SGTREE_COMMON_DISTANCE_H_
+#define SGTREE_COMMON_DISTANCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/signature.h"
+
+namespace sgtree {
+
+/// Set-theoretic similarity metrics supported by the SG-tree search
+/// algorithms. Hamming is the paper's primary metric; Jaccard and Dice are
+/// the Section 6 (future work) extensions.
+enum class Metric {
+  kHamming,  // |q XOR t| = |q \ t| + |t \ q|
+  kJaccard,  // 1 - |q AND t| / |q OR t|
+  kDice,     // 1 - 2 |q AND t| / (|q| + |t|)
+  kCosine,   // 1 - |q AND t| / sqrt(|q| * |t|)
+};
+
+std::string MetricName(Metric metric);
+
+/// Exact distance between two data signatures under `metric`.
+/// Hamming distances are integral; Jaccard/Dice are in [0, 1]. The distance
+/// between two empty sets is 0 under every metric.
+double Distance(const Signature& a, const Signature& b, Metric metric);
+
+/// Lower bound on Distance(q, t) for every transaction t indexed below a
+/// directory entry with signature `entry`, exploiting the coverage property
+/// (t's signature is contained in `entry`).
+///
+/// Hamming: every item of q missing from `entry` is missing from every t
+/// below it, so mindist = |q AND NOT entry|.
+///
+/// Jaccard: |q AND t| <= c := |q AND entry| and |q OR t| >= |q|, so
+/// similarity <= c / |q| and mindist = 1 - c / |q| (0 for an empty q).
+///
+/// Dice: |q AND t| <= c and |t| >= |q AND t|, giving
+/// mindist = 1 - 2c / (|q| + c) (the maximizing t is the c shared items).
+///
+/// Cosine: similarity c' / sqrt(|q| |t|) with c' <= c and |t| >= c' is
+/// maximized at t = the c shared items, giving mindist = 1 - sqrt(c / |q|).
+///
+/// `fixed_dimensionality` (Section 6 optimization): when every indexed
+/// transaction has exactly d items (categorical data with d attributes),
+/// Hamming distance is |q| + d - 2 |q AND t| >= |q| + d - 2 |q AND entry|,
+/// a strictly tighter bound than the generic one. Pass d, or 0 when the
+/// collection does not have fixed-size transactions.
+double MinDistBound(const Signature& query, const Signature& entry,
+                    Metric metric, uint32_t fixed_dimensionality = 0);
+
+/// Generalization of the Section 6 optimization from fixed dimensionality
+/// to arbitrary *transaction-size statistics*: when every transaction below
+/// the entry is known to have between `min_area` and `max_area` items, the
+/// bound tightens whenever the query's overlap with the entry falls outside
+/// that window. With min_area == max_area == d this is exactly the paper's
+/// fixed-dimensionality bound; with (0, num_bits) it reduces to the generic
+/// one.
+///
+/// Hamming derivation: dist = |q| + s - 2m with s = |t| in [min_area,
+/// max_area] and m = |q AND t| <= min(c, s), c = |q AND entry|. Minimizing
+/// over (s, m) gives
+///   c <  min_area: |q| + min_area - 2c
+///   c >  max_area: |q| - max_area
+///   otherwise:     |q| - c          (the generic bound)
+/// The similarity metrics tighten analogously (see the implementation).
+double MinDistBoundAreaStats(const Signature& query, const Signature& entry,
+                             Metric metric, uint32_t min_area,
+                             uint32_t max_area);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_COMMON_DISTANCE_H_

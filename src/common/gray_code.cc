@@ -1,0 +1,59 @@
+#include "common/gray_code.h"
+
+#include <cstdint>
+
+#include "common/bit_ops.h"
+
+namespace sgtree {
+namespace {
+
+// XOR-suffix scan within one word: bit i of the result is the XOR of bits
+// i..63 of `w` (parallel prefix scan from the most significant bit down).
+uint64_t SuffixXorScan(uint64_t w) {
+  w ^= w >> 1;
+  w ^= w >> 2;
+  w ^= w >> 4;
+  w ^= w >> 8;
+  w ^= w >> 16;
+  w ^= w >> 32;
+  return w;
+}
+
+// Rank word for signature word `g` given `parity` = XOR of all bits more
+// significant than this word. Bit i of the Gray rank is the XOR of codeword
+// bits i and above.
+uint64_t RankWord(uint64_t g, bool parity) {
+  const uint64_t scan = SuffixXorScan(g);
+  return parity ? ~scan : scan;
+}
+
+}  // namespace
+
+std::vector<uint64_t> GrayRank(const Signature& sig) {
+  const auto words = sig.words();
+  std::vector<uint64_t> rank(words.size(), 0);
+  bool parity = false;
+  for (size_t i = words.size(); i-- > 0;) {
+    rank[i] = RankWord(words[i], parity);
+    parity ^= (PopCount(words[i]) & 1) != 0;
+  }
+  return rank;
+}
+
+bool GrayLess(const Signature& a, const Signature& b) {
+  const auto wa = a.words();
+  const auto wb = b.words();
+  // Widths are expected to match; compare as big integers MSW first.
+  bool pa = false;
+  bool pb = false;
+  for (size_t i = wa.size(); i-- > 0;) {
+    const uint64_t ra = RankWord(wa[i], pa);
+    const uint64_t rb = RankWord(wb[i], pb);
+    if (ra != rb) return ra < rb;
+    pa ^= (PopCount(wa[i]) & 1) != 0;
+    pb ^= (PopCount(wb[i]) & 1) != 0;
+  }
+  return false;
+}
+
+}  // namespace sgtree

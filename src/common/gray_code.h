@@ -1,0 +1,34 @@
+#ifndef SGTREE_COMMON_GRAY_CODE_H_
+#define SGTREE_COMMON_GRAY_CODE_H_
+
+#include <vector>
+
+#include "common/signature.h"
+
+namespace sgtree {
+
+/// Gray-code ordering of signatures, used for bulk loading (Section 6 of
+/// the paper suggests sorting transactions "using gray codes as key", in
+/// analogy to space-filling-curve bulk loading of R-trees).
+///
+/// The reflected binary Gray code of an integer x is g(x) = x XOR (x >> 1).
+/// Walking signatures in the order of the *rank* of their bitmap in the Gray
+/// sequence places bitmaps that differ in few (low-order) bits near each
+/// other, which clusters similar transactions into the same leaves.
+///
+/// We interpret the signature as a big integer with bit 0 least significant.
+/// The rank of a Gray codeword g is the x with g(x) = g, obtained by the
+/// prefix-XOR scan x_i = g_i XOR g_{i+1} XOR ... (from the most significant
+/// bit down).
+
+/// Returns the Gray-code rank of `sig` as a little-endian word vector (same
+/// width as the signature).
+std::vector<uint64_t> GrayRank(const Signature& sig);
+
+/// Comparator: true iff GrayRank(a) < GrayRank(b). Avoids materializing the
+/// full rank when a prefix decides the comparison.
+bool GrayLess(const Signature& a, const Signature& b);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_COMMON_GRAY_CODE_H_

@@ -1,0 +1,51 @@
+#ifndef SGTREE_COMMON_RNG_H_
+#define SGTREE_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace sgtree {
+
+/// Deterministic pseudo-random generator (xoshiro256**) used by the data
+/// generators and the tests. A fixed algorithm (rather than std::mt19937
+/// plus std::*_distribution) keeps generated datasets bit-identical across
+/// standard libraries, which the experiment harness relies on.
+class Rng {
+ public:
+  /// Seeds the four lanes from `seed` via SplitMix64. Any seed (including 0)
+  /// yields a valid non-degenerate state.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit word.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero. Uses Lemire's
+  /// multiply-shift rejection for an unbiased result.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Poisson-distributed integer with the given mean (Knuth's method for
+  /// small means, normal approximation above 64).
+  uint32_t Poisson(double mean);
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean);
+
+  /// Normally distributed value (Box-Muller).
+  double Normal(double mean, double stddev);
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// A new independent generator derived from this one's stream. Useful for
+  /// giving each batch / query workload its own stream.
+  Rng Split();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_COMMON_RNG_H_

@@ -1,0 +1,126 @@
+#include "common/signature.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sgtree {
+
+Signature Signature::FromItems(std::span<const uint32_t> items,
+                               uint32_t num_bits) {
+  Signature sig(num_bits);
+  for (uint32_t item : items) {
+    assert(item < num_bits);
+    sig.Set(item);
+  }
+  return sig;
+}
+
+void Signature::Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+uint32_t Signature::Area() const {
+  uint32_t count = 0;
+  for (uint64_t w : words_) count += PopCount(w);
+  return count;
+}
+
+bool Signature::Empty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+void Signature::UnionWith(const Signature& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void Signature::IntersectWith(const Signature& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+bool Signature::Contains(const Signature& other) const {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((other.words_[i] & ~words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+uint32_t Signature::IntersectCount(const Signature& a, const Signature& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  uint32_t count = 0;
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    count += PopCount(a.words_[i] & b.words_[i]);
+  }
+  return count;
+}
+
+uint32_t Signature::AndNotCount(const Signature& a, const Signature& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  uint32_t count = 0;
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    count += PopCount(a.words_[i] & ~b.words_[i]);
+  }
+  return count;
+}
+
+uint32_t Signature::XorCount(const Signature& a, const Signature& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  uint32_t count = 0;
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    count += PopCount(a.words_[i] ^ b.words_[i]);
+  }
+  return count;
+}
+
+uint32_t Signature::UnionCount(const Signature& a, const Signature& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  uint32_t count = 0;
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    count += PopCount(a.words_[i] | b.words_[i]);
+  }
+  return count;
+}
+
+uint32_t Signature::Enlargement(const Signature& a, const Signature& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  uint32_t count = 0;
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    count += PopCount(b.words_[i] & ~a.words_[i]);
+  }
+  return count;
+}
+
+std::vector<uint32_t> Signature::ToItems() const {
+  std::vector<uint32_t> items;
+  for (uint32_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      const uint32_t bit = static_cast<uint32_t>(std::countr_zero(w));
+      items.push_back(wi * kBitsPerWord + bit);
+      w &= w - 1;
+    }
+  }
+  return items;
+}
+
+std::string Signature::ToString() const {
+  std::string out;
+  out.reserve(num_bits_);
+  for (uint32_t i = 0; i < num_bits_; ++i) out.push_back(Test(i) ? '1' : '0');
+  return out;
+}
+
+size_t SignatureHash::operator()(const Signature& s) const {
+  // FNV-1a over the backing words.
+  uint64_t hash = 14695981039346656037ull;
+  for (uint64_t w : s.words()) {
+    hash ^= w;
+    hash *= 1099511628211ull;
+  }
+  return static_cast<size_t>(hash);
+}
+
+}  // namespace sgtree

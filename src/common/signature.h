@@ -1,0 +1,108 @@
+#ifndef SGTREE_COMMON_SIGNATURE_H_
+#define SGTREE_COMMON_SIGNATURE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bit_ops.h"
+
+namespace sgtree {
+
+/// A fixed-width bitmap ("signature") over the item dictionary.
+///
+/// A transaction {a, c} over a dictionary of six items is represented by the
+/// signature 101000 (one bit per item). A group of transactions is
+/// represented by the bitwise OR of the member signatures (Definition 5 of
+/// the paper), so a directory signature has a 1 wherever at least one
+/// transaction below it contains the corresponding item.
+///
+/// The "area" of a signature is its number of set bits; it plays the role
+/// the MBR area plays in an R-tree.
+class Signature {
+ public:
+  /// An empty signature of width zero. Mostly useful as a placeholder before
+  /// assignment; all set operations require matching widths.
+  Signature() = default;
+
+  /// An all-zero signature of `num_bits` bits.
+  explicit Signature(uint32_t num_bits)
+      : num_bits_(num_bits), words_(WordsForBits(num_bits), 0) {}
+
+  /// Builds the signature of a transaction: one set bit per item id. Item
+  /// ids must be < `num_bits`.
+  static Signature FromItems(std::span<const uint32_t> items,
+                             uint32_t num_bits);
+
+  Signature(const Signature&) = default;
+  Signature& operator=(const Signature&) = default;
+  Signature(Signature&&) = default;
+  Signature& operator=(Signature&&) = default;
+
+  uint32_t num_bits() const { return num_bits_; }
+  uint32_t num_words() const { return static_cast<uint32_t>(words_.size()); }
+
+  bool Test(uint32_t pos) const {
+    return (words_[pos / kBitsPerWord] >> (pos % kBitsPerWord)) & 1;
+  }
+  void Set(uint32_t pos) {
+    words_[pos / kBitsPerWord] |= uint64_t{1} << (pos % kBitsPerWord);
+  }
+  void Reset(uint32_t pos) {
+    words_[pos / kBitsPerWord] &= ~(uint64_t{1} << (pos % kBitsPerWord));
+  }
+  void Clear();
+
+  /// Number of set bits. This is the signature's "area".
+  uint32_t Area() const;
+
+  bool Empty() const;
+
+  /// this |= other. Widths must match.
+  void UnionWith(const Signature& other);
+  /// this &= other. Widths must match.
+  void IntersectWith(const Signature& other);
+
+  /// True iff every bit set in `other` is also set in `*this` (i.e. *this
+  /// covers `other`; a directory entry covers every signature below it).
+  bool Contains(const Signature& other) const;
+
+  /// |a AND b| without materializing the intersection.
+  static uint32_t IntersectCount(const Signature& a, const Signature& b);
+  /// |a AND NOT b|: bits of `a` missing from `b`.
+  static uint32_t AndNotCount(const Signature& a, const Signature& b);
+  /// |a XOR b| = Hamming distance between the bitmaps.
+  static uint32_t XorCount(const Signature& a, const Signature& b);
+  /// |a OR b|.
+  static uint32_t UnionCount(const Signature& a, const Signature& b);
+  /// |a OR b| - |a|: how much `a` must grow to cover `b`.
+  static uint32_t Enlargement(const Signature& a, const Signature& b);
+
+  /// Direct access to the backing words (for codecs and hashing).
+  std::span<const uint64_t> words() const { return words_; }
+  std::span<uint64_t> mutable_words() { return words_; }
+
+  /// The positions of all set bits, ascending.
+  std::vector<uint32_t> ToItems() const;
+
+  /// "101000"-style string, bit 0 first. Intended for tests and debugging.
+  std::string ToString() const;
+
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  uint32_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Hash functor so signatures can key unordered containers.
+struct SignatureHash {
+  size_t operator()(const Signature& s) const;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_COMMON_SIGNATURE_H_

@@ -1,0 +1,52 @@
+#ifndef SGTREE_COMMON_ZIPF_H_
+#define SGTREE_COMMON_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sgtree {
+
+/// Zipf-distributed sampler over {0, ..., n-1} with skew parameter `theta`
+/// (theta = 0 is uniform; around 0.8-1.0 matches typical categorical value
+/// skew). Uses an inverse-CDF table, so construction is O(n) and sampling is
+/// O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double theta) : cdf_(n) {
+    double sum = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      sum += 1.0 / Pow(i + 1, theta);
+      cdf_[i] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  uint32_t Sample(Rng& rng) const {
+    const double u = rng.UniformDouble();
+    uint32_t lo = 0;
+    uint32_t hi = static_cast<uint32_t>(cdf_.size()) - 1;
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  static double Pow(double base, double exp) {
+    return exp == 0 ? 1.0 : std::pow(base, exp);
+  }
+
+  std::vector<double> cdf_;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_COMMON_ZIPF_H_

@@ -1,0 +1,66 @@
+#include "data/census_generator.h"
+
+namespace sgtree {
+
+CensusGenerator::CensusGenerator(const CensusOptions& options)
+    : options_(options),
+      schema_(CategoricalSchema::CensusDomainSizes()),
+      rng_(options.seed),
+      query_rng_(options.seed ^ 0xda3e39cb94b95bdbull) {
+  marginals_.reserve(schema_.num_attributes());
+  for (uint32_t a = 0; a < schema_.num_attributes(); ++a) {
+    marginals_.emplace_back(schema_.domain_size(a), options_.zipf_theta);
+  }
+  cluster_picker_ =
+      std::make_unique<ZipfSampler>(options_.num_clusters, 0.8);
+  // Each latent cluster fixes a preferred value per attribute; tuples from
+  // the cluster mostly share those values, which induces the cross-attribute
+  // correlation real census data exhibits.
+  cluster_mode_.resize(options_.num_clusters);
+  for (auto& mode : cluster_mode_) {
+    mode.resize(schema_.num_attributes());
+    for (uint32_t a = 0; a < schema_.num_attributes(); ++a) {
+      mode[a] = marginals_[a].Sample(rng_);
+    }
+  }
+}
+
+Transaction CensusGenerator::MakeTuple(uint64_t tid, Rng& rng) {
+  Transaction tuple;
+  tuple.tid = tid;
+  tuple.items.reserve(schema_.num_attributes());
+  // Cluster sizes are Zipf-skewed: real demographic segments are heavily
+  // unbalanced, and the skew is what gives the dataset dense neighborhoods.
+  const uint32_t cluster = cluster_picker_->Sample(rng);
+  for (uint32_t a = 0; a < schema_.num_attributes(); ++a) {
+    const uint32_t value = rng.Bernoulli(options_.cluster_affinity)
+                               ? cluster_mode_[cluster][a]
+                               : marginals_[a].Sample(rng);
+    tuple.items.push_back(schema_.Encode(a, value));
+  }
+  // Item ids are already sorted: attribute offsets are increasing and each
+  // attribute contributes exactly one value.
+  return tuple;
+}
+
+Dataset CensusGenerator::Generate() {
+  Dataset dataset;
+  dataset.num_items = schema_.total_values();
+  dataset.fixed_dimensionality = schema_.num_attributes();
+  dataset.transactions.reserve(options_.num_tuples);
+  for (uint32_t i = 0; i < options_.num_tuples; ++i) {
+    dataset.transactions.push_back(MakeTuple(i, rng_));
+  }
+  return dataset;
+}
+
+std::vector<Transaction> CensusGenerator::GenerateQueries(uint32_t count) {
+  std::vector<Transaction> queries;
+  queries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    queries.push_back(MakeTuple(i, query_rng_));
+  }
+  return queries;
+}
+
+}  // namespace sgtree

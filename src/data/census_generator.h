@@ -1,0 +1,64 @@
+#ifndef SGTREE_DATA_CENSUS_GENERATOR_H_
+#define SGTREE_DATA_CENSUS_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "data/dictionary.h"
+#include "data/transaction.h"
+
+namespace sgtree {
+
+/// Synthetic stand-in for the paper's CENSUS dataset (UCI KDD census data,
+/// 36 categorical attributes, domain sizes 2-53, 525 values in total).
+///
+/// Substitution note (see DESIGN.md): the original census extract is not
+/// available offline, so we generate categorical tuples with the same shape:
+/// the same attribute count and domain sizes, Zipf-skewed marginals (real
+/// demographic attributes are heavily skewed) and latent-cluster correlation
+/// between attributes (real tuples are correlated across attributes, which
+/// is what gives indexes something to cluster). Every tuple takes exactly
+/// one value per attribute, so the dataset has fixed dimensionality 36.
+struct CensusOptions {
+  uint32_t num_tuples = 200'000;
+  uint32_t num_clusters = 25;
+  /// Probability that an attribute takes its cluster's preferred value
+  /// rather than an independent Zipf draw.
+  double cluster_affinity = 0.7;
+  /// Zipf skew of the per-attribute marginals.
+  double zipf_theta = 0.9;
+  uint64_t seed = 7;
+};
+
+class CensusGenerator {
+ public:
+  explicit CensusGenerator(const CensusOptions& options);
+
+  const CategoricalSchema& schema() const { return schema_; }
+
+  /// Generates the dataset (fixed_dimensionality = 36).
+  Dataset Generate();
+
+  /// Generates query tuples from the same distribution but a disjoint
+  /// random stream (the paper queries CENSUS with samples from a held-out
+  /// second file).
+  std::vector<Transaction> GenerateQueries(uint32_t count);
+
+ private:
+  Transaction MakeTuple(uint64_t tid, Rng& rng);
+
+  CensusOptions options_;
+  CategoricalSchema schema_;
+  Rng rng_;
+  Rng query_rng_;
+  std::unique_ptr<ZipfSampler> cluster_picker_;
+  std::vector<ZipfSampler> marginals_;              // One per attribute.
+  std::vector<std::vector<uint32_t>> cluster_mode_;  // [cluster][attr] value.
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_DATA_CENSUS_GENERATOR_H_

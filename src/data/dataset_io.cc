@@ -1,0 +1,52 @@
+#include "data/dataset_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace sgtree {
+
+bool SaveDataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << dataset.num_items << ' ' << dataset.fixed_dimensionality << ' '
+      << dataset.transactions.size() << '\n';
+  for (const Transaction& txn : dataset.transactions) {
+    out << txn.tid;
+    for (ItemId item : txn.items) out << ' ' << item;
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadDataset(const std::string& path, Dataset* dataset) {
+  std::ifstream in(path);
+  if (!in) return false;
+  size_t count = 0;
+  if (!(in >> dataset->num_items >> dataset->fixed_dimensionality >> count)) {
+    return false;
+  }
+  dataset->transactions.clear();
+  dataset->transactions.reserve(count);
+  std::string line;
+  std::getline(in, line);  // Consume the header's newline.
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) return false;
+    std::istringstream row(line);
+    Transaction txn;
+    if (!(row >> txn.tid)) return false;
+    ItemId item = 0;
+    ItemId prev = 0;
+    bool first = true;
+    while (row >> item) {
+      if (item >= dataset->num_items) return false;
+      if (!first && item <= prev) return false;  // Must be sorted unique.
+      txn.items.push_back(item);
+      prev = item;
+      first = false;
+    }
+    dataset->transactions.push_back(std::move(txn));
+  }
+  return true;
+}
+
+}  // namespace sgtree

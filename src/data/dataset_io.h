@@ -1,0 +1,24 @@
+#ifndef SGTREE_DATA_DATASET_IO_H_
+#define SGTREE_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "data/transaction.h"
+
+namespace sgtree {
+
+/// Plain-text dataset interchange format:
+///   line 1: "num_items fixed_dimensionality num_transactions"
+///   then one line per transaction: "tid item item item ..."
+/// Items must be sorted ascending and < num_items.
+
+/// Writes `dataset` to `path`. Returns false on I/O error.
+bool SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by SaveDataset. Returns false on I/O error or
+/// malformed content.
+bool LoadDataset(const std::string& path, Dataset* dataset);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_DATA_DATASET_IO_H_

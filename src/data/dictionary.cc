@@ -1,0 +1,49 @@
+#include "data/dictionary.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace sgtree {
+
+CategoricalSchema::CategoricalSchema(std::vector<uint32_t> domain_sizes)
+    : domain_sizes_(std::move(domain_sizes)) {
+  offsets_.reserve(domain_sizes_.size());
+  uint32_t offset = 0;
+  for (uint32_t size : domain_sizes_) {
+    assert(size > 0);
+    offsets_.push_back(offset);
+    offset += size;
+  }
+  total_values_ = offset;
+}
+
+std::pair<uint32_t, uint32_t> CategoricalSchema::Decode(ItemId item) const {
+  assert(item < total_values_);
+  // Binary search for the owning attribute.
+  uint32_t lo = 0;
+  uint32_t hi = num_attributes() - 1;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo + 1) / 2;
+    if (offsets_[mid] <= item) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return {lo, item - offsets_[lo]};
+}
+
+std::vector<uint32_t> CategoricalSchema::CensusDomainSizes() {
+  // 36 attributes, domain sizes in [2, 53], 525 values in total — the shape
+  // of the cleaned census dataset in the paper's Section 5.1.
+  std::vector<uint32_t> sizes = {
+      53, 52, 47, 43, 38, 33, 29, 24, 21, 18, 17, 15,
+      12, 10, 9,  2,  2,  2,  2,  3,  3,  3,  3,  4,
+      4,  4,  4,  5,  5,  5,  6,  6,  7,  7,  8,  19,
+  };
+  assert(sizes.size() == 36);
+  assert(std::accumulate(sizes.begin(), sizes.end(), 0u) == 525u);
+  return sizes;
+}
+
+}  // namespace sgtree

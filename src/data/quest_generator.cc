@@ -1,0 +1,150 @@
+#include "data/quest_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace sgtree {
+
+std::string QuestOptions::Label() const {
+  std::ostringstream out;
+  out << "T" << avg_transaction_size << ".I" << avg_itemset_size << ".D";
+  if (num_transactions % 1000 == 0) {
+    out << (num_transactions / 1000) << "K";
+  } else {
+    out << num_transactions;
+  }
+  return out.str();
+}
+
+QuestGenerator::QuestGenerator(const QuestOptions& options)
+    : options_(options), rng_(options.seed), query_rng_(options.seed ^ 0x9e3779b97f4a7c15ull) {
+  assert(options_.num_items > 0);
+  assert(options_.avg_itemset_size >= 1);
+  BuildPatternPool();
+}
+
+void QuestGenerator::BuildPatternPool() {
+  patterns_.clear();
+  patterns_.reserve(options_.num_patterns);
+  std::vector<ItemId> previous;
+  double cumulative = 0;
+  for (uint32_t p = 0; p < options_.num_patterns; ++p) {
+    Pattern pattern;
+    // Pattern length ~ Poisson around the mean itemset size, at least 1.
+    uint32_t length = rng_.Poisson(options_.avg_itemset_size);
+    length = std::max<uint32_t>(1, std::min(length, options_.num_items));
+
+    // A fraction of the items is drawn from the previous pattern (the Quest
+    // "correlation" knob); the rest are picked at random.
+    std::vector<ItemId> items;
+    if (!previous.empty()) {
+      const auto reuse = static_cast<uint32_t>(
+          std::min<double>(length, options_.correlation * length + 0.5));
+      std::vector<ItemId> shuffled = previous;
+      for (uint32_t i = 0; i < reuse && i < shuffled.size(); ++i) {
+        const uint64_t j =
+            i + rng_.UniformInt(shuffled.size() - i);
+        std::swap(shuffled[i], shuffled[j]);
+        items.push_back(shuffled[i]);
+      }
+    }
+    while (items.size() < length) {
+      const ItemId item =
+          static_cast<ItemId>(rng_.UniformInt(options_.num_items));
+      if (std::find(items.begin(), items.end(), item) == items.end()) {
+        items.push_back(item);
+      }
+    }
+    std::sort(items.begin(), items.end());
+    pattern.items = items;
+    previous = std::move(items);
+
+    // Exponential pick weights, normalized implicitly via the cumulative sum.
+    cumulative += rng_.Exponential(1.0);
+    pattern.weight = cumulative;
+
+    // Per-pattern corruption level, clamped to [0, 1].
+    pattern.corruption = std::clamp(
+        rng_.Normal(options_.corruption_mean, options_.corruption_dev), 0.0,
+        1.0);
+    patterns_.push_back(std::move(pattern));
+  }
+  total_weight_ = cumulative;
+}
+
+const QuestGenerator::Pattern& QuestGenerator::PickPattern(Rng& rng) const {
+  const double u = rng.UniformDouble() * total_weight_;
+  // Binary search the cumulative weights.
+  size_t lo = 0;
+  size_t hi = patterns_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (patterns_[mid].weight < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return patterns_[lo];
+}
+
+Transaction QuestGenerator::MakeTransaction(uint64_t tid, Rng& rng) {
+  Transaction txn;
+  txn.tid = tid;
+  uint32_t target = rng.Poisson(options_.avg_transaction_size);
+  target = std::max<uint32_t>(1, std::min(target, options_.num_items));
+
+  std::vector<ItemId> items;
+  // Fill the transaction from weighted patterns. Per the original Quest
+  // process, items are dropped from the pattern "as long as a uniform draw
+  // is below its corruption level" — a geometric number of drops (expected
+  // c/(1-c)), so most of each pattern survives and transactions from the
+  // same pattern stay close. An oversized last pattern is kept with
+  // probability 1/2 (Quest behaviour), otherwise discarded.
+  uint32_t guard = 0;
+  while (items.size() < target && guard++ < 64) {
+    const Pattern& pattern = PickPattern(rng);
+    std::vector<ItemId> kept = pattern.items;
+    while (!kept.empty() && rng.Bernoulli(pattern.corruption)) {
+      const size_t victim = rng.UniformInt(kept.size());
+      kept.erase(kept.begin() + static_cast<long>(victim));
+    }
+    if (kept.empty()) continue;
+    if (items.size() + kept.size() > target && !items.empty() &&
+        rng.Bernoulli(0.5)) {
+      break;
+    }
+    items.insert(items.end(), kept.begin(), kept.end());
+  }
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  if (items.empty()) {
+    items.push_back(static_cast<ItemId>(rng.UniformInt(options_.num_items)));
+  }
+  txn.items = std::move(items);
+  return txn;
+}
+
+Dataset QuestGenerator::Generate() {
+  Dataset dataset;
+  dataset.num_items = options_.num_items;
+  dataset.fixed_dimensionality = 0;
+  dataset.transactions.reserve(options_.num_transactions);
+  for (uint32_t i = 0; i < options_.num_transactions; ++i) {
+    dataset.transactions.push_back(MakeTransaction(i, rng_));
+  }
+  return dataset;
+}
+
+std::vector<Transaction> QuestGenerator::GenerateQueries(uint32_t count) {
+  std::vector<Transaction> queries;
+  queries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    queries.push_back(MakeTransaction(i, query_rng_));
+  }
+  return queries;
+}
+
+}  // namespace sgtree

@@ -1,0 +1,68 @@
+#ifndef SGTREE_DATA_QUEST_GENERATOR_H_
+#define SGTREE_DATA_QUEST_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/transaction.h"
+
+namespace sgtree {
+
+/// Re-implementation of the IBM Quest synthetic market-basket generator
+/// (Agrawal & Srikant, VLDB'94), the workload the paper's Section 5.1 uses:
+/// "T denotes the mean size of a transaction, I the mean size of a large
+/// itemset and D the cardinality; T10.I6.D200K has 200,000 transactions of
+/// mean size 10 and large itemsets of mean size 6."
+struct QuestOptions {
+  uint32_t num_transactions = 200'000;   // D
+  double avg_transaction_size = 10;      // T
+  double avg_itemset_size = 6;           // I
+  uint32_t num_items = 1000;             // N (dictionary size)
+  uint32_t num_patterns = 2000;          // |L|, the potentially-large pool
+  double correlation = 0.5;              // Fraction of items reused between
+                                         // consecutive patterns.
+  double corruption_mean = 0.5;          // Mean per-pattern corruption level.
+  double corruption_dev = 0.1;
+  uint64_t seed = 1;
+
+  /// The paper's T<x>.I<y>.D<z>K label for this configuration.
+  std::string Label() const;
+};
+
+class QuestGenerator {
+ public:
+  explicit QuestGenerator(const QuestOptions& options);
+
+  /// Generates the full dataset (num_transactions transactions with tids
+  /// 0..D-1).
+  Dataset Generate();
+
+  /// Generates `count` query transactions from the same pattern pool (the
+  /// paper generates queries "using the same itemsets and parameters").
+  std::vector<Transaction> GenerateQueries(uint32_t count);
+
+  const QuestOptions& options() const { return options_; }
+
+ private:
+  struct Pattern {
+    std::vector<ItemId> items;
+    double weight = 0;       // Cumulative pick weight.
+    double corruption = 0;   // Probability of dropping items when applied.
+  };
+
+  void BuildPatternPool();
+  Transaction MakeTransaction(uint64_t tid, Rng& rng);
+  const Pattern& PickPattern(Rng& rng) const;
+
+  QuestOptions options_;
+  Rng rng_;
+  Rng query_rng_;
+  std::vector<Pattern> patterns_;
+  double total_weight_ = 0;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_DATA_QUEST_GENERATOR_H_

@@ -1,0 +1,35 @@
+#ifndef SGTREE_DATA_TRANSACTION_H_
+#define SGTREE_DATA_TRANSACTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sgtree {
+
+/// An item: either a market-basket product or one value of a categorical
+/// attribute (attribute values are flattened into a single item space, one
+/// id per (attribute, value) pair).
+using ItemId = uint32_t;
+
+/// A transaction (set datum) or categorical tuple: a sorted, duplicate-free
+/// set of items plus an external id.
+struct Transaction {
+  uint64_t tid = 0;
+  std::vector<ItemId> items;
+};
+
+/// A collection of transactions over a dictionary of `num_items` items.
+struct Dataset {
+  uint32_t num_items = 0;
+  /// For categorical data, the (fixed) number of attributes per tuple;
+  /// 0 for variable-size set data. Enables the Section 6 tightened bound.
+  uint32_t fixed_dimensionality = 0;
+  std::vector<Transaction> transactions;
+
+  size_t size() const { return transactions.size(); }
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_DATA_TRANSACTION_H_

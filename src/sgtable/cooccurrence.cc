@@ -1,0 +1,43 @@
+#include "sgtable/cooccurrence.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sgtree {
+
+CooccurrenceMatrix::CooccurrenceMatrix(const Dataset& dataset,
+                                       uint32_t max_transactions)
+    : num_items_(dataset.num_items),
+      counts_(static_cast<size_t>(num_items_) * (num_items_ + 1) / 2, 0),
+      support_(num_items_, 0) {
+  size_t limit = dataset.transactions.size();
+  if (max_transactions != 0) {
+    limit = std::min<size_t>(limit, max_transactions);
+  }
+  for (size_t t = 0; t < limit; ++t) {
+    const auto& items = dataset.transactions[t].items;
+    for (size_t i = 0; i < items.size(); ++i) {
+      ++support_[items[i]];
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        ++counts_[IndexOf(items[i], items[j])];
+      }
+    }
+    ++scanned_;
+  }
+}
+
+size_t CooccurrenceMatrix::IndexOf(ItemId a, ItemId b) const {
+  assert(a < num_items_ && b < num_items_);
+  if (a > b) std::swap(a, b);
+  // Row-major upper triangle including the diagonal: row a starts after
+  // a*(2n - a + 1)/2 cells.
+  const size_t n = num_items_;
+  return static_cast<size_t>(a) * (2 * n - a + 1) / 2 + (b - a);
+}
+
+uint64_t CooccurrenceMatrix::Count(ItemId a, ItemId b) const {
+  if (a == b) return support_[a];
+  return counts_[IndexOf(a, b)];
+}
+
+}  // namespace sgtree

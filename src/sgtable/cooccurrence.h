@@ -1,0 +1,45 @@
+#ifndef SGTREE_SGTABLE_COOCCURRENCE_H_
+#define SGTREE_SGTABLE_COOCCURRENCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/transaction.h"
+
+namespace sgtree {
+
+/// Pairwise item co-occurrence counts over a dataset, the input to the
+/// SG-table's item clustering. Stored as an upper-triangular matrix; memory
+/// is O(|items|^2 / 2), fine for the dictionary sizes of this domain
+/// (hundreds to a few thousand items).
+class CooccurrenceMatrix {
+ public:
+  /// Counts pairs over all transactions of `dataset`. `max_transactions`
+  /// optionally caps the scan (sampling for very large datasets); 0 = all.
+  explicit CooccurrenceMatrix(const Dataset& dataset,
+                              uint32_t max_transactions = 0);
+
+  uint32_t num_items() const { return num_items_; }
+
+  /// Number of transactions containing both `a` and `b` (within the sample).
+  uint64_t Count(ItemId a, ItemId b) const;
+
+  /// Number of sampled transactions containing `item`.
+  uint64_t Support(ItemId item) const { return support_[item]; }
+
+  /// Transactions scanned.
+  uint64_t transactions_scanned() const { return scanned_; }
+
+ private:
+  size_t IndexOf(ItemId a, ItemId b) const;
+
+  uint32_t num_items_;
+  uint64_t scanned_ = 0;
+  std::vector<uint32_t> counts_;   // Upper triangle, row-major.
+  std::vector<uint64_t> support_;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_SGTABLE_COOCCURRENCE_H_

@@ -1,0 +1,148 @@
+#include "sgtable/item_clustering.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sgtree {
+namespace {
+
+struct ClusterState {
+  std::vector<ItemId> items;
+  uint64_t support = 0;
+  bool active = false;
+};
+
+}  // namespace
+
+std::vector<VerticalSignature> ClusterItems(
+    const CooccurrenceMatrix& matrix, const ItemClusteringOptions& options) {
+  const uint32_t n = matrix.num_items();
+  const uint32_t k = std::max<uint32_t>(1, options.num_signatures);
+
+  // Critical mass in absolute support.
+  uint64_t total_support = 0;
+  for (ItemId item = 0; item < n; ++item) {
+    total_support += matrix.Support(item);
+  }
+  const auto critical_mass = static_cast<uint64_t>(
+      options.critical_mass_fraction * static_cast<double>(total_support));
+
+  // Singleton clusters for items that occur at all.
+  std::vector<ClusterState> clusters(n);
+  uint32_t active_count = 0;
+  for (ItemId item = 0; item < n; ++item) {
+    if (matrix.Support(item) == 0) continue;
+    clusters[item].items = {item};
+    clusters[item].support = matrix.Support(item);
+    clusters[item].active = true;
+    ++active_count;
+  }
+
+  std::vector<VerticalSignature> frozen;
+  auto freeze = [&](uint32_t c) {
+    frozen.push_back(VerticalSignature{clusters[c].items,
+                                       clusters[c].support});
+    clusters[c].active = false;
+    --active_count;
+  };
+
+  // Single-linkage similarity matrix over clusters (co-occurrence counts).
+  std::vector<std::vector<uint64_t>> sim(n);
+  for (uint32_t a = 0; a < n; ++a) {
+    if (!clusters[a].active) continue;
+    sim[a].assign(n, 0);
+    for (uint32_t b = 0; b < n; ++b) {
+      if (b != a && clusters[b].active) sim[a][b] = matrix.Count(a, b);
+    }
+  }
+
+  // Per-row maxima, kept up to date across merges.
+  std::vector<uint64_t> row_max(n, 0);
+  std::vector<uint32_t> row_arg(n, n);
+  auto recompute_row = [&](uint32_t a) {
+    row_max[a] = 0;
+    row_arg[a] = n;
+    for (uint32_t b = 0; b < n; ++b) {
+      if (b != a && clusters[b].active && sim[a][b] > row_max[a]) {
+        row_max[a] = sim[a][b];
+        row_arg[a] = b;
+      }
+    }
+  };
+  for (uint32_t a = 0; a < n; ++a) {
+    if (clusters[a].active) recompute_row(a);
+  }
+
+  // Freeze clusters that are already over the critical mass (very frequent
+  // single items).
+  for (uint32_t a = 0; a < n; ++a) {
+    if (clusters[a].active && clusters[a].support > critical_mass &&
+        critical_mass > 0) {
+      freeze(a);
+    }
+  }
+
+  while (active_count + frozen.size() > k && active_count >= 2) {
+    // Globally most co-occurring active pair.
+    uint32_t best_a = n;
+    uint64_t best_sim = 0;
+    for (uint32_t a = 0; a < n; ++a) {
+      if (!clusters[a].active) continue;
+      if (row_arg[a] != n && !clusters[row_arg[a]].active) recompute_row(a);
+      if (row_arg[a] != n && row_max[a] > best_sim) {
+        best_sim = row_max[a];
+        best_a = a;
+      }
+    }
+    if (best_a == n || best_sim == 0) break;  // Nothing co-occurs any more.
+    const uint32_t a = best_a;
+    const uint32_t b = row_arg[a];
+
+    // Merge b into a (single linkage: similarities take the max).
+    clusters[a].items.insert(clusters[a].items.end(),
+                             clusters[b].items.begin(),
+                             clusters[b].items.end());
+    clusters[a].support += clusters[b].support;
+    clusters[b].active = false;
+    --active_count;
+    for (uint32_t c = 0; c < n; ++c) {
+      if (!clusters[c].active || c == a) continue;
+      const uint64_t merged = std::max(sim[a][c], sim[b][c]);
+      sim[a][c] = merged;
+      sim[c][a] = merged;
+      if (merged > row_max[c]) {
+        row_max[c] = merged;
+        row_arg[c] = a;
+      } else if (row_arg[c] == b) {
+        row_arg[c] = a;  // sim[c][a] >= old sim[c][b] under single linkage.
+      }
+    }
+    recompute_row(a);
+
+    // Critical mass: remove the group before it grows larger.
+    if (critical_mass > 0 && clusters[a].support > critical_mass) {
+      freeze(a);
+    }
+  }
+
+  // Assemble: frozen groups first, then the remaining active ones; keep the
+  // k with the highest support.
+  std::vector<VerticalSignature> result = std::move(frozen);
+  for (uint32_t a = 0; a < n; ++a) {
+    if (clusters[a].active) {
+      result.push_back(
+          VerticalSignature{clusters[a].items, clusters[a].support});
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const VerticalSignature& x, const VerticalSignature& y) {
+              return x.total_support > y.total_support;
+            });
+  if (result.size() > k) result.resize(k);
+  for (VerticalSignature& group : result) {
+    std::sort(group.items.begin(), group.items.end());
+  }
+  return result;
+}
+
+}  // namespace sgtree

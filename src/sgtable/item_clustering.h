@@ -1,0 +1,43 @@
+#ifndef SGTREE_SGTABLE_ITEM_CLUSTERING_H_
+#define SGTREE_SGTABLE_ITEM_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sgtable/cooccurrence.h"
+
+namespace sgtree {
+
+/// Item clustering for the SG-table (Section 2.2.1): "a minimum spanning
+/// tree algorithm is run to cluster the set of items into groups each
+/// containing frequently correlated items. The grouping starts by
+/// considering each item a separate cluster and progressively refines the
+/// clusters by merging item pairs with the maximum co-occurrence frequency.
+/// Groups for which the total support of their contents exceeds a certain
+/// threshold (critical mass) are removed before they grow larger."
+struct ItemClusteringOptions {
+  /// Number of vertical signatures (K) to produce. The table then has 2^K
+  /// conceptual entries, so K is kept small (the original paper uses
+  /// K around 10-20).
+  uint32_t num_signatures = 12;
+  /// Critical mass as a fraction of total item support: clusters whose
+  /// accumulated support exceeds this are frozen.
+  double critical_mass_fraction = 0.1;
+};
+
+/// One vertical signature: a frequently co-occurring item group.
+struct VerticalSignature {
+  std::vector<ItemId> items;  // Sorted ascending.
+  uint64_t total_support = 0;
+};
+
+/// Runs the single-linkage (MST) agglomeration and returns at most
+/// `options.num_signatures` vertical signatures covering the most
+/// frequently co-occurring item groups. Items that never co-occur with the
+/// selected groups are left out (they contribute no discrimination).
+std::vector<VerticalSignature> ClusterItems(
+    const CooccurrenceMatrix& matrix, const ItemClusteringOptions& options);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_SGTABLE_ITEM_CLUSTERING_H_

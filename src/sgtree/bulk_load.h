@@ -1,0 +1,58 @@
+#ifndef SGTREE_SGTREE_BULK_LOAD_H_
+#define SGTREE_SGTREE_BULK_LOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/transaction.h"
+#include "sgtree/sg_tree.h"
+
+namespace sgtree {
+
+/// Orderings for bottom-up packing — the three approaches Section 6
+/// sketches for bulk loading.
+enum class BulkLoadOrder {
+  /// Sort by the Gray-code rank of the bitmap (space-filling-curve
+  /// analogy).
+  kGrayCode,
+  /// Recursive bisection clustering: repeatedly pick two far-apart seed
+  /// signatures and partition around them ("adapt categorical clustering
+  /// algorithms for this purpose").
+  kClusterPartition,
+  /// MinHash ordering: sort by a few min-wise hashes of the item set, so
+  /// Jaccard-similar transactions become neighbors ("hashing techniques
+  /// can be used to group similar signatures together").
+  kMinHash,
+};
+
+std::string BulkLoadOrderName(BulkLoadOrder order);
+
+/// Bulk-loading parameters.
+struct BulkLoadOptions {
+  /// Leaf fill as a fraction of the node capacity (packed trees are usually
+  /// built near-full; the paper suggests this as future work, analogous to
+  /// space-filling-curve R-tree packing).
+  double fill_fraction = 0.9;
+  BulkLoadOrder order = BulkLoadOrder::kGrayCode;
+  /// Seed for the randomized orderings (bisection, MinHash).
+  uint64_t seed = 1;
+};
+
+/// Builds an SG-tree bottom-up from a dataset: transactions are sorted by
+/// the Gray-code rank of their signature (Section 6: "sort the transactions
+/// using gray codes as key, in analogy to using space-filling curves for
+/// bulk-loading multidimensional data to an R-tree"), packed into leaves at
+/// the requested fill, and the directory levels are packed on top.
+std::unique_ptr<SgTree> BulkLoad(const Dataset& dataset,
+                                 const SgTreeOptions& options,
+                                 const BulkLoadOptions& bulk = {});
+
+/// Same, from pre-built (signature, tid) pairs.
+std::unique_ptr<SgTree> BulkLoadEntries(std::vector<Entry> leaf_entries,
+                                        const SgTreeOptions& options,
+                                        const BulkLoadOptions& bulk = {});
+
+}  // namespace sgtree
+
+#endif  // SGTREE_SGTREE_BULK_LOAD_H_

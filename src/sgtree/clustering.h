@@ -1,0 +1,30 @@
+#ifndef SGTREE_SGTREE_CLUSTERING_H_
+#define SGTREE_SGTREE_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sgtree/sg_tree.h"
+
+namespace sgtree {
+
+/// Index-accelerated clustering (Section 6 future work: "the tree could be
+/// used to derive good clusters much faster, e.g. by merging the leaf nodes
+/// using their signatures as guides").
+///
+/// Each SG-tree leaf already groups similar transactions; this helper treats
+/// every leaf as a seed cluster (represented by its union signature) and
+/// agglomeratively merges the closest cluster pair — Hamming distance
+/// between cluster signatures — until `k` clusters remain. The cost is
+/// O(L^2) in the number of leaves L, far below the O(n^2) of clustering raw
+/// transactions.
+struct LeafCluster {
+  Signature signature;          // OR of all member transactions.
+  std::vector<uint64_t> tids;   // Members.
+};
+
+std::vector<LeafCluster> ClusterByLeaves(const SgTree& tree, uint32_t k);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_SGTREE_CLUSTERING_H_

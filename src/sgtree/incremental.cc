@@ -1,0 +1,73 @@
+#include "sgtree/incremental.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/distance.h"
+
+namespace sgtree {
+
+NearestIterator::NearestIterator(const SgTree& tree, Signature query,
+                                 QueryStats* stats)
+    : tree_(tree), query_(std::move(query)), stats_(stats) {
+  if (tree_.root() != kInvalidPageId) {
+    queue_.push(Item{0.0, false, tree_.root()});
+  }
+}
+
+void NearestIterator::ExpandUntilEntryOnTop() {
+  const Metric metric = tree_.options().metric;
+  const auto [area_lo, area_hi] = tree_.TransactionAreaBounds();
+  while (!queue_.empty() && !queue_.top().is_entry) {
+    const Item item = queue_.top();
+    queue_.pop();
+    const Node& node = tree_.GetNode(static_cast<PageId>(item.ref));
+    if (stats_ != nullptr) ++stats_->nodes_accessed;
+    if (node.IsLeaf()) {
+      if (stats_ != nullptr) {
+        stats_->transactions_compared += node.entries.size();
+      }
+      for (const Entry& entry : node.entries) {
+        queue_.push(
+            Item{Distance(query_, entry.sig, metric), true, entry.ref});
+      }
+    } else {
+      if (stats_ != nullptr) stats_->bounds_computed += node.entries.size();
+      for (const Entry& entry : node.entries) {
+        queue_.push(Item{MinDistBoundAreaStats(query_, entry.sig, metric,
+                                               area_lo, area_hi),
+                         false, entry.ref});
+      }
+    }
+  }
+}
+
+std::optional<Neighbor> NearestIterator::Next() {
+  ExpandUntilEntryOnTop();
+  if (queue_.empty()) return std::nullopt;
+  const Item item = queue_.top();
+  queue_.pop();
+  return Neighbor{item.ref, item.key};
+}
+
+double NearestIterator::PeekDistance() {
+  ExpandUntilEntryOnTop();
+  return queue_.empty() ? std::numeric_limits<double>::infinity()
+                        : queue_.top().key;
+}
+
+std::vector<Neighbor> AllNearest(const SgTree& tree, const Signature& query,
+                                 QueryStats* stats) {
+  std::vector<Neighbor> result;
+  NearestIterator it(tree, query, stats);
+  const auto first = it.Next();
+  if (!first.has_value()) return result;
+  result.push_back(*first);
+  // Drain every tie at the minimum distance.
+  while (it.PeekDistance() == first->distance) {
+    result.push_back(*it.Next());
+  }
+  return result;
+}
+
+}  // namespace sgtree

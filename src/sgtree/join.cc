@@ -1,0 +1,238 @@
+#include "sgtree/join.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "common/distance.h"
+
+namespace sgtree {
+namespace {
+
+void CountNode(QueryStats* stats, uint64_t n = 1) {
+  if (stats != nullptr) stats->nodes_accessed += n;
+}
+
+void CountCompared(QueryStats* stats, uint64_t n) {
+  if (stats != nullptr) stats->transactions_compared += n;
+}
+
+bool PairLess(const JoinPair& x, const JoinPair& y) {
+  if (x.distance != y.distance) return x.distance < y.distance;
+  if (x.tid_a != y.tid_a) return x.tid_a < y.tid_a;
+  return x.tid_b < y.tid_b;
+}
+
+}  // namespace
+
+double PairMinDist(const Signature& a, bool leaf_a, const Signature& b,
+                   bool leaf_b, Metric metric,
+                   uint32_t fixed_dimensionality) {
+  if (leaf_a && leaf_b) return Distance(a, b, metric);
+  if (leaf_a) return MinDistBound(a, b, metric, fixed_dimensionality);
+  if (leaf_b) return MinDistBound(b, a, metric, fixed_dimensionality);
+
+  // Both covering signatures: transactions on either side may be any
+  // non-empty subsets, so only the shared-item count c = |a AND b| helps.
+  const uint32_t c = Signature::IntersectCount(a, b);
+  const uint32_t d = fixed_dimensionality;
+  switch (metric) {
+    case Metric::kHamming:
+      if (d > 0) return 2.0 * (d - std::min(c, d));
+      return c == 0 ? 2.0 : 0.0;  // Disjoint non-empty sets differ in >= 2.
+    case Metric::kJaccard:
+    case Metric::kDice:
+    case Metric::kCosine:
+      // With |ta| = |tb| = d, all three similarities are at most
+      // min(c, d) / d; without fixed sizes, only disjointness prunes.
+      if (d > 0) return 1.0 - static_cast<double>(std::min(c, d)) / d;
+      return c == 0 ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+namespace {
+
+struct JoinContext {
+  const SgTree* tree_a;
+  const SgTree* tree_b;
+  Metric metric;
+  uint32_t fixed_dim;
+  double epsilon;
+  std::vector<JoinPair>* result;
+  QueryStats* stats;
+};
+
+void JoinNodes(const JoinContext& ctx, PageId id_a, PageId id_b) {
+  const Node& na = ctx.tree_a->GetNode(id_a);
+  const Node& nb = ctx.tree_b->GetNode(id_b);
+  CountNode(ctx.stats, 2);
+
+  if (na.IsLeaf() && nb.IsLeaf()) {
+    CountCompared(ctx.stats, na.entries.size() * nb.entries.size());
+    for (const Entry& ea : na.entries) {
+      for (const Entry& eb : nb.entries) {
+        const double d = Distance(ea.sig, eb.sig, ctx.metric);
+        if (d <= ctx.epsilon) {
+          ctx.result->push_back({ea.ref, eb.ref, d});
+        }
+      }
+    }
+    return;
+  }
+
+  if (!na.IsLeaf() && !nb.IsLeaf()) {
+    for (const Entry& ea : na.entries) {
+      for (const Entry& eb : nb.entries) {
+        const double bound = PairMinDist(ea.sig, false, eb.sig, false,
+                                         ctx.metric, ctx.fixed_dim);
+        if (bound <= ctx.epsilon) {
+          JoinNodes(ctx, static_cast<PageId>(ea.ref),
+                    static_cast<PageId>(eb.ref));
+        }
+      }
+    }
+    return;
+  }
+
+  // Mixed levels: keep the leaf side fixed, descend the directory side into
+  // every child some leaf entry cannot rule out.
+  const bool a_is_leaf = na.IsLeaf();
+  const Node& leaf = a_is_leaf ? na : nb;
+  const Node& dir = a_is_leaf ? nb : na;
+  for (const Entry& ed : dir.entries) {
+    bool needed = false;
+    for (const Entry& el : leaf.entries) {
+      const double bound = PairMinDist(el.sig, true, ed.sig, false,
+                                       ctx.metric, ctx.fixed_dim);
+      if (bound <= ctx.epsilon) {
+        needed = true;
+        break;
+      }
+    }
+    if (!needed) continue;
+    if (a_is_leaf) {
+      JoinNodes(ctx, id_a, static_cast<PageId>(ed.ref));
+    } else {
+      JoinNodes(ctx, static_cast<PageId>(ed.ref), id_b);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<JoinPair> SimilarityJoin(const SgTree& a, const SgTree& b,
+                                     double epsilon, QueryStats* stats) {
+  assert(a.num_bits() == b.num_bits());
+  std::vector<JoinPair> result;
+  if (a.root() == kInvalidPageId || b.root() == kInvalidPageId) return result;
+  const uint32_t fixed_dim = a.options().fixed_dimensionality ==
+                                     b.options().fixed_dimensionality
+                                 ? a.options().fixed_dimensionality
+                                 : 0;
+  JoinContext ctx{&a,       &b,      a.options().metric, fixed_dim,
+                  epsilon,  &result, stats};
+  JoinNodes(ctx, a.root(), b.root());
+  std::sort(result.begin(), result.end(), PairLess);
+  return result;
+}
+
+std::vector<JoinPair> ClosestPairs(const SgTree& a, const SgTree& b,
+                                   uint32_t k, QueryStats* stats) {
+  assert(a.num_bits() == b.num_bits());
+  std::vector<JoinPair> best;  // Max-heap under PairLess.
+  if (a.root() == kInvalidPageId || b.root() == kInvalidPageId || k == 0) {
+    return best;
+  }
+  const Metric metric = a.options().metric;
+  const uint32_t fixed_dim = a.options().fixed_dimensionality ==
+                                     b.options().fixed_dimensionality
+                                 ? a.options().fixed_dimensionality
+                                 : 0;
+
+  auto tau = [&]() {
+    return best.size() < k ? std::numeric_limits<double>::infinity()
+                           : best.front().distance;
+  };
+  auto offer = [&](const JoinPair& pair) {
+    if (best.size() < k) {
+      best.push_back(pair);
+      std::push_heap(best.begin(), best.end(), PairLess);
+    } else if (PairLess(pair, best.front())) {
+      std::pop_heap(best.begin(), best.end(), PairLess);
+      best.back() = pair;
+      std::push_heap(best.begin(), best.end(), PairLess);
+    }
+  };
+
+  struct QueueItem {
+    double bound;
+    PageId node_a;
+    PageId node_b;
+  };
+  auto cmp = [](const QueueItem& x, const QueueItem& y) {
+    return x.bound > y.bound;
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> queue(
+      cmp);
+  queue.push({0.0, a.root(), b.root()});
+
+  while (!queue.empty()) {
+    const QueueItem item = queue.top();
+    queue.pop();
+    if (item.bound >= tau()) break;
+    const Node& na = a.GetNode(item.node_a);
+    const Node& nb = b.GetNode(item.node_b);
+    CountNode(stats, 2);
+
+    if (na.IsLeaf() && nb.IsLeaf()) {
+      CountCompared(stats, na.entries.size() * nb.entries.size());
+      for (const Entry& ea : na.entries) {
+        for (const Entry& eb : nb.entries) {
+          offer({ea.ref, eb.ref, Distance(ea.sig, eb.sig, metric)});
+        }
+      }
+      continue;
+    }
+
+    if (!na.IsLeaf() && !nb.IsLeaf()) {
+      for (const Entry& ea : na.entries) {
+        for (const Entry& eb : nb.entries) {
+          const double bound =
+              PairMinDist(ea.sig, false, eb.sig, false, metric, fixed_dim);
+          if (bound < tau()) {
+            queue.push({bound, static_cast<PageId>(ea.ref),
+                        static_cast<PageId>(eb.ref)});
+          }
+        }
+      }
+      continue;
+    }
+
+    const bool a_is_leaf = na.IsLeaf();
+    const Node& leaf = a_is_leaf ? na : nb;
+    const Node& dir = a_is_leaf ? nb : na;
+    for (const Entry& ed : dir.entries) {
+      double min_bound = std::numeric_limits<double>::infinity();
+      for (const Entry& el : leaf.entries) {
+        min_bound = std::min(
+            min_bound,
+            PairMinDist(el.sig, true, ed.sig, false, metric, fixed_dim));
+      }
+      if (min_bound < tau()) {
+        if (a_is_leaf) {
+          queue.push({min_bound, item.node_a, static_cast<PageId>(ed.ref)});
+        } else {
+          queue.push({min_bound, static_cast<PageId>(ed.ref), item.node_b});
+        }
+      }
+    }
+  }
+
+  std::sort(best.begin(), best.end(), PairLess);
+  return best;
+}
+
+}  // namespace sgtree

@@ -1,0 +1,53 @@
+#ifndef SGTREE_SGTREE_JOIN_H_
+#define SGTREE_SGTREE_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "sgtree/sg_tree.h"
+
+namespace sgtree {
+
+/// Multi-tree queries (reconstruction of the paper's Section 4.2, whose page
+/// is missing from the available scan; see DESIGN.md). Both adapt the
+/// corresponding R-tree algorithms the paper cites: synchronized-traversal
+/// similarity joins (Brinkhoff et al.) and best-first closest pairs
+/// (Corral et al.).
+///
+/// Pruning uses PairMinDist, a lower bound on the distance between ANY
+/// transaction below entry A and ANY transaction below entry B. For sets
+/// under Hamming distance the bound is inherently weak at directory level
+/// (two subtrees sharing any item may hold identical transactions), but
+/// disjoint subtree pairs and leaf-level entries prune effectively; with
+/// fixed dimensionality d (categorical data) the bound
+/// 2 * (d - |sigA AND sigB|) is strong everywhere.
+
+struct JoinPair {
+  uint64_t tid_a = 0;
+  uint64_t tid_b = 0;
+  double distance = 0;
+
+  friend bool operator==(const JoinPair&, const JoinPair&) = default;
+};
+
+/// Lower bound on the distance between transactions drawn from two covering
+/// signatures. `leaf_a` / `leaf_b` mark exact (leaf-entry) signatures, which
+/// tighten the bound considerably.
+double PairMinDist(const Signature& a, bool leaf_a, const Signature& b,
+                   bool leaf_b, Metric metric, uint32_t fixed_dimensionality);
+
+/// All pairs (ta, tb), ta indexed by `a`, tb by `b`, with distance <=
+/// epsilon. Pairs are sorted by (distance, tid_a, tid_b). The trees must
+/// share signature width and metric.
+std::vector<JoinPair> SimilarityJoin(const SgTree& a, const SgTree& b,
+                                     double epsilon,
+                                     QueryStats* stats = nullptr);
+
+/// The k closest pairs between the two trees, ascending distance.
+std::vector<JoinPair> ClosestPairs(const SgTree& a, const SgTree& b,
+                                   uint32_t k, QueryStats* stats = nullptr);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_SGTREE_JOIN_H_

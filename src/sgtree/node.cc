@@ -1,0 +1,11 @@
+#include "sgtree/node.h"
+
+namespace sgtree {
+
+Signature Node::UnionSignature(uint32_t num_bits) const {
+  Signature sig(num_bits);
+  for (const Entry& entry : entries) sig.UnionWith(entry.sig);
+  return sig;
+}
+
+}  // namespace sgtree

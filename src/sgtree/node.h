@@ -1,0 +1,36 @@
+#ifndef SGTREE_SGTREE_NODE_H_
+#define SGTREE_SGTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/signature.h"
+#include "storage/page.h"
+
+namespace sgtree {
+
+/// One node entry: a signature plus either a child page (directory node) or
+/// a transaction id (leaf node). A directory entry's signature is the OR of
+/// all signatures in the node it points to — i.e. the signature of every
+/// transaction in that subtree (coverage property, Definition 5).
+struct Entry {
+  Signature sig;
+  uint64_t ref = 0;
+};
+
+/// One SG-tree node = one disk page. Level 0 is the leaf level.
+struct Node {
+  PageId id = kInvalidPageId;
+  uint16_t level = 0;
+  std::vector<Entry> entries;
+
+  bool IsLeaf() const { return level == 0; }
+  uint32_t Count() const { return static_cast<uint32_t>(entries.size()); }
+
+  /// OR of all entry signatures — the signature the parent entry must carry.
+  Signature UnionSignature(uint32_t num_bits) const;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_SGTREE_NODE_H_

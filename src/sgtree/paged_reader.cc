@@ -1,0 +1,239 @@
+#include "sgtree/paged_reader.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "storage/node_format.h"
+
+namespace sgtree {
+
+PagedTreeImage FlushTreeToPages(const SgTree& tree, bool compress) {
+  PagedTreeImage image;
+  auto pages = std::make_unique<PageStore>(tree.options().page_size);
+
+  // Allocate pages in live-node order, remembering the id remapping, then
+  // encode with child references rewritten.
+  const std::vector<PageId> live = tree.LiveNodes();
+  std::unordered_map<PageId, PageId> remap;
+  remap.reserve(live.size());
+  for (PageId id : live) remap[id] = pages->Allocate();
+
+  std::vector<uint8_t> payload;
+  for (PageId id : live) {
+    const Node& node = tree.GetNodeNoCharge(id);
+    NodeRecord record;
+    record.level = node.level;
+    record.entries.reserve(node.entries.size());
+    for (const Entry& entry : node.entries) {
+      const uint64_t ref =
+          node.IsLeaf() ? entry.ref
+                        : remap.at(static_cast<PageId>(entry.ref));
+      record.entries.emplace_back(ref, entry.sig);
+    }
+    payload.clear();
+    EncodeNode(record, compress, &payload);
+    if (!pages->Write(remap.at(id), payload)) {
+      return {};  // Node image larger than a page.
+    }
+  }
+
+  image.pages = std::move(pages);
+  image.root =
+      tree.root() == kInvalidPageId ? kInvalidPageId : remap.at(tree.root());
+  image.num_bits = tree.num_bits();
+  image.height = tree.height();
+  image.size = tree.size();
+  const auto [area_lo, area_hi] = tree.TransactionAreaBounds();
+  image.area_lo = area_lo;
+  image.area_hi = area_hi;
+  return image;
+}
+
+PagedReader::PagedReader(const PagedTreeImage* image, const Options& options)
+    : image_(image), options_(options) {
+  assert(image_ != nullptr && image_->pages != nullptr);
+}
+
+const Node& PagedReader::FetchNode(PageId id, QueryStats* stats) {
+  if (stats != nullptr) ++stats->nodes_accessed;
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.second);
+    return it->second.first;
+  }
+
+  // Miss: decode the page image.
+  ++pages_decoded_;
+  if (stats != nullptr) ++stats->random_ios;
+  std::vector<uint8_t> payload;
+  const bool read_ok = image_->pages->Read(id, &payload);
+  assert(read_ok);
+  (void)read_ok;
+  NodeRecord record;
+  const bool decode_ok = DecodeNode(payload, image_->num_bits, &record);
+  assert(decode_ok);
+  (void)decode_ok;
+  Node node;
+  node.id = id;
+  node.level = record.level;
+  node.entries.reserve(record.entries.size());
+  for (auto& [ref, sig] : record.entries) {
+    node.entries.push_back(Entry{std::move(sig), ref});
+  }
+
+  if (cache_.size() >= options_.cache_pages && !lru_.empty()) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(id);
+  auto [inserted, ok] =
+      cache_.emplace(id, std::make_pair(std::move(node), lru_.begin()));
+  assert(ok);
+  return inserted->second.first;
+}
+
+namespace {
+
+bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  return a.distance != b.distance ? a.distance < b.distance : a.tid < b.tid;
+}
+
+}  // namespace
+
+void PagedReader::KnnRecurse(PageId node_id, const Signature& query,
+                             uint32_t k, std::vector<Neighbor>* heap,
+                             QueryStats* stats) {
+  // `node` may be evicted from the cache by recursive fetches, so copy the
+  // pieces needed after recursion before descending.
+  const Node& node = FetchNode(node_id, stats);
+  auto tau = [&]() {
+    return heap->size() < k ? std::numeric_limits<double>::infinity()
+                            : heap->front().distance;
+  };
+  if (node.IsLeaf()) {
+    if (stats != nullptr) stats->transactions_compared += node.entries.size();
+    for (const Entry& entry : node.entries) {
+      const Neighbor candidate{entry.ref,
+                               Distance(query, entry.sig, options_.metric)};
+      if (heap->size() < k) {
+        heap->push_back(candidate);
+        std::push_heap(heap->begin(), heap->end(), NeighborLess);
+      } else if (NeighborLess(candidate, heap->front())) {
+        std::pop_heap(heap->begin(), heap->end(), NeighborLess);
+        heap->back() = candidate;
+        std::push_heap(heap->begin(), heap->end(), NeighborLess);
+      }
+    }
+    return;
+  }
+
+  struct Ordered {
+    double bound;
+    uint32_t area;
+    PageId child;
+  };
+  std::vector<Ordered> order;
+  order.reserve(node.entries.size());
+  for (const Entry& entry : node.entries) {
+    order.push_back({MinDistBoundAreaStats(query, entry.sig, options_.metric,
+                                           image_->area_lo, image_->area_hi),
+                     entry.sig.Area(), static_cast<PageId>(entry.ref)});
+  }
+  if (stats != nullptr) stats->bounds_computed += order.size();
+  std::sort(order.begin(), order.end(), [](const Ordered& a,
+                                           const Ordered& b) {
+    return a.bound != b.bound ? a.bound < b.bound : a.area < b.area;
+  });
+  for (const Ordered& item : order) {
+    if (item.bound >= tau()) break;
+    KnnRecurse(item.child, query, k, heap, stats);
+  }
+}
+
+Neighbor PagedReader::Nearest(const Signature& query, QueryStats* stats) {
+  const auto result = KNearest(query, 1, stats);
+  if (result.empty()) {
+    return {0, std::numeric_limits<double>::infinity()};
+  }
+  return result.front();
+}
+
+std::vector<Neighbor> PagedReader::KNearest(const Signature& query,
+                                            uint32_t k, QueryStats* stats) {
+  std::vector<Neighbor> heap;
+  if (image_->root != kInvalidPageId && k > 0) {
+    KnnRecurse(image_->root, query, k, &heap, stats);
+  }
+  std::sort(heap.begin(), heap.end(), NeighborLess);
+  return heap;
+}
+
+void PagedReader::RangeRecurse(PageId node_id, const Signature& query,
+                               double epsilon, std::vector<Neighbor>* result,
+                               QueryStats* stats) {
+  const Node& node = FetchNode(node_id, stats);
+  if (node.IsLeaf()) {
+    if (stats != nullptr) stats->transactions_compared += node.entries.size();
+    for (const Entry& entry : node.entries) {
+      const double d = Distance(query, entry.sig, options_.metric);
+      if (d <= epsilon) result->push_back({entry.ref, d});
+    }
+    return;
+  }
+  if (stats != nullptr) stats->bounds_computed += node.entries.size();
+  std::vector<PageId> children;
+  children.reserve(node.entries.size());
+  for (const Entry& entry : node.entries) {
+    if (MinDistBoundAreaStats(query, entry.sig, options_.metric,
+                              image_->area_lo, image_->area_hi) <= epsilon) {
+      children.push_back(static_cast<PageId>(entry.ref));
+    }
+  }
+  // Recurse after collecting: FetchNode in the subtree may evict `node`.
+  for (PageId child : children) {
+    RangeRecurse(child, query, epsilon, result, stats);
+  }
+}
+
+std::vector<Neighbor> PagedReader::Range(const Signature& query,
+                                         double epsilon, QueryStats* stats) {
+  std::vector<Neighbor> result;
+  if (image_->root != kInvalidPageId) {
+    RangeRecurse(image_->root, query, epsilon, &result, stats);
+  }
+  std::sort(result.begin(), result.end(), NeighborLess);
+  return result;
+}
+
+void PagedReader::ContainRecurse(PageId node_id, const Signature& query,
+                                 std::vector<uint64_t>* result,
+                                 QueryStats* stats) {
+  const Node& node = FetchNode(node_id, stats);
+  if (node.IsLeaf()) {
+    if (stats != nullptr) stats->transactions_compared += node.entries.size();
+    for (const Entry& entry : node.entries) {
+      if (entry.sig.Contains(query)) result->push_back(entry.ref);
+    }
+    return;
+  }
+  std::vector<PageId> children;
+  for (const Entry& entry : node.entries) {
+    if (entry.sig.Contains(query)) {
+      children.push_back(static_cast<PageId>(entry.ref));
+    }
+  }
+  for (PageId child : children) ContainRecurse(child, query, result, stats);
+}
+
+std::vector<uint64_t> PagedReader::Containing(const Signature& query,
+                                              QueryStats* stats) {
+  std::vector<uint64_t> result;
+  if (image_->root != kInvalidPageId) {
+    ContainRecurse(image_->root, query, &result, stats);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace sgtree

@@ -1,0 +1,94 @@
+#ifndef SGTREE_SGTREE_PAGED_READER_H_
+#define SGTREE_SGTREE_PAGED_READER_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/linear_scan.h"
+#include "common/distance.h"
+#include "common/stats.h"
+#include "sgtree/node.h"
+#include "sgtree/sg_tree.h"
+#include "storage/page_store.h"
+
+namespace sgtree {
+
+/// A read-only SG-tree image on "disk": every node serialized into one
+/// PageStore page (sparse-signature compression per Section 3.2 when
+/// requested). Produced by FlushTreeToPages below.
+struct PagedTreeImage {
+  std::unique_ptr<PageStore> pages;
+  PageId root = kInvalidPageId;
+  uint32_t num_bits = 0;
+  uint32_t height = 0;
+  size_t size = 0;
+  /// Transaction-size window carried over from the source tree for the
+  /// Section 6 statistics-tightened bounds.
+  uint32_t area_lo = 0;
+  uint32_t area_hi = 0;
+};
+
+/// Serializes a tree into a fresh PageStore. Returns an empty image
+/// (pages == nullptr) if some node does not fit in a page — cannot happen
+/// for trees whose capacity was derived from the page size with
+/// compression at least as dense as the derivation assumed.
+PagedTreeImage FlushTreeToPages(const SgTree& tree, bool compress);
+
+/// Query engine over a PagedTreeImage: decodes pages on demand and keeps at
+/// most `cache_pages` decoded nodes in an LRU cache, so queries run with
+/// bounded memory no matter the index size — the deployment mode of a
+/// disk-resident index. Every cache miss decodes one page and counts as a
+/// random I/O in the per-query stats.
+class PagedReader {
+ public:
+  struct Options {
+    Metric metric = Metric::kHamming;
+    uint32_t cache_pages = 64;
+  };
+
+  PagedReader(const PagedTreeImage* image, const Options& options);
+
+  PagedReader(const PagedReader&) = delete;
+  PagedReader& operator=(const PagedReader&) = delete;
+
+  size_t size() const { return image_->size; }
+  uint32_t num_bits() const { return image_->num_bits; }
+
+  /// Cumulative pages decoded (cache misses) since construction.
+  uint64_t pages_decoded() const { return pages_decoded_; }
+
+  Neighbor Nearest(const Signature& query, QueryStats* stats = nullptr);
+  std::vector<Neighbor> KNearest(const Signature& query, uint32_t k,
+                                 QueryStats* stats = nullptr);
+  std::vector<Neighbor> Range(const Signature& query, double epsilon,
+                              QueryStats* stats = nullptr);
+  std::vector<uint64_t> Containing(const Signature& query,
+                                   QueryStats* stats = nullptr);
+
+ private:
+  /// Fetches a node, decoding its page on a cache miss.
+  const Node& FetchNode(PageId id, QueryStats* stats);
+
+  void KnnRecurse(PageId node_id, const Signature& query, uint32_t k,
+                  std::vector<Neighbor>* heap, QueryStats* stats);
+  void RangeRecurse(PageId node_id, const Signature& query, double epsilon,
+                    std::vector<Neighbor>* result, QueryStats* stats);
+  void ContainRecurse(PageId node_id, const Signature& query,
+                      std::vector<uint64_t>* result, QueryStats* stats);
+
+  const PagedTreeImage* image_;
+  Options options_;
+  uint64_t pages_decoded_ = 0;
+
+  // LRU cache of decoded nodes (front = most recent).
+  std::list<PageId> lru_;
+  std::unordered_map<PageId,
+                     std::pair<Node, std::list<PageId>::iterator>>
+      cache_;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_SGTREE_PAGED_READER_H_

@@ -1,0 +1,142 @@
+#include "sgtree/persistence.h"
+
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/node_format.h"
+
+namespace sgtree {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'G', 'T', 'R', 'E', 'E', '0', '1'};
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool SaveTree(const SgTree& tree, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<uint32_t>(out, tree.num_bits());
+  WritePod<uint32_t>(out, tree.max_entries());
+  WritePod<uint8_t>(out, tree.options().compress ? 1 : 0);
+  const std::vector<PageId> live = tree.LiveNodes();
+  WritePod<uint32_t>(out, static_cast<uint32_t>(live.size()));
+  WritePod<uint32_t>(out, tree.root());
+  WritePod<uint32_t>(out, tree.height());
+  WritePod<uint64_t>(out, static_cast<uint64_t>(tree.size()));
+  const auto [area_lo, area_hi] = tree.TransactionAreaBounds();
+  WritePod<uint32_t>(out, area_lo);
+  WritePod<uint32_t>(out, area_hi);
+
+  std::vector<uint8_t> payload;
+  for (PageId id : live) {
+    const Node& node = tree.GetNodeNoCharge(id);
+    NodeRecord record;
+    record.level = node.level;
+    record.entries.reserve(node.entries.size());
+    for (const Entry& entry : node.entries) {
+      record.entries.emplace_back(entry.ref, entry.sig);
+    }
+    payload.clear();
+    EncodeNode(record, tree.options().compress, &payload);
+    WritePod<uint32_t>(out, id);
+    WritePod<uint32_t>(out, static_cast<uint32_t>(payload.size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+  }
+  return static_cast<bool>(out);
+}
+
+std::unique_ptr<SgTree> LoadTree(const std::string& path,
+                                 const SgTreeOptions& runtime_options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return nullptr;
+
+  uint32_t num_bits = 0;
+  uint32_t max_entries = 0;
+  uint8_t compress = 0;
+  uint32_t node_count = 0;
+  uint32_t root = 0;
+  uint32_t height = 0;
+  uint64_t size = 0;
+  uint32_t area_lo = 0;
+  uint32_t area_hi = 0;
+  if (!ReadPod(in, &num_bits) || !ReadPod(in, &max_entries) ||
+      !ReadPod(in, &compress) || !ReadPod(in, &node_count) ||
+      !ReadPod(in, &root) || !ReadPod(in, &height) || !ReadPod(in, &size) ||
+      !ReadPod(in, &area_lo) || !ReadPod(in, &area_hi)) {
+    return nullptr;
+  }
+
+  SgTreeOptions options = runtime_options;
+  if (options.num_bits == 0) options.num_bits = num_bits;
+  if (options.num_bits != num_bits) return nullptr;
+  options.max_entries = max_entries;
+  if (options.ResolvedMaxEntries() != max_entries) return nullptr;
+
+  auto tree = std::make_unique<SgTree>(options);
+  if (area_lo <= area_hi && area_hi <= num_bits && size > 0) {
+    tree->NoteTransactionArea(area_lo);
+    tree->NoteTransactionArea(area_hi);
+  }
+  if (node_count == 0) return tree;
+
+  // First pass: materialize nodes and the original-id -> new-id map.
+  std::unordered_map<PageId, PageId> remap;
+  std::unordered_map<PageId, NodeRecord> records;
+  remap.reserve(node_count);
+  records.reserve(node_count);
+  std::vector<uint8_t> payload;
+  for (uint32_t i = 0; i < node_count; ++i) {
+    uint32_t orig_id = 0;
+    uint32_t length = 0;
+    if (!ReadPod(in, &orig_id) || !ReadPod(in, &length)) return nullptr;
+    payload.resize(length);
+    in.read(reinterpret_cast<char*>(payload.data()), length);
+    if (!in) return nullptr;
+    NodeRecord record;
+    if (!DecodeNode(payload, num_bits, &record)) return nullptr;
+    if (remap.count(orig_id) != 0) return nullptr;
+    remap[orig_id] = tree->AllocateNode(record.level);
+    records[orig_id] = std::move(record);
+  }
+  if (remap.count(root) == 0) return nullptr;
+
+  // Second pass: fill entries, remapping child references.
+  for (auto& [orig_id, record] : records) {
+    Node* node = tree->MutableNode(remap[orig_id]);
+    node->entries.reserve(record.entries.size());
+    for (auto& [ref, sig] : record.entries) {
+      uint64_t new_ref = ref;
+      if (record.level > 0) {
+        auto it = remap.find(static_cast<PageId>(ref));
+        if (it == remap.end()) return nullptr;
+        new_ref = it->second;
+      }
+      node->entries.push_back(Entry{std::move(sig), new_ref});
+    }
+  }
+  tree->SetRoot(remap[root], height, size);
+  tree->ResetIo();
+  return tree;
+}
+
+}  // namespace sgtree

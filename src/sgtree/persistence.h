@@ -1,0 +1,27 @@
+#ifndef SGTREE_SGTREE_PERSISTENCE_H_
+#define SGTREE_SGTREE_PERSISTENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "sgtree/sg_tree.h"
+
+namespace sgtree {
+
+/// Saves the tree to `path`: a header (magic, signature width, capacity
+/// parameters, root id, height, size) followed by one length-prefixed
+/// EncodeNode page image per node. Compression of sparse signatures
+/// (Section 3.2) is applied when the tree's options request it. Returns
+/// false on I/O failure.
+bool SaveTree(const SgTree& tree, const std::string& path);
+
+/// Rebuilds a tree saved by SaveTree. Returns nullptr on I/O failure or a
+/// malformed file. Query/buffer options (metric, buffer pages, policies)
+/// come from `runtime_options`; structural fields (num_bits, capacity) are
+/// validated against the file header.
+std::unique_ptr<SgTree> LoadTree(const std::string& path,
+                                 const SgTreeOptions& runtime_options);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_SGTREE_PERSISTENCE_H_

@@ -1,0 +1,330 @@
+#include "sgtree/search.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/distance.h"
+
+namespace sgtree {
+namespace {
+
+// Adds the buffer pool's random-I/O delta of one query to its stats.
+class IoScope {
+ public:
+  IoScope(const SgTree& tree, QueryStats* stats)
+      : tree_(tree),
+        stats_(stats),
+        start_ios_(tree.io_stats().random_ios) {}
+  ~IoScope() {
+    if (stats_ != nullptr) {
+      stats_->random_ios += tree_.io_stats().random_ios - start_ios_;
+    }
+  }
+
+ private:
+  const SgTree& tree_;
+  QueryStats* stats_;
+  uint64_t start_ios_;
+};
+
+void CountNode(QueryStats* stats) {
+  if (stats != nullptr) ++stats->nodes_accessed;
+}
+
+void CountBounds(QueryStats* stats, uint64_t n) {
+  if (stats != nullptr) stats->bounds_computed += n;
+}
+
+void CountCompared(QueryStats* stats, uint64_t n) {
+  if (stats != nullptr) stats->transactions_compared += n;
+}
+
+// Bounded max-heap of the k best neighbors found so far; the heap maximum
+// (lexicographic by distance then tid) is the branch-and-bound threshold.
+class NeighborHeap {
+ public:
+  explicit NeighborHeap(uint32_t k) : k_(k) {}
+
+  double Tau() const {
+    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+                             : heap_.front().distance;
+  }
+
+  void Offer(const Neighbor& candidate) {
+    if (heap_.size() < k_) {
+      heap_.push_back(candidate);
+      std::push_heap(heap_.begin(), heap_.end(), Less);
+      return;
+    }
+    if (Less(candidate, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), Less);
+      heap_.back() = candidate;
+      std::push_heap(heap_.begin(), heap_.end(), Less);
+    }
+  }
+
+  std::vector<Neighbor> Sorted() && {
+    std::sort(heap_.begin(), heap_.end(), Less);
+    return std::move(heap_);
+  }
+
+ private:
+  static bool Less(const Neighbor& a, const Neighbor& b) {
+    return a.distance != b.distance ? a.distance < b.distance : a.tid < b.tid;
+  }
+
+  uint32_t k_;
+  std::vector<Neighbor> heap_;  // Max-heap under Less.
+};
+
+struct BoundedEntry {
+  double bound;
+  uint32_t area;
+  size_t index;
+};
+
+// Entries of a directory node sorted by (lower bound, area) — the visit
+// order of Figure 4, including the minimum-area tie-break.
+std::vector<BoundedEntry> SortedBounds(const SgTree& tree, const Node& node,
+                                       const Signature& query,
+                                       QueryStats* stats) {
+  const Metric metric = tree.options().metric;
+  const auto [lo, hi] = tree.TransactionAreaBounds();
+  std::vector<BoundedEntry> order;
+  order.reserve(node.entries.size());
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    order.push_back({MinDistBoundAreaStats(query, node.entries[i].sig,
+                                           metric, lo, hi),
+                     node.entries[i].sig.Area(), i});
+  }
+  CountBounds(stats, order.size());
+  std::sort(order.begin(), order.end(),
+            [](const BoundedEntry& a, const BoundedEntry& b) {
+              return a.bound != b.bound ? a.bound < b.bound
+                                        : a.area < b.area;
+            });
+  return order;
+}
+
+void DfsKnnRecurse(const SgTree& tree, PageId node_id, const Signature& query,
+                   NeighborHeap* heap, QueryStats* stats) {
+  const Node& node = tree.GetNode(node_id);
+  CountNode(stats);
+  const Metric metric = tree.options().metric;
+  if (node.IsLeaf()) {
+    CountCompared(stats, node.entries.size());
+    for (const Entry& entry : node.entries) {
+      heap->Offer({entry.ref, Distance(query, entry.sig, metric)});
+    }
+    return;
+  }
+  for (const BoundedEntry& be : SortedBounds(tree, node, query, stats)) {
+    if (be.bound >= heap->Tau()) break;  // Later entries bound even higher.
+    DfsKnnRecurse(tree, node.entries[be.index].ref, query, heap, stats);
+  }
+}
+
+}  // namespace
+
+Neighbor DfsNearest(const SgTree& tree, const Signature& query,
+                    QueryStats* stats) {
+  auto result = DfsKNearest(tree, query, 1, stats);
+  if (result.empty()) {
+    return {0, std::numeric_limits<double>::infinity()};
+  }
+  return result.front();
+}
+
+std::vector<Neighbor> DfsKNearest(const SgTree& tree, const Signature& query,
+                                  uint32_t k, QueryStats* stats) {
+  IoScope io(tree, stats);
+  NeighborHeap heap(k);
+  if (tree.root() != kInvalidPageId && k > 0) {
+    DfsKnnRecurse(tree, tree.root(), query, &heap, stats);
+  }
+  return std::move(heap).Sorted();
+}
+
+std::vector<Neighbor> BestFirstKNearest(const SgTree& tree,
+                                        const Signature& query, uint32_t k,
+                                        QueryStats* stats) {
+  IoScope io(tree, stats);
+  NeighborHeap heap(k);
+  if (tree.root() == kInvalidPageId || k == 0) {
+    return std::move(heap).Sorted();
+  }
+  const Metric metric = tree.options().metric;
+
+  struct QueueItem {
+    double bound;
+    PageId node;
+  };
+  auto cmp = [](const QueueItem& a, const QueueItem& b) {
+    return a.bound > b.bound;
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> queue(
+      cmp);
+  queue.push({0.0, tree.root()});
+  while (!queue.empty()) {
+    const QueueItem item = queue.top();
+    queue.pop();
+    if (item.bound >= heap.Tau()) break;  // Optimal stopping condition.
+    const Node& node = tree.GetNode(item.node);
+    CountNode(stats);
+    if (node.IsLeaf()) {
+      CountCompared(stats, node.entries.size());
+      for (const Entry& entry : node.entries) {
+        heap.Offer({entry.ref, Distance(query, entry.sig, metric)});
+      }
+      continue;
+    }
+    CountBounds(stats, node.entries.size());
+    const auto [lo, hi] = tree.TransactionAreaBounds();
+    for (const Entry& entry : node.entries) {
+      const double bound =
+          MinDistBoundAreaStats(query, entry.sig, metric, lo, hi);
+      if (bound < heap.Tau()) {
+        queue.push({bound, static_cast<PageId>(entry.ref)});
+      }
+    }
+  }
+  return std::move(heap).Sorted();
+}
+
+namespace {
+
+void RangeRecurse(const SgTree& tree, PageId node_id, const Signature& query,
+                  double epsilon, std::vector<Neighbor>* result,
+                  QueryStats* stats) {
+  const Node& node = tree.GetNode(node_id);
+  CountNode(stats);
+  const Metric metric = tree.options().metric;
+  if (node.IsLeaf()) {
+    CountCompared(stats, node.entries.size());
+    for (const Entry& entry : node.entries) {
+      const double d = Distance(query, entry.sig, metric);
+      if (d <= epsilon) result->push_back({entry.ref, d});
+    }
+    return;
+  }
+  CountBounds(stats, node.entries.size());
+  const auto [lo, hi] = tree.TransactionAreaBounds();
+  for (const Entry& entry : node.entries) {
+    const double bound =
+        MinDistBoundAreaStats(query, entry.sig, metric, lo, hi);
+    if (bound <= epsilon) {
+      RangeRecurse(tree, static_cast<PageId>(entry.ref), query, epsilon,
+                   result, stats);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Neighbor> RangeSearch(const SgTree& tree, const Signature& query,
+                                  double epsilon, QueryStats* stats) {
+  IoScope io(tree, stats);
+  std::vector<Neighbor> result;
+  if (tree.root() != kInvalidPageId) {
+    RangeRecurse(tree, tree.root(), query, epsilon, &result, stats);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.distance != b.distance ? a.distance < b.distance
+                                              : a.tid < b.tid;
+            });
+  return result;
+}
+
+namespace {
+
+void ContainRecurse(const SgTree& tree, PageId node_id, const Signature& query,
+                    bool exact, std::vector<uint64_t>* result,
+                    QueryStats* stats) {
+  const Node& node = tree.GetNode(node_id);
+  CountNode(stats);
+  if (node.IsLeaf()) {
+    CountCompared(stats, node.entries.size());
+    for (const Entry& entry : node.entries) {
+      const bool match =
+          exact ? entry.sig == query : entry.sig.Contains(query);
+      if (match) result->push_back(entry.ref);
+    }
+    return;
+  }
+  CountBounds(stats, node.entries.size());
+  for (const Entry& entry : node.entries) {
+    // Only subtrees whose signature covers the query can hold supersets.
+    if (entry.sig.Contains(query)) {
+      ContainRecurse(tree, static_cast<PageId>(entry.ref), query, exact,
+                     result, stats);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint64_t> ContainmentSearch(const SgTree& tree,
+                                        const Signature& query,
+                                        QueryStats* stats) {
+  IoScope io(tree, stats);
+  std::vector<uint64_t> result;
+  if (tree.root() != kInvalidPageId) {
+    ContainRecurse(tree, tree.root(), query, /*exact=*/false, &result, stats);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<uint64_t> ExactSearch(const SgTree& tree, const Signature& query,
+                                  QueryStats* stats) {
+  IoScope io(tree, stats);
+  std::vector<uint64_t> result;
+  if (tree.root() != kInvalidPageId) {
+    ContainRecurse(tree, tree.root(), query, /*exact=*/true, &result, stats);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+namespace {
+
+void SubsetRecurse(const SgTree& tree, PageId node_id, const Signature& query,
+                   std::vector<uint64_t>* result, QueryStats* stats) {
+  const Node& node = tree.GetNode(node_id);
+  CountNode(stats);
+  if (node.IsLeaf()) {
+    CountCompared(stats, node.entries.size());
+    for (const Entry& entry : node.entries) {
+      if (!entry.sig.Empty() && query.Contains(entry.sig)) {
+        result->push_back(entry.ref);
+      }
+    }
+    return;
+  }
+  CountBounds(stats, node.entries.size());
+  for (const Entry& entry : node.entries) {
+    // A non-empty subset of the query must share at least one item with
+    // the subtree's coverage — the only (weak) pruning available.
+    if (Signature::IntersectCount(entry.sig, query) > 0) {
+      SubsetRecurse(tree, static_cast<PageId>(entry.ref), query, result,
+                    stats);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint64_t> SubsetSearch(const SgTree& tree, const Signature& query,
+                                   QueryStats* stats) {
+  IoScope io(tree, stats);
+  std::vector<uint64_t> result;
+  if (tree.root() != kInvalidPageId) {
+    SubsetRecurse(tree, tree.root(), query, &result, stats);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace sgtree

@@ -1,0 +1,68 @@
+#ifndef SGTREE_SGTREE_SEARCH_H_
+#define SGTREE_SGTREE_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/linear_scan.h"
+#include "common/signature.h"
+#include "common/stats.h"
+#include "sgtree/sg_tree.h"
+
+namespace sgtree {
+
+/// Similarity search and related queries over the SG-tree (Section 4).
+/// All functions charge node accesses to the tree's buffer pool and, when
+/// `stats` is non-null, record per-query counters there (including the
+/// random-I/O delta of this query).
+
+/// Depth-first branch-and-bound nearest-neighbor search (Figure 4): child
+/// entries are visited in ascending order of the optimistic lower bound
+/// MinDistBound(q, e), ties broken by minimum entry area; a subtree is
+/// pruned when its bound is not below the best distance found so far.
+Neighbor DfsNearest(const SgTree& tree, const Signature& query,
+                    QueryStats* stats = nullptr);
+
+/// k-nearest-neighbor variant: the single best-so-far is replaced by a
+/// size-k priority queue whose maximum is the pruning bound. Results are
+/// ascending by distance (ties by tid).
+std::vector<Neighbor> DfsKNearest(const SgTree& tree, const Signature& query,
+                                  uint32_t k, QueryStats* stats = nullptr);
+
+/// Optimal best-first nearest neighbor (Hjaltason & Samet): a global
+/// priority queue over (bound, node); never reads a node whose bound
+/// exceeds the final k-th distance.
+std::vector<Neighbor> BestFirstKNearest(const SgTree& tree,
+                                        const Signature& query, uint32_t k,
+                                        QueryStats* stats = nullptr);
+
+/// Similarity range query: all transactions within distance `epsilon` of
+/// the query, ascending by distance (ties by tid). Subtrees with
+/// MinDistBound > epsilon are pruned.
+std::vector<Neighbor> RangeSearch(const SgTree& tree, const Signature& query,
+                                  double epsilon,
+                                  QueryStats* stats = nullptr);
+
+/// Itemset containment query (Section 3 example): all transactions whose
+/// item set is a superset of `query`. Follows only entries whose signature
+/// contains the query signature.
+std::vector<uint64_t> ContainmentSearch(const SgTree& tree,
+                                        const Signature& query,
+                                        QueryStats* stats = nullptr);
+
+/// Exact-match lookup: ids of transactions whose signature equals `query`.
+std::vector<uint64_t> ExactSearch(const SgTree& tree, const Signature& query,
+                                  QueryStats* stats = nullptr);
+
+/// Subset query: all non-empty transactions whose item set is a SUBSET of
+/// `query`. The only available pruning is that a subtree is skipped when
+/// its signature shares no item with the query — per the paper's related
+/// work ([14], Helmer & Moerkotte), signature trees are a poor fit for this
+/// query type (inverted files win); provided for completeness and measured
+/// honestly in bench_containment_methods.
+std::vector<uint64_t> SubsetSearch(const SgTree& tree, const Signature& query,
+                                   QueryStats* stats = nullptr);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_SGTREE_SEARCH_H_

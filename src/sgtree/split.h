@@ -1,0 +1,28 @@
+#ifndef SGTREE_SGTREE_SPLIT_H_
+#define SGTREE_SGTREE_SPLIT_H_
+
+#include <utility>
+#include <vector>
+
+#include "sgtree/node.h"
+#include "sgtree/options.h"
+
+namespace sgtree {
+
+/// Result of splitting an overflowed node: the two entry groups. Both groups
+/// are non-empty and contain at least `min_entries` entries whenever the
+/// input has at least `2 * min_entries` entries.
+struct SplitResult {
+  std::vector<Entry> first;
+  std::vector<Entry> second;
+};
+
+/// Divides `entries` (the M+1 entries of an overflowed node) into two groups
+/// according to `policy` (Section 3.1). `min_entries` is the underflow
+/// limit m of the resulting nodes; `num_bits` the signature width.
+SplitResult SplitEntries(std::vector<Entry> entries, SplitPolicy policy,
+                         uint32_t min_entries, uint32_t num_bits);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_SGTREE_SPLIT_H_

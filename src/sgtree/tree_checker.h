@@ -1,0 +1,42 @@
+#ifndef SGTREE_SGTREE_TREE_CHECKER_H_
+#define SGTREE_SGTREE_TREE_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sgtree/sg_tree.h"
+
+namespace sgtree {
+
+/// Structural report of an SG-tree; `ok == false` means an invariant is
+/// broken and `message` names the first violation found. Besides
+/// verification, the per-level average entry area is the quality metric the
+/// paper's Table 1 reports for the split-policy comparison.
+struct TreeReport {
+  bool ok = true;
+  std::string message;
+
+  uint32_t height = 0;
+  uint64_t node_count = 0;
+  uint64_t leaf_entries = 0;
+  /// Average entry area per level; index 0 = leaf level.
+  std::vector<double> avg_entry_area;
+  /// Average node fill (entries / capacity) over all non-root nodes.
+  double avg_utilization = 0;
+};
+
+/// Verifies all SG-tree invariants by a full traversal (without charging
+/// the buffer pool):
+///   - every directory entry's signature equals the OR of its child's
+///     entries (coverage property, Definition 5);
+///   - child level == parent level - 1; all leaves at level 0;
+///   - every non-root node has between m and M entries, the root between
+///     2 and M when it is a directory;
+///   - the recorded size/height/node counts match the traversal;
+///   - every node is reachable exactly once.
+TreeReport CheckTree(const SgTree& tree);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_SGTREE_TREE_CHECKER_H_

@@ -1,0 +1,58 @@
+#include "storage/buffer_pool.h"
+
+namespace sgtree {
+
+bool BufferPool::Touch(PageId id) {
+  ++stats_.page_accesses;
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    ++stats_.buffer_hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++stats_.random_ios;
+  Insert(id);
+  return false;
+}
+
+void BufferPool::TouchWrite(PageId id) {
+  ++stats_.page_writes;
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  Insert(id);
+}
+
+void BufferPool::Evict(PageId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+void BufferPool::Resize(uint32_t capacity) {
+  capacity_ = capacity;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void BufferPool::Insert(PageId id) {
+  if (capacity_ == 0) return;
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(id);
+  index_[id] = lru_.begin();
+}
+
+}  // namespace sgtree

@@ -1,0 +1,64 @@
+#ifndef SGTREE_STORAGE_BUFFER_POOL_H_
+#define SGTREE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace sgtree {
+
+/// LRU buffer-pool simulator with exact random-I/O accounting.
+///
+/// The SG-tree keeps decoded nodes in memory (laptop-scale reproduction) but
+/// routes every node access through this pool: an access to a page that is
+/// not among the `capacity` most-recently-used pages is charged as one
+/// random I/O, exactly what the same access pattern would cost a paginated
+/// on-disk tree with an LRU buffer of that many frames. Capacity 0 disables
+/// buffering (every access is an I/O), which matches the paper's cold-cache
+/// query measurements.
+class BufferPool {
+ public:
+  explicit BufferPool(uint32_t capacity) : capacity_(capacity) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  uint32_t capacity() const { return capacity_; }
+
+  /// Records an access to `id`. Returns true on a buffer hit.
+  bool Touch(PageId id);
+
+  /// Records a write of `id` (also makes the page resident).
+  void TouchWrite(PageId id);
+
+  /// Drops `id` from the buffer (page freed).
+  void Evict(PageId id);
+
+  /// Empties the buffer (but keeps cumulative stats).
+  void Clear();
+
+  /// Changes the number of frames; shrinking evicts LRU pages.
+  void Resize(uint32_t capacity);
+
+  const IoStats& stats() const { return stats_; }
+  IoStats* mutable_stats() { return &stats_; }
+
+  uint32_t ResidentPages() const {
+    return static_cast<uint32_t>(lru_.size());
+  }
+
+ private:
+  void Insert(PageId id);
+
+  uint32_t capacity_;
+  IoStats stats_;
+  std::list<PageId> lru_;  // Front = most recently used.
+  std::unordered_map<PageId, std::list<PageId>::iterator> index_;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,96 @@
+#include "storage/codec.h"
+
+#include <cstring>
+
+namespace sgtree {
+namespace {
+
+size_t DenseBytes(uint32_t num_bits) { return (num_bits + 7) / 8; }
+
+size_t SparseBytes(uint32_t area) { return 2 + 2 * static_cast<size_t>(area); }
+
+void AppendU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v & 0xff));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+bool ReadU16(const std::vector<uint8_t>& data, size_t* offset, uint16_t* v) {
+  if (*offset + 2 > data.size()) return false;
+  *v = static_cast<uint16_t>(data[*offset] | (data[*offset + 1] << 8));
+  *offset += 2;
+  return true;
+}
+
+}  // namespace
+
+size_t DenseEncodedSize(uint32_t num_bits) { return 1 + DenseBytes(num_bits); }
+
+size_t EncodedSize(const Signature& sig) {
+  const size_t dense = DenseBytes(sig.num_bits());
+  if (sig.num_bits() > 65536) return 1 + dense;
+  const size_t sparse = SparseBytes(sig.Area());
+  return 1 + (sparse < dense ? sparse : dense);
+}
+
+void EncodeSignature(const Signature& sig, std::vector<uint8_t>* out) {
+  const size_t dense = DenseBytes(sig.num_bits());
+  const uint32_t area = sig.Area();
+  const bool use_sparse =
+      sig.num_bits() <= 65536 && SparseBytes(area) < dense;
+  if (use_sparse) {
+    out->push_back(kSparseTag);
+    AppendU16(static_cast<uint16_t>(area), out);
+    for (uint32_t pos : sig.ToItems()) {
+      AppendU16(static_cast<uint16_t>(pos), out);
+    }
+    return;
+  }
+  out->push_back(kDenseTag);
+  const auto words = sig.words();
+  size_t remaining = dense;
+  for (uint64_t w : words) {
+    const size_t n = remaining < 8 ? remaining : 8;
+    for (size_t b = 0; b < n; ++b) {
+      out->push_back(static_cast<uint8_t>(w >> (8 * b)));
+    }
+    remaining -= n;
+  }
+}
+
+bool DecodeSignature(const std::vector<uint8_t>& data, size_t* offset,
+                     uint32_t num_bits, Signature* sig) {
+  if (*offset >= data.size()) return false;
+  const uint8_t tag = data[(*offset)++];
+  *sig = Signature(num_bits);
+  if (tag == kSparseTag) {
+    uint16_t count = 0;
+    if (!ReadU16(data, offset, &count)) return false;
+    for (uint16_t i = 0; i < count; ++i) {
+      uint16_t pos = 0;
+      if (!ReadU16(data, offset, &pos)) return false;
+      if (pos >= num_bits) return false;
+      sig->Set(pos);
+    }
+    return true;
+  }
+  if (tag != kDenseTag) return false;
+  const size_t dense = DenseBytes(num_bits);
+  if (*offset + dense > data.size()) return false;
+  auto words = sig->mutable_words();
+  size_t byte_index = 0;
+  for (auto& w : words) {
+    uint64_t value = 0;
+    for (size_t b = 0; b < 8 && byte_index < dense; ++b, ++byte_index) {
+      value |= static_cast<uint64_t>(data[*offset + byte_index]) << (8 * b);
+    }
+    w = value;
+  }
+  // Reject encodings that set bits beyond num_bits.
+  if (!words.empty() && (words.back() & ~TailMask(num_bits)) != 0) {
+    return false;
+  }
+  *offset += dense;
+  return true;
+}
+
+}  // namespace sgtree

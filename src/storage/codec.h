@@ -1,0 +1,47 @@
+#ifndef SGTREE_STORAGE_CODEC_H_
+#define SGTREE_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/signature.h"
+
+namespace sgtree {
+
+/// Signature compression (Section 3.2 of the paper).
+///
+/// Sparse signatures waste space as raw bitmaps: a 256-bit signature with
+/// ten 1s occupies 32 bytes dense but only 10 position bytes sparse. The
+/// on-page encoding is:
+///
+///   byte 0            tag: kDenseTag, or kSparseTag
+///   dense:            ceil(num_bits / 8) raw bitmap bytes, LSB-first
+///   sparse:           uint16 count, then `count` uint16 bit positions
+///                     (ascending). Positions are 16-bit because dictionary
+///                     sizes in this domain are at most tens of thousands.
+///
+/// EncodeSignature picks whichever representation is smaller, so the encoded
+/// size never exceeds dense size + 1.
+
+inline constexpr uint8_t kDenseTag = 0;
+inline constexpr uint8_t kSparseTag = 1;
+
+/// Appends the encoding of `sig` to `out`. Signatures wider than 65536 bits
+/// are always encoded dense (positions would not fit in uint16).
+void EncodeSignature(const Signature& sig, std::vector<uint8_t>* out);
+
+/// Decodes one signature of width `num_bits` from `data + *offset`,
+/// advancing `*offset`. Returns false on a malformed or truncated encoding.
+bool DecodeSignature(const std::vector<uint8_t>& data, size_t* offset,
+                     uint32_t num_bits, Signature* sig);
+
+/// Size in bytes EncodeSignature would produce, without encoding.
+size_t EncodedSize(const Signature& sig);
+
+/// Size of the dense encoding for a signature of `num_bits` bits (tag
+/// included).
+size_t DenseEncodedSize(uint32_t num_bits);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_STORAGE_CODEC_H_

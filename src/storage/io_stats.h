@@ -1,0 +1,28 @@
+#ifndef SGTREE_STORAGE_IO_STATS_H_
+#define SGTREE_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace sgtree {
+
+/// Counters maintained by the buffer pool. A "random I/O" is a page access
+/// that missed the buffer; the paper's Figures 6, 8 and 10 report exactly
+/// this quantity.
+struct IoStats {
+  uint64_t page_accesses = 0;
+  uint64_t buffer_hits = 0;
+  uint64_t random_ios = 0;
+  uint64_t page_writes = 0;
+
+  void Reset() { *this = IoStats{}; }
+
+  double HitRatio() const {
+    return page_accesses == 0
+               ? 0.0
+               : static_cast<double>(buffer_hits) / page_accesses;
+  }
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_STORAGE_IO_STATS_H_

@@ -1,0 +1,101 @@
+#include "storage/node_format.h"
+
+#include "storage/codec.h"
+
+namespace sgtree {
+namespace {
+
+void AppendU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v & 0xff));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void AppendU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int b = 0; b < 8; ++b) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * b)));
+  }
+}
+
+bool ReadU16(const std::vector<uint8_t>& data, size_t* offset, uint16_t* v) {
+  if (*offset + 2 > data.size()) return false;
+  *v = static_cast<uint16_t>(data[*offset] | (data[*offset + 1] << 8));
+  *offset += 2;
+  return true;
+}
+
+bool ReadU64(const std::vector<uint8_t>& data, size_t* offset, uint64_t* v) {
+  if (*offset + 8 > data.size()) return false;
+  uint64_t value = 0;
+  for (int b = 0; b < 8; ++b) {
+    value |= static_cast<uint64_t>(data[*offset + b]) << (8 * b);
+  }
+  *offset += 8;
+  *v = value;
+  return true;
+}
+
+// Dense-only encoding used when compression is disabled.
+void EncodeDense(const Signature& sig, std::vector<uint8_t>* out) {
+  out->push_back(kDenseTag);
+  const size_t dense = (sig.num_bits() + 7) / 8;
+  size_t remaining = dense;
+  for (uint64_t w : sig.words()) {
+    const size_t n = remaining < 8 ? remaining : 8;
+    for (size_t b = 0; b < n; ++b) {
+      out->push_back(static_cast<uint8_t>(w >> (8 * b)));
+    }
+    remaining -= n;
+  }
+}
+
+}  // namespace
+
+size_t UncompressedEntrySize(uint32_t num_bits) {
+  return 8 + DenseEncodedSize(num_bits);
+}
+
+void EncodeNode(const NodeRecord& record, bool compress,
+                std::vector<uint8_t>* out) {
+  AppendU16(record.level, out);
+  AppendU16(static_cast<uint16_t>(record.entries.size()), out);
+  for (const auto& [ref, sig] : record.entries) {
+    AppendU64(ref, out);
+    if (compress) {
+      EncodeSignature(sig, out);
+    } else {
+      EncodeDense(sig, out);
+    }
+  }
+}
+
+bool DecodeNode(const std::vector<uint8_t>& data, uint32_t num_bits,
+                NodeRecord* record) {
+  size_t offset = 0;
+  uint16_t level = 0;
+  uint16_t count = 0;
+  if (!ReadU16(data, &offset, &level)) return false;
+  if (!ReadU16(data, &offset, &count)) return false;
+  record->level = level;
+  record->entries.clear();
+  record->entries.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    uint64_t ref = 0;
+    if (!ReadU64(data, &offset, &ref)) return false;
+    Signature sig;
+    if (!DecodeSignature(data, &offset, num_bits, &sig)) return false;
+    record->entries.emplace_back(ref, std::move(sig));
+  }
+  return true;
+}
+
+size_t EncodedNodeSize(const NodeRecord& record, bool compress) {
+  size_t size = 4;
+  for (const auto& [ref, sig] : record.entries) {
+    (void)ref;
+    size += 8;
+    size += compress ? EncodedSize(sig) : DenseEncodedSize(sig.num_bits());
+  }
+  return size;
+}
+
+}  // namespace sgtree

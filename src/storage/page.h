@@ -1,0 +1,22 @@
+#ifndef SGTREE_STORAGE_PAGE_H_
+#define SGTREE_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace sgtree {
+
+/// Identifier of a disk page. The SG-tree maps one node to one page ("using
+/// multipage nodes is a potential implementation" per the paper; we use the
+/// one-page-per-node layout).
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
+
+/// Default page size in bytes. 4 KiB pages with signatures of a few hundred
+/// bits yield node capacities "in the order of several tens", matching the
+/// paper's setting.
+inline constexpr uint32_t kDefaultPageSize = 4096;
+
+}  // namespace sgtree
+
+#endif  // SGTREE_STORAGE_PAGE_H_

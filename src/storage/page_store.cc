@@ -1,0 +1,48 @@
+#include "storage/page_store.h"
+
+#include <utility>
+
+namespace sgtree {
+
+PageId PageStore::Allocate() {
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    pages_[id].live = true;
+    pages_[id].payload.clear();
+    return id;
+  }
+  pages_.push_back(Slot{{}, true});
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void PageStore::Free(PageId id) {
+  if (id >= pages_.size() || !pages_[id].live) return;
+  pages_[id].live = false;
+  pages_[id].payload.clear();
+  pages_[id].payload.shrink_to_fit();
+  free_list_.push_back(id);
+}
+
+bool PageStore::Write(PageId id, std::vector<uint8_t> payload) {
+  if (id >= pages_.size() || !pages_[id].live) return false;
+  if (payload.size() > page_size_) return false;
+  pages_[id].payload = std::move(payload);
+  return true;
+}
+
+bool PageStore::Read(PageId id, std::vector<uint8_t>* payload) const {
+  if (id >= pages_.size() || !pages_[id].live) return false;
+  *payload = pages_[id].payload;
+  return true;
+}
+
+uint32_t PageStore::LivePages() const {
+  uint32_t live = 0;
+  for (const Slot& slot : pages_) {
+    if (slot.live) ++live;
+  }
+  return live;
+}
+
+}  // namespace sgtree

@@ -1,0 +1,60 @@
+#ifndef SGTREE_STORAGE_PAGE_STORE_H_
+#define SGTREE_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace sgtree {
+
+/// A simulated disk: a growable array of variable-payload pages with a free
+/// list. Payloads are capped at the page size; callers that need the raw
+/// bytes of a node image go through this store (persistence does), while the
+/// hot path keeps decoded nodes in memory and charges I/O through the
+/// BufferPool.
+class PageStore {
+ public:
+  explicit PageStore(uint32_t page_size = kDefaultPageSize)
+      : page_size_(page_size) {}
+
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+
+  /// Allocates a page (reusing freed ids first) and returns its id.
+  PageId Allocate();
+
+  /// Returns a page to the free list. The id may be reused by Allocate.
+  void Free(PageId id);
+
+  /// Stores `payload` into page `id`. The payload must fit in one page.
+  /// Returns false if it does not, or if the id is invalid/freed.
+  bool Write(PageId id, std::vector<uint8_t> payload);
+
+  /// Reads the payload of page `id`. Returns false for invalid/freed ids.
+  bool Read(PageId id, std::vector<uint8_t>* payload) const;
+
+  /// Number of live (allocated, not freed) pages.
+  uint32_t LivePages() const;
+
+  /// Total allocated page slots including freed ones.
+  uint32_t TotalPages() const {
+    return static_cast<uint32_t>(pages_.size());
+  }
+
+ private:
+  struct Slot {
+    std::vector<uint8_t> payload;
+    bool live = false;
+  };
+
+  uint32_t page_size_;
+  std::vector<Slot> pages_;
+  std::vector<PageId> free_list_;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_STORAGE_PAGE_STORE_H_

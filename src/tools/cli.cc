@@ -1,0 +1,281 @@
+#include "tools/cli.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/stats.h"
+#include "data/census_generator.h"
+#include "data/dataset_io.h"
+#include "data/quest_generator.h"
+#include "sgtree/bulk_load.h"
+#include "sgtree/persistence.h"
+#include "sgtree/search.h"
+#include "sgtree/sg_tree.h"
+#include "sgtree/tree_checker.h"
+#include "tools/command_line.h"
+
+namespace sgtree {
+namespace {
+
+int Fail(std::ostream& err, const std::string& message) {
+  err << "error: " << message << "\n";
+  return 1;
+}
+
+int CheckUnused(const CommandLine& cmd, std::ostream& err) {
+  const auto unused = cmd.UnusedFlags();
+  if (unused.empty()) return 0;
+  std::string joined;
+  for (const auto& flag : unused) joined += " --" + flag;
+  return Fail(err, "unknown flag(s):" + joined);
+}
+
+bool ParseMetric(const std::string& name, Metric* metric) {
+  if (name == "hamming") {
+    *metric = Metric::kHamming;
+  } else if (name == "jaccard") {
+    *metric = Metric::kJaccard;
+  } else if (name == "dice") {
+    *metric = Metric::kDice;
+  } else if (name == "cosine") {
+    *metric = Metric::kCosine;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Parses "3 17 256" into a sorted unique item list.
+bool ParseItems(const std::string& text, uint32_t num_bits,
+                std::vector<ItemId>* items) {
+  std::istringstream in(text);
+  ItemId item = 0;
+  while (in >> item) {
+    if (item >= num_bits) return false;
+    items->push_back(item);
+  }
+  std::sort(items->begin(), items->end());
+  items->erase(std::unique(items->begin(), items->end()), items->end());
+  return !items->empty();
+}
+
+int CmdGen(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  if (cmd.positional().size() < 2) {
+    return Fail(err, "usage: gen quest|census --out FILE [options]");
+  }
+  const std::string& kind = cmd.positional()[1];
+  const auto out_path = cmd.GetString("out");
+  if (!out_path.has_value()) return Fail(err, "gen requires --out");
+
+  Dataset dataset;
+  if (kind == "quest") {
+    QuestOptions options;
+    options.num_transactions =
+        static_cast<uint32_t>(cmd.IntOr("d", 10'000));
+    options.avg_transaction_size = cmd.DoubleOr("t", 10);
+    options.avg_itemset_size = cmd.DoubleOr("i", 6);
+    options.num_items = static_cast<uint32_t>(cmd.IntOr("items", 1000));
+    options.num_patterns =
+        static_cast<uint32_t>(cmd.IntOr("patterns", 200));
+    options.seed = static_cast<uint64_t>(cmd.IntOr("seed", 1));
+    if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
+    dataset = QuestGenerator(options).Generate();
+    out << "generated " << options.Label() << " (" << dataset.size()
+        << " transactions, " << dataset.num_items << " items)\n";
+  } else if (kind == "census") {
+    CensusOptions options;
+    options.num_tuples = static_cast<uint32_t>(cmd.IntOr("tuples", 10'000));
+    options.seed = static_cast<uint64_t>(cmd.IntOr("seed", 7));
+    if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
+    dataset = CensusGenerator(options).Generate();
+    out << "generated CENSUS-like dataset (" << dataset.size()
+        << " tuples, " << dataset.num_items << " values)\n";
+  } else {
+    return Fail(err, "unknown generator '" + kind + "'");
+  }
+  if (!SaveDataset(dataset, *out_path)) {
+    return Fail(err, "cannot write " + *out_path);
+  }
+  out << "wrote " << *out_path << "\n";
+  return 0;
+}
+
+int CmdBuild(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  const auto data_path = cmd.GetString("data");
+  const auto out_path = cmd.GetString("out");
+  if (!data_path.has_value() || !out_path.has_value()) {
+    return Fail(err, "build requires --data and --out");
+  }
+  Dataset dataset;
+  if (!LoadDataset(*data_path, &dataset)) {
+    return Fail(err, "cannot read dataset " + *data_path);
+  }
+
+  SgTreeOptions options;
+  options.num_bits = dataset.num_items;
+  options.fixed_dimensionality = dataset.fixed_dimensionality;
+  options.page_size = static_cast<uint32_t>(cmd.IntOr("page", 4096));
+  options.compress = cmd.IntOr("compress", 1) != 0;
+  const std::string split = cmd.StringOr("split", "avg");
+  if (split == "avg") {
+    options.split_policy = SplitPolicy::kAverage;
+  } else if (split == "min") {
+    options.split_policy = SplitPolicy::kMinimum;
+  } else if (split == "quadratic") {
+    options.split_policy = SplitPolicy::kQuadratic;
+  } else if (split == "linear") {
+    options.split_policy = SplitPolicy::kLinear;
+  } else {
+    return Fail(err, "unknown split policy '" + split + "'");
+  }
+
+  const std::string bulk = cmd.StringOr("bulk", "none");
+  if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
+
+  std::unique_ptr<SgTree> tree;
+  Timer timer;
+  if (bulk == "none") {
+    tree = std::make_unique<SgTree>(options);
+    for (const Transaction& txn : dataset.transactions) tree->Insert(txn);
+  } else {
+    BulkLoadOptions bulk_options;
+    if (bulk == "gray") {
+      bulk_options.order = BulkLoadOrder::kGrayCode;
+    } else if (bulk == "bisect") {
+      bulk_options.order = BulkLoadOrder::kClusterPartition;
+    } else if (bulk == "minhash") {
+      bulk_options.order = BulkLoadOrder::kMinHash;
+    } else {
+      return Fail(err, "unknown bulk order '" + bulk + "'");
+    }
+    tree = BulkLoad(dataset, options, bulk_options);
+  }
+  const double build_ms = timer.ElapsedMs();
+
+  const TreeReport report = CheckTree(*tree);
+  if (!report.ok) {
+    return Fail(err, "built tree failed validation: " + report.message);
+  }
+  if (!SaveTree(*tree, *out_path)) {
+    return Fail(err, "cannot write index " + *out_path);
+  }
+  out << "indexed " << tree->size() << " transactions in " << build_ms
+      << " ms; height " << tree->height() << ", " << tree->node_count()
+      << " nodes, utilization " << report.avg_utilization << "\n"
+      << "wrote " << *out_path << "\n";
+  return 0;
+}
+
+int CmdStats(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  const auto index_path = cmd.GetString("index");
+  if (!index_path.has_value()) return Fail(err, "stats requires --index");
+  if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
+  SgTreeOptions options;
+  auto tree = LoadTree(*index_path, options);
+  if (tree == nullptr) return Fail(err, "cannot load " + *index_path);
+  const TreeReport report = CheckTree(*tree);
+  out << "transactions: " << tree->size() << "\n"
+      << "signature bits: " << tree->num_bits() << "\n"
+      << "height: " << tree->height() << "\n"
+      << "nodes: " << tree->node_count() << "\n"
+      << "node capacity: " << tree->max_entries() << " (min "
+      << tree->min_entries() << ")\n"
+      << "utilization: " << report.avg_utilization << "\n"
+      << "invariants: " << (report.ok ? "OK" : report.message) << "\n";
+  for (size_t level = 0; level < report.avg_entry_area.size(); ++level) {
+    out << "avg entry area, level " << level << ": "
+        << report.avg_entry_area[level] << "\n";
+  }
+  return 0;
+}
+
+int CmdQuery(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  if (cmd.positional().size() < 2) {
+    return Fail(err, "usage: query nn|range|contain --index FILE ...");
+  }
+  const std::string& kind = cmd.positional()[1];
+  const auto index_path = cmd.GetString("index");
+  if (!index_path.has_value()) return Fail(err, "query requires --index");
+
+  SgTreeOptions options;
+  Metric metric = Metric::kHamming;
+  if (!ParseMetric(cmd.StringOr("metric", "hamming"), &metric)) {
+    return Fail(err, "unknown metric");
+  }
+  options.metric = metric;
+  auto tree = LoadTree(*index_path, options);
+  if (tree == nullptr) return Fail(err, "cannot load " + *index_path);
+
+  // Collect query item lists from --q and/or --queries.
+  std::vector<std::vector<ItemId>> queries;
+  if (const auto q = cmd.GetString("q"); q.has_value()) {
+    std::vector<ItemId> items;
+    if (!ParseItems(*q, tree->num_bits(), &items)) {
+      return Fail(err, "bad --q item list");
+    }
+    queries.push_back(std::move(items));
+  }
+  if (const auto path = cmd.GetString("queries"); path.has_value()) {
+    Dataset query_set;
+    if (!LoadDataset(*path, &query_set)) {
+      return Fail(err, "cannot read queries " + *path);
+    }
+    for (const Transaction& txn : query_set.transactions) {
+      queries.push_back(txn.items);
+    }
+  }
+  if (queries.empty()) return Fail(err, "provide --q or --queries");
+
+  const auto k = static_cast<uint32_t>(cmd.IntOr("k", 1));
+  const double epsilon = cmd.DoubleOr("eps", 0);
+  if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
+
+  QueryStats stats;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const Signature sig =
+        Signature::FromItems(queries[qi], tree->num_bits());
+    out << "query " << qi << ":";
+    if (kind == "nn") {
+      for (const Neighbor& n : DfsKNearest(*tree, sig, k, &stats)) {
+        out << " " << n.tid << "(d=" << n.distance << ")";
+      }
+    } else if (kind == "range") {
+      for (const Neighbor& n : RangeSearch(*tree, sig, epsilon, &stats)) {
+        out << " " << n.tid << "(d=" << n.distance << ")";
+      }
+    } else if (kind == "contain") {
+      for (uint64_t tid : ContainmentSearch(*tree, sig, &stats)) {
+        out << " " << tid;
+      }
+    } else {
+      return Fail(err, "unknown query kind '" + kind + "'");
+    }
+    out << "\n";
+  }
+  out << "# compared " << stats.transactions_compared << " transactions, "
+      << stats.nodes_accessed << " node accesses, " << stats.random_ios
+      << " random I/Os\n";
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  CommandLine cmd(args);
+  if (!cmd.error().empty()) return Fail(err, cmd.error());
+  if (cmd.positional().empty()) {
+    err << "usage: sgtree_cli gen|build|stats|query ... (see tools/cli.h)\n";
+    return 1;
+  }
+  const std::string& verb = cmd.positional()[0];
+  if (verb == "gen") return CmdGen(cmd, out, err);
+  if (verb == "build") return CmdBuild(cmd, out, err);
+  if (verb == "stats") return CmdStats(cmd, out, err);
+  if (verb == "query") return CmdQuery(cmd, out, err);
+  return Fail(err, "unknown command '" + verb + "'");
+}
+
+}  // namespace sgtree

@@ -1,0 +1,32 @@
+#ifndef SGTREE_TOOLS_CLI_H_
+#define SGTREE_TOOLS_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sgtree {
+
+/// Entry point of the `sgtree_cli` tool (separated from main() so the test
+/// suite can drive it). Returns a process exit code. Subcommands:
+///
+///   gen quest   --out F [--d N] [--t X] [--i X] [--items N] [--patterns N]
+///               [--seed N]
+///   gen census  --out F [--tuples N] [--seed N]
+///   build       --data F --out F [--split avg|min|quadratic]
+///               [--bulk gray|bisect|minhash|none] [--compress 0|1]
+///               [--page N]
+///   stats       --index F
+///   query nn    --index F (--q "i i i ..." | --queries F) [--k N]
+///               [--metric hamming|jaccard|dice|cosine]
+///   query range --index F (--q ... | --queries F) --eps X [--metric M]
+///   query contain --index F (--q ... | --queries F)
+///
+/// Datasets use the text format of data/dataset_io.h; indexes the binary
+/// format of sgtree/persistence.h.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_TOOLS_CLI_H_

@@ -1,0 +1,73 @@
+#include "tools/command_line.h"
+
+#include <cstdlib>
+
+namespace sgtree {
+
+CommandLine::CommandLine(std::vector<std::string> args) {
+  size_t i = 0;
+  while (i < args.size() && args[i].rfind("--", 0) != 0) {
+    positional_.push_back(std::move(args[i]));
+    ++i;
+  }
+  while (i < args.size()) {
+    if (args[i].rfind("--", 0) != 0) {
+      error_ = "expected a --flag, got '" + args[i] + "'";
+      return;
+    }
+    if (i + 1 >= args.size()) {
+      error_ = "flag '" + args[i] + "' is missing a value";
+      return;
+    }
+    flags_.emplace_back(args[i].substr(2), std::move(args[i + 1]));
+    i += 2;
+  }
+  used_.assign(flags_.size(), false);
+}
+
+std::optional<std::string> CommandLine::GetString(
+    const std::string& name) const {
+  for (size_t i = 0; i < flags_.size(); ++i) {
+    if (flags_[i].first == name) {
+      used_[i] = true;
+      return flags_[i].second;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<int64_t> CommandLine::GetInt(const std::string& name) const {
+  const auto value = GetString(name);
+  if (!value.has_value()) return std::nullopt;
+  return std::strtoll(value->c_str(), nullptr, 10);
+}
+
+std::optional<double> CommandLine::GetDouble(const std::string& name) const {
+  const auto value = GetString(name);
+  if (!value.has_value()) return std::nullopt;
+  return std::strtod(value->c_str(), nullptr);
+}
+
+std::string CommandLine::StringOr(const std::string& name,
+                                  const std::string& fallback) const {
+  return GetString(name).value_or(fallback);
+}
+
+int64_t CommandLine::IntOr(const std::string& name, int64_t fallback) const {
+  return GetInt(name).value_or(fallback);
+}
+
+double CommandLine::DoubleOr(const std::string& name,
+                             double fallback) const {
+  return GetDouble(name).value_or(fallback);
+}
+
+std::vector<std::string> CommandLine::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (size_t i = 0; i < flags_.size(); ++i) {
+    if (!used_[i]) unused.push_back(flags_[i].first);
+  }
+  return unused;
+}
+
+}  // namespace sgtree

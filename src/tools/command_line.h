@@ -1,0 +1,46 @@
+#ifndef SGTREE_TOOLS_COMMAND_LINE_H_
+#define SGTREE_TOOLS_COMMAND_LINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sgtree {
+
+/// Minimal flag parser for the sgtree_cli tool: positional words followed
+/// by `--name value` pairs. Unknown flags are reported so typos fail loudly
+/// instead of silently using defaults.
+class CommandLine {
+ public:
+  explicit CommandLine(std::vector<std::string> args);
+
+  /// Positional arguments (everything before the first --flag).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::optional<std::string> GetString(const std::string& name) const;
+  std::optional<int64_t> GetInt(const std::string& name) const;
+  std::optional<double> GetDouble(const std::string& name) const;
+
+  std::string StringOr(const std::string& name,
+                       const std::string& fallback) const;
+  int64_t IntOr(const std::string& name, int64_t fallback) const;
+  double DoubleOr(const std::string& name, double fallback) const;
+
+  /// Flags present on the command line that were never queried via one of
+  /// the getters. Call after all lookups; non-empty means a typo.
+  std::vector<std::string> UnusedFlags() const;
+
+  /// Parse error from construction (odd flag/value pairing), if any.
+  const std::string& error() const { return error_; }
+
+ private:
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::string>> flags_;
+  mutable std::vector<bool> used_;
+  std::string error_;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_TOOLS_COMMAND_LINE_H_

@@ -1,0 +1,14 @@
+// Command-line driver for the sgtree library: generate datasets, build and
+// inspect indexes, and run similarity queries. See tools/cli.h for the
+// subcommand reference.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return sgtree::RunCli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,211 @@
+// Tests for the sgtree_cli command-line tool (driven through RunCli) and
+// its flag parser.
+
+#include "tools/cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/command_line.h"
+
+namespace sgtree {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunArgs(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = RunCli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Flag parser.
+// ---------------------------------------------------------------------------
+
+TEST(CommandLineTest, PositionalAndFlags) {
+  CommandLine cmd({"query", "nn", "--index", "x.idx", "--k", "5"});
+  ASSERT_TRUE(cmd.error().empty());
+  EXPECT_EQ(cmd.positional(), (std::vector<std::string>{"query", "nn"}));
+  EXPECT_EQ(cmd.StringOr("index", ""), "x.idx");
+  EXPECT_EQ(cmd.IntOr("k", 1), 5);
+  EXPECT_TRUE(cmd.UnusedFlags().empty());
+}
+
+TEST(CommandLineTest, DefaultsApply) {
+  CommandLine cmd({"build"});
+  EXPECT_EQ(cmd.IntOr("page", 4096), 4096);
+  EXPECT_DOUBLE_EQ(cmd.DoubleOr("eps", 2.5), 2.5);
+  EXPECT_FALSE(cmd.GetString("missing").has_value());
+}
+
+TEST(CommandLineTest, UnusedFlagsDetected) {
+  CommandLine cmd({"stats", "--index", "a", "--typo", "1"});
+  EXPECT_EQ(cmd.StringOr("index", ""), "a");
+  EXPECT_EQ(cmd.UnusedFlags(), std::vector<std::string>{"typo"});
+}
+
+TEST(CommandLineTest, MissingValueIsError) {
+  CommandLine cmd({"stats", "--index"});
+  EXPECT_FALSE(cmd.error().empty());
+}
+
+TEST(CommandLineTest, StrayPositionalAfterFlagIsError) {
+  CommandLine cmd({"stats", "--index", "a", "oops"});
+  EXPECT_FALSE(cmd.error().empty());
+}
+
+// ---------------------------------------------------------------------------
+// CLI end-to-end.
+// ---------------------------------------------------------------------------
+
+TEST(CliTest, NoArgsShowsUsage) {
+  const CliResult r = RunArgs({});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("usage"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  const CliResult r = RunArgs({"frobnicate"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, GenBuildStatsQueryPipeline) {
+  const std::string data = TempPath("cli_data.txt");
+  const std::string index = TempPath("cli_index.bin");
+
+  CliResult r = RunArgs({"gen", "quest", "--out", data, "--d", "1500", "--items",
+                     "200", "--patterns", "60", "--seed", "9"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("1500 transactions"), std::string::npos);
+
+  r = RunArgs({"build", "--data", data, "--out", index, "--split", "avg"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("indexed 1500"), std::string::npos);
+
+  r = RunArgs({"stats", "--index", index});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("transactions: 1500"), std::string::npos);
+  EXPECT_NE(r.out.find("invariants: OK"), std::string::npos);
+
+  r = RunArgs({"query", "nn", "--index", index, "--q", "1 2 3", "--k", "3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("query 0:"), std::string::npos);
+  EXPECT_NE(r.out.find("compared"), std::string::npos);
+
+  r = RunArgs({"query", "range", "--index", index, "--q", "1 2 3", "--eps",
+           "8"});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  r = RunArgs({"query", "contain", "--index", index, "--q", "1"});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  std::remove(data.c_str());
+  std::remove(index.c_str());
+}
+
+TEST(CliTest, CensusGeneratorAndBulkBuild) {
+  const std::string data = TempPath("cli_census.txt");
+  const std::string index = TempPath("cli_census.bin");
+  CliResult r =
+      RunArgs({"gen", "census", "--out", data, "--tuples", "1200"});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  for (const std::string bulk : {"gray", "bisect", "minhash"}) {
+    r = RunArgs({"build", "--data", data, "--out", index, "--bulk", bulk});
+    ASSERT_EQ(r.code, 0) << bulk << ": " << r.err;
+    r = RunArgs({"stats", "--index", index});
+    ASSERT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("invariants: OK"), std::string::npos) << bulk;
+  }
+  std::remove(data.c_str());
+  std::remove(index.c_str());
+}
+
+TEST(CliTest, QueryWithMetricFlag) {
+  const std::string data = TempPath("cli_metric.txt");
+  const std::string index = TempPath("cli_metric.bin");
+  ASSERT_EQ(RunArgs({"gen", "quest", "--out", data, "--d", "500", "--items",
+                 "100", "--patterns", "30"})
+                .code,
+            0);
+  ASSERT_EQ(RunArgs({"build", "--data", data, "--out", index}).code, 0);
+  for (const std::string metric : {"hamming", "jaccard", "dice", "cosine"}) {
+    const CliResult r = RunArgs({"query", "nn", "--index", index, "--q", "1 2",
+                             "--metric", metric});
+    EXPECT_EQ(r.code, 0) << metric << ": " << r.err;
+  }
+  const CliResult bad =
+      RunArgs({"query", "nn", "--index", index, "--q", "1", "--metric", "l2"});
+  EXPECT_EQ(bad.code, 1);
+  std::remove(data.c_str());
+  std::remove(index.c_str());
+}
+
+TEST(CliTest, QueriesFromFile) {
+  const std::string data = TempPath("cli_qf_data.txt");
+  const std::string index = TempPath("cli_qf.bin");
+  const std::string queries = TempPath("cli_qf_queries.txt");
+  ASSERT_EQ(RunArgs({"gen", "quest", "--out", data, "--d", "800", "--items",
+                 "150", "--patterns", "40"})
+                .code,
+            0);
+  ASSERT_EQ(RunArgs({"build", "--data", data, "--out", index}).code, 0);
+  {
+    std::ofstream out(queries);
+    out << "150 0 2\n0 3 14 15\n1 7 8\n";
+  }
+  const CliResult r =
+      RunArgs({"query", "nn", "--index", index, "--queries", queries});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("query 0:"), std::string::npos);
+  EXPECT_NE(r.out.find("query 1:"), std::string::npos);
+  std::remove(data.c_str());
+  std::remove(index.c_str());
+  std::remove(queries.c_str());
+}
+
+TEST(CliTest, ErrorPaths) {
+  EXPECT_EQ(RunArgs({"gen", "quest"}).code, 1);                    // No --out.
+  EXPECT_EQ(RunArgs({"gen", "warehouse", "--out", "/tmp/x"}).code, 1);
+  EXPECT_EQ(RunArgs({"build", "--data", "/nonexistent", "--out", "/tmp/x"}).code,
+            1);
+  EXPECT_EQ(RunArgs({"stats", "--index", "/nonexistent"}).code, 1);
+  EXPECT_EQ(RunArgs({"query", "nn", "--index", "/nonexistent", "--q", "1"}).code,
+            1);
+  const std::string data = TempPath("cli_err_data.txt");
+  const std::string index = TempPath("cli_err.bin");
+  ASSERT_EQ(RunArgs({"gen", "quest", "--out", data, "--d", "200", "--items",
+                 "50", "--patterns", "20"})
+                .code,
+            0);
+  ASSERT_EQ(RunArgs({"build", "--data", data, "--out", index}).code, 0);
+  // Out-of-range item in --q.
+  EXPECT_EQ(RunArgs({"query", "nn", "--index", index, "--q", "999"}).code, 1);
+  // Query without --q/--queries.
+  EXPECT_EQ(RunArgs({"query", "nn", "--index", index}).code, 1);
+  // Unknown flag.
+  EXPECT_EQ(
+      RunArgs({"query", "nn", "--index", index, "--q", "1", "--frob", "1"}).code,
+      1);
+  std::remove(data.c_str());
+  std::remove(index.c_str());
+}
+
+}  // namespace
+}  // namespace sgtree

@@ -1,0 +1,354 @@
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <set>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "data/census_generator.h"
+#include "data/dataset_io.h"
+#include "data/dictionary.h"
+#include "data/quest_generator.h"
+
+namespace sgtree {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Categorical schema.
+// ---------------------------------------------------------------------------
+
+TEST(CategoricalSchemaTest, OffsetsAndTotals) {
+  CategoricalSchema schema({3, 5, 2});
+  EXPECT_EQ(schema.num_attributes(), 3u);
+  EXPECT_EQ(schema.total_values(), 10u);
+  EXPECT_EQ(schema.offset(0), 0u);
+  EXPECT_EQ(schema.offset(1), 3u);
+  EXPECT_EQ(schema.offset(2), 8u);
+  EXPECT_EQ(schema.Encode(1, 4), 7u);
+}
+
+TEST(CategoricalSchemaTest, DecodeInvertsEncode) {
+  CategoricalSchema schema({4, 1, 7, 2, 9});
+  for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
+    for (uint32_t v = 0; v < schema.domain_size(a); ++v) {
+      const auto [attr, value] = schema.Decode(schema.Encode(a, v));
+      EXPECT_EQ(attr, a);
+      EXPECT_EQ(value, v);
+    }
+  }
+}
+
+TEST(CategoricalSchemaTest, CensusShapeMatchesPaper) {
+  const auto sizes = CategoricalSchema::CensusDomainSizes();
+  EXPECT_EQ(sizes.size(), 36u);  // 36 categorical attributes.
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0u), 525u);
+  EXPECT_EQ(*std::min_element(sizes.begin(), sizes.end()), 2u);
+  EXPECT_EQ(*std::max_element(sizes.begin(), sizes.end()), 53u);
+}
+
+// ---------------------------------------------------------------------------
+// Quest generator.
+// ---------------------------------------------------------------------------
+
+QuestOptions SmallQuest() {
+  QuestOptions options;
+  options.num_transactions = 2000;
+  options.avg_transaction_size = 10;
+  options.avg_itemset_size = 6;
+  options.num_items = 200;
+  options.num_patterns = 100;
+  options.seed = 5;
+  return options;
+}
+
+TEST(QuestGeneratorTest, LabelFollowsPaperNaming) {
+  QuestOptions options;
+  options.avg_transaction_size = 10;
+  options.avg_itemset_size = 6;
+  options.num_transactions = 200'000;
+  EXPECT_EQ(options.Label(), "T10.I6.D200K");
+}
+
+TEST(QuestGeneratorTest, ProducesRequestedCardinality) {
+  QuestGenerator gen(SmallQuest());
+  const Dataset dataset = gen.Generate();
+  EXPECT_EQ(dataset.transactions.size(), 2000u);
+  EXPECT_EQ(dataset.num_items, 200u);
+  EXPECT_EQ(dataset.fixed_dimensionality, 0u);
+}
+
+TEST(QuestGeneratorTest, TransactionsAreSortedUniqueInRange) {
+  QuestGenerator gen(SmallQuest());
+  const Dataset dataset = gen.Generate();
+  for (const Transaction& txn : dataset.transactions) {
+    ASSERT_FALSE(txn.items.empty());
+    for (size_t i = 0; i < txn.items.size(); ++i) {
+      EXPECT_LT(txn.items[i], 200u);
+      if (i > 0) EXPECT_LT(txn.items[i - 1], txn.items[i]);
+    }
+  }
+}
+
+TEST(QuestGeneratorTest, TidsAreSequential) {
+  QuestGenerator gen(SmallQuest());
+  const Dataset dataset = gen.Generate();
+  for (size_t i = 0; i < dataset.transactions.size(); ++i) {
+    EXPECT_EQ(dataset.transactions[i].tid, i);
+  }
+}
+
+TEST(QuestGeneratorTest, MeanSizeTracksT) {
+  for (double t : {5.0, 10.0, 20.0}) {
+    QuestOptions options = SmallQuest();
+    options.num_transactions = 4000;
+    options.avg_transaction_size = t;
+    options.num_items = 1000;
+    QuestGenerator gen(options);
+    const Dataset dataset = gen.Generate();
+    double sum = 0;
+    for (const auto& txn : dataset.transactions) sum += txn.items.size();
+    const double mean = sum / dataset.transactions.size();
+    // Corruption and dedup pull the realized mean below T a bit; it must
+    // still scale with T.
+    EXPECT_GT(mean, t * 0.5) << "T=" << t;
+    EXPECT_LT(mean, t * 1.5) << "T=" << t;
+  }
+}
+
+TEST(QuestGeneratorTest, DeterministicPerSeed) {
+  QuestGenerator a(SmallQuest());
+  QuestGenerator b(SmallQuest());
+  const Dataset da = a.Generate();
+  const Dataset db = b.Generate();
+  ASSERT_EQ(da.transactions.size(), db.transactions.size());
+  for (size_t i = 0; i < da.transactions.size(); ++i) {
+    EXPECT_EQ(da.transactions[i].items, db.transactions[i].items);
+  }
+}
+
+TEST(QuestGeneratorTest, DifferentSeedsDiffer) {
+  QuestOptions other = SmallQuest();
+  other.seed = 6;
+  QuestGenerator a(SmallQuest());
+  QuestGenerator b(other);
+  const Dataset da = a.Generate();
+  const Dataset db = b.Generate();
+  int differing = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    if (da.transactions[i].items != db.transactions[i].items) ++differing;
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(QuestGeneratorTest, QueriesShareDistributionButNotData) {
+  QuestGenerator gen(SmallQuest());
+  const Dataset dataset = gen.Generate();
+  const auto queries = gen.GenerateQueries(100);
+  EXPECT_EQ(queries.size(), 100u);
+  // The queries come from the same pattern pool, so their items are drawn
+  // from the same dictionary and sizes are comparable.
+  double q_sum = 0;
+  for (const auto& q : queries) {
+    ASSERT_FALSE(q.items.empty());
+    q_sum += q.items.size();
+  }
+  double d_sum = 0;
+  for (const auto& t : dataset.transactions) d_sum += t.items.size();
+  const double q_mean = q_sum / queries.size();
+  const double d_mean = d_sum / dataset.transactions.size();
+  EXPECT_NEAR(q_mean, d_mean, d_mean * 0.35);
+}
+
+TEST(QuestGeneratorTest, DataIsClusteredNotUniform) {
+  // Transactions generated from shared patterns must have far more frequent
+  // item pairs than independent uniform draws would produce.
+  QuestGenerator gen(SmallQuest());
+  const Dataset dataset = gen.Generate();
+  std::map<std::pair<ItemId, ItemId>, int> pair_counts;
+  for (const auto& txn : dataset.transactions) {
+    for (size_t i = 0; i < txn.items.size(); ++i) {
+      for (size_t j = i + 1; j < txn.items.size(); ++j) {
+        ++pair_counts[{txn.items[i], txn.items[j]}];
+      }
+    }
+  }
+  int max_pair = 0;
+  for (const auto& [pair, count] : pair_counts) {
+    max_pair = std::max(max_pair, count);
+  }
+  // Uniform expectation per pair: ~2000 * C(10,2)/C(200,2) ~ 4.5.
+  EXPECT_GT(max_pair, 40);
+}
+
+// ---------------------------------------------------------------------------
+// Census generator.
+// ---------------------------------------------------------------------------
+
+CensusOptions SmallCensus() {
+  CensusOptions options;
+  options.num_tuples = 1000;
+  options.seed = 3;
+  return options;
+}
+
+TEST(CensusGeneratorTest, FixedDimensionality) {
+  CensusGenerator gen(SmallCensus());
+  const Dataset dataset = gen.Generate();
+  EXPECT_EQ(dataset.num_items, 525u);
+  EXPECT_EQ(dataset.fixed_dimensionality, 36u);
+  for (const Transaction& tuple : dataset.transactions) {
+    EXPECT_EQ(tuple.items.size(), 36u);
+  }
+}
+
+TEST(CensusGeneratorTest, ExactlyOneValuePerAttribute) {
+  CensusGenerator gen(SmallCensus());
+  const Dataset dataset = gen.Generate();
+  const CategoricalSchema& schema = gen.schema();
+  for (const Transaction& tuple : dataset.transactions) {
+    std::set<uint32_t> attrs;
+    for (ItemId item : tuple.items) {
+      const auto [attr, value] = schema.Decode(item);
+      EXPECT_LT(value, schema.domain_size(attr));
+      attrs.insert(attr);
+    }
+    EXPECT_EQ(attrs.size(), 36u);
+  }
+}
+
+TEST(CensusGeneratorTest, ItemsSortedAscending) {
+  CensusGenerator gen(SmallCensus());
+  const Dataset dataset = gen.Generate();
+  for (const Transaction& tuple : dataset.transactions) {
+    EXPECT_TRUE(std::is_sorted(tuple.items.begin(), tuple.items.end()));
+  }
+}
+
+TEST(CensusGeneratorTest, DeterministicPerSeed) {
+  CensusGenerator a(SmallCensus());
+  CensusGenerator b(SmallCensus());
+  const Dataset da = a.Generate();
+  const Dataset db = b.Generate();
+  for (size_t i = 0; i < da.transactions.size(); ++i) {
+    EXPECT_EQ(da.transactions[i].items, db.transactions[i].items);
+  }
+}
+
+TEST(CensusGeneratorTest, TuplesAreCorrelated) {
+  // Cluster affinity must create dense neighborhoods: the mean
+  // nearest-neighbor distance with affinity 0.7 must be far below the
+  // affinity-0 (independent Zipf draws) baseline. Global pairwise means
+  // barely move — what the index exploits is exactly the NN structure.
+  auto mean_nn = [](const Dataset& dataset) {
+    const size_t n = 300;
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      int best = 1000;
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const auto& a = dataset.transactions[i].items;
+        const auto& b = dataset.transactions[j].items;
+        int common = 0;
+        size_t x = 0;
+        size_t y = 0;
+        while (x < a.size() && y < b.size()) {
+          if (a[x] == b[y]) {
+            ++common;
+            ++x;
+            ++y;
+          } else if (a[x] < b[y]) {
+            ++x;
+          } else {
+            ++y;
+          }
+        }
+        best = std::min(best, 2 * (36 - common));
+      }
+      sum += best;
+    }
+    return sum / n;
+  };
+  CensusGenerator correlated(SmallCensus());
+  CensusOptions indep_options = SmallCensus();
+  indep_options.cluster_affinity = 0.0;
+  CensusGenerator independent(indep_options);
+  const double d_corr = mean_nn(correlated.Generate());
+  const double d_indep = mean_nn(independent.Generate());
+  EXPECT_LT(d_corr, d_indep * 0.8);
+}
+
+TEST(CensusGeneratorTest, QueriesDifferFromData) {
+  CensusGenerator gen(SmallCensus());
+  const Dataset dataset = gen.Generate();
+  const auto queries = gen.GenerateQueries(50);
+  EXPECT_EQ(queries.size(), 50u);
+  for (const auto& q : queries) EXPECT_EQ(q.items.size(), 36u);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset I/O.
+// ---------------------------------------------------------------------------
+
+TEST(DatasetIoTest, SaveLoadRoundTrip) {
+  QuestOptions options = SmallQuest();
+  options.num_transactions = 200;
+  QuestGenerator gen(options);
+  const Dataset dataset = gen.Generate();
+  const std::string path = ::testing::TempDir() + "/sgtree_dataset.txt";
+  ASSERT_TRUE(SaveDataset(dataset, path));
+  Dataset loaded;
+  ASSERT_TRUE(LoadDataset(path, &loaded));
+  EXPECT_EQ(loaded.num_items, dataset.num_items);
+  EXPECT_EQ(loaded.fixed_dimensionality, dataset.fixed_dimensionality);
+  ASSERT_EQ(loaded.transactions.size(), dataset.transactions.size());
+  for (size_t i = 0; i < dataset.transactions.size(); ++i) {
+    EXPECT_EQ(loaded.transactions[i].tid, dataset.transactions[i].tid);
+    EXPECT_EQ(loaded.transactions[i].items, dataset.transactions[i].items);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadMissingFileFails) {
+  Dataset dataset;
+  EXPECT_FALSE(LoadDataset("/nonexistent/path/data.txt", &dataset));
+}
+
+TEST(DatasetIoTest, LoadRejectsUnsortedItems) {
+  const std::string path = ::testing::TempDir() + "/sgtree_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "10 0 1\n0 5 3\n";  // 5 before 3: unsorted.
+  }
+  Dataset dataset;
+  EXPECT_FALSE(LoadDataset(path, &dataset));
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadRejectsOutOfRangeItem) {
+  const std::string path = ::testing::TempDir() + "/sgtree_bad2.txt";
+  {
+    std::ofstream out(path);
+    out << "10 0 1\n0 3 25\n";  // 25 >= num_items.
+  }
+  Dataset dataset;
+  EXPECT_FALSE(LoadDataset(path, &dataset));
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadRejectsTruncatedFile) {
+  const std::string path = ::testing::TempDir() + "/sgtree_bad3.txt";
+  {
+    std::ofstream out(path);
+    out << "10 0 5\n0 1 2\n";  // Claims 5 transactions, has 1.
+  }
+  Dataset dataset;
+  EXPECT_FALSE(LoadDataset(path, &dataset));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sgtree

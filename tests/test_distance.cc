@@ -1,0 +1,220 @@
+#include "common/distance.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace sgtree {
+namespace {
+
+using ::sgtree::testing::RandomItems;
+using ::sgtree::testing::RandomSignature;
+
+Signature FromItems(std::initializer_list<uint32_t> items, uint32_t bits) {
+  return Signature::FromItems(std::vector<uint32_t>(items), bits);
+}
+
+TEST(DistanceTest, HammingBasics) {
+  const Signature a = FromItems({0, 1, 2}, 16);
+  const Signature b = FromItems({1, 2, 3, 4}, 16);
+  // Symmetric difference {0, 3, 4}.
+  EXPECT_DOUBLE_EQ(Distance(a, b, Metric::kHamming), 3.0);
+  EXPECT_DOUBLE_EQ(Distance(a, a, Metric::kHamming), 0.0);
+}
+
+TEST(DistanceTest, JaccardBasics) {
+  const Signature a = FromItems({0, 1, 2}, 16);
+  const Signature b = FromItems({1, 2, 3}, 16);
+  // |intersection| = 2, |union| = 4.
+  EXPECT_DOUBLE_EQ(Distance(a, b, Metric::kJaccard), 0.5);
+  EXPECT_DOUBLE_EQ(Distance(a, a, Metric::kJaccard), 0.0);
+  const Signature empty(16);
+  EXPECT_DOUBLE_EQ(Distance(empty, empty, Metric::kJaccard), 0.0);
+  EXPECT_DOUBLE_EQ(Distance(a, empty, Metric::kJaccard), 1.0);
+}
+
+TEST(DistanceTest, DiceBasics) {
+  const Signature a = FromItems({0, 1, 2}, 16);
+  const Signature b = FromItems({1, 2, 3}, 16);
+  // 1 - 2*2/(3+3).
+  EXPECT_NEAR(Distance(a, b, Metric::kDice), 1.0 / 3, 1e-12);
+  EXPECT_DOUBLE_EQ(Distance(a, a, Metric::kDice), 0.0);
+}
+
+TEST(DistanceTest, MetricNames) {
+  EXPECT_EQ(MetricName(Metric::kHamming), "hamming");
+  EXPECT_EQ(MetricName(Metric::kJaccard), "jaccard");
+  EXPECT_EQ(MetricName(Metric::kDice), "dice");
+}
+
+// Metric axioms, checked over random signatures for every metric.
+class MetricAxiomsTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricAxiomsTest, NonNegativeAndSymmetric) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Signature a = RandomSignature(rng, 200, 0.2);
+    const Signature b = RandomSignature(rng, 200, 0.2);
+    const double dab = Distance(a, b, GetParam());
+    const double dba = Distance(b, a, GetParam());
+    EXPECT_GE(dab, 0.0);
+    EXPECT_DOUBLE_EQ(dab, dba);
+  }
+}
+
+TEST_P(MetricAxiomsTest, IdentityOfIndiscernibles) {
+  Rng rng(103);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Signature a = RandomSignature(rng, 200, 0.2);
+    EXPECT_DOUBLE_EQ(Distance(a, a, GetParam()), 0.0);
+    Signature b = a;
+    const uint32_t flip = static_cast<uint32_t>(rng.UniformInt(200));
+    if (b.Test(flip)) {
+      b.Reset(flip);
+    } else {
+      b.Set(flip);
+    }
+    EXPECT_GT(Distance(a, b, GetParam()), 0.0);
+  }
+}
+
+TEST_P(MetricAxiomsTest, TriangleInequality) {
+  // Hamming and Jaccard are metrics; Dice and cosine violate the triangle
+  // inequality in general, so they are excluded from this check.
+  if (GetParam() == Metric::kDice || GetParam() == Metric::kCosine) {
+    GTEST_SKIP();
+  }
+  Rng rng(107);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Signature a = RandomSignature(rng, 128, 0.3);
+    const Signature b = RandomSignature(rng, 128, 0.3);
+    const Signature c = RandomSignature(rng, 128, 0.3);
+    const double ab = Distance(a, b, GetParam());
+    const double bc = Distance(b, c, GetParam());
+    const double ac = Distance(a, c, GetParam());
+    EXPECT_LE(ac, ab + bc + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricAxiomsTest,
+                         ::testing::Values(Metric::kHamming, Metric::kJaccard,
+                                           Metric::kDice, Metric::kCosine),
+                         [](const auto& info) {
+                           return MetricName(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Lower-bound soundness: MinDistBound(q, cover) <= Distance(q, t) for every
+// t whose signature is contained in the cover — the property every pruning
+// decision in the tree relies on.
+// ---------------------------------------------------------------------------
+
+class BoundSoundnessTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(BoundSoundnessTest, BoundNeverExceedsTrueDistance) {
+  Rng rng(211);
+  const uint32_t bits = 300;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Build a group of transactions and its covering signature.
+    Signature cover(bits);
+    std::vector<Signature> members;
+    const int group = 1 + static_cast<int>(rng.UniformInt(8));
+    for (int g = 0; g < group; ++g) {
+      Signature t = RandomSignature(rng, bits, 0.05);
+      if (t.Empty()) t.Set(static_cast<uint32_t>(rng.UniformInt(bits)));
+      cover.UnionWith(t);
+      members.push_back(std::move(t));
+    }
+    const Signature query = RandomSignature(rng, bits, 0.05);
+    const double bound = MinDistBound(query, cover, GetParam());
+    for (const Signature& t : members) {
+      EXPECT_LE(bound, Distance(query, t, GetParam()) + 1e-12)
+          << MetricName(GetParam());
+    }
+  }
+}
+
+TEST_P(BoundSoundnessTest, BoundIsZeroWhenCoverContainsQuery) {
+  Rng rng(223);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Signature query = RandomSignature(rng, 200, 0.1);
+    Signature cover = query;
+    cover.UnionWith(RandomSignature(rng, 200, 0.1));
+    EXPECT_DOUBLE_EQ(MinDistBound(query, cover, GetParam()), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, BoundSoundnessTest,
+                         ::testing::Values(Metric::kHamming, Metric::kJaccard,
+                                           Metric::kDice, Metric::kCosine),
+                         [](const auto& info) {
+                           return MetricName(info.param);
+                         });
+
+TEST(BoundTest, HammingBoundCountsMissingQueryItems) {
+  const Signature query = FromItems({0, 1, 2, 3}, 64);
+  const Signature cover = FromItems({1, 3, 10, 11, 12}, 64);
+  // Items 0 and 2 of the query cannot occur below the cover.
+  EXPECT_DOUBLE_EQ(MinDistBound(query, cover, Metric::kHamming), 2.0);
+}
+
+TEST(BoundTest, FixedDimensionalityBoundIsTighterAndSound) {
+  Rng rng(227);
+  const uint32_t bits = 120;
+  const uint32_t d = 8;  // Every tuple has exactly 8 items.
+  for (int trial = 0; trial < 200; ++trial) {
+    Signature cover(bits);
+    std::vector<Signature> members;
+    const int group = 1 + static_cast<int>(rng.UniformInt(6));
+    for (int g = 0; g < group; ++g) {
+      const Signature t =
+          Signature::FromItems(RandomItems(rng, bits, d), bits);
+      cover.UnionWith(t);
+      members.push_back(t);
+    }
+    const Signature query =
+        Signature::FromItems(RandomItems(rng, bits, d), bits);
+    const double relaxed = MinDistBound(query, cover, Metric::kHamming);
+    const double tight = MinDistBound(query, cover, Metric::kHamming, d);
+    EXPECT_GE(tight, relaxed);  // Section 6: strictly stricter in general.
+    for (const Signature& t : members) {
+      EXPECT_LE(tight, Distance(query, t, Metric::kHamming) + 1e-12);
+    }
+  }
+}
+
+TEST(BoundTest, FixedDimBoundExactForSingletonGroup) {
+  // With a single d-sized tuple below the cover, the tightened bound equals
+  // the true distance.
+  Rng rng(229);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto t_items = RandomItems(rng, 100, 6);
+    const auto q_items = RandomItems(rng, 100, 6);
+    const Signature t = Signature::FromItems(t_items, 100);
+    const Signature q = Signature::FromItems(q_items, 100);
+    EXPECT_DOUBLE_EQ(MinDistBound(q, t, Metric::kHamming, 6),
+                     Distance(q, t, Metric::kHamming));
+  }
+}
+
+TEST(BoundTest, JaccardBoundMatchesPaperFormula) {
+  const Signature query = FromItems({0, 1, 2, 3}, 64);
+  const Signature cover = FromItems({0, 1, 9}, 64);
+  // Upper similarity bound |q AND cover| / |q| = 2/4.
+  EXPECT_DOUBLE_EQ(MinDistBound(query, cover, Metric::kJaccard), 0.5);
+}
+
+TEST(BoundTest, EmptyQueryIsConservative) {
+  const Signature query(64);
+  const Signature cover = FromItems({1, 2, 3}, 64);
+  EXPECT_DOUBLE_EQ(MinDistBound(query, cover, Metric::kHamming), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistBound(query, cover, Metric::kJaccard), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistBound(query, cover, Metric::kDice), 0.0);
+}
+
+}  // namespace
+}  // namespace sgtree

@@ -1,0 +1,157 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/zipf.h"
+
+namespace sgtree {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  uint64_t ored = 0;
+  for (int i = 0; i < 16; ++i) ored |= rng.NextU64();
+  EXPECT_NE(ored, 0u);
+}
+
+TEST(RngTest, UniformIntStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntCoversSmallRange) {
+  Rng rng(8);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    ++counts[rng.UniformInt(6)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);  // ~1000 expected per cell.
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, PoissonMeanIsClose) {
+  Rng rng(10);
+  for (double mean : {1.0, 6.0, 10.0, 30.0, 100.0}) {
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.Poisson(mean);
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.1) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(RngTest, ExponentialMeanIsClose) {
+  Rng rng(12);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, NormalMomentsAreClose) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0;
+  double sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(99);
+  Rng b = a.Split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(ZipfTest, Theta0IsUniform) {
+  Rng rng(14);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 1600);
+    EXPECT_LT(c, 2400);
+  }
+}
+
+TEST(ZipfTest, SkewPrefersLowRanks) {
+  Rng rng(15);
+  ZipfSampler zipf(50, 1.0);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 3 * counts[25]);
+  // Rank-0 frequency under theta=1 over 50 values is 1/H_50 ~ 0.222.
+  EXPECT_NEAR(counts[0] / 20000.0, 0.222, 0.03);
+}
+
+TEST(ZipfTest, AllValuesReachable) {
+  Rng rng(16);
+  ZipfSampler zipf(5, 0.9);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(ZipfTest, SingleValueDomain) {
+  Rng rng(17);
+  ZipfSampler zipf(1, 0.9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace sgtree

@@ -1,0 +1,291 @@
+#include "common/signature.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/gray_code.h"
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace sgtree {
+namespace {
+
+using ::sgtree::testing::RandomSignature;
+
+TEST(SignatureTest, DefaultIsEmptyWidthZero) {
+  Signature sig;
+  EXPECT_EQ(sig.num_bits(), 0u);
+  EXPECT_EQ(sig.Area(), 0u);
+  EXPECT_TRUE(sig.Empty());
+}
+
+TEST(SignatureTest, ConstructedAllZero) {
+  Signature sig(100);
+  EXPECT_EQ(sig.num_bits(), 100u);
+  EXPECT_EQ(sig.num_words(), 2u);
+  EXPECT_EQ(sig.Area(), 0u);
+  for (uint32_t i = 0; i < 100; ++i) EXPECT_FALSE(sig.Test(i));
+}
+
+TEST(SignatureTest, SetTestReset) {
+  Signature sig(130);
+  sig.Set(0);
+  sig.Set(63);
+  sig.Set(64);
+  sig.Set(129);
+  EXPECT_TRUE(sig.Test(0));
+  EXPECT_TRUE(sig.Test(63));
+  EXPECT_TRUE(sig.Test(64));
+  EXPECT_TRUE(sig.Test(129));
+  EXPECT_FALSE(sig.Test(1));
+  EXPECT_EQ(sig.Area(), 4u);
+  sig.Reset(63);
+  EXPECT_FALSE(sig.Test(63));
+  EXPECT_EQ(sig.Area(), 3u);
+}
+
+TEST(SignatureTest, FromItemsMatchesPaperExample) {
+  // Paper Figure 1: S = {a..g}; T2 = {a, b, c} -> 1110000.
+  const std::vector<uint32_t> items = {0, 1, 2};
+  const Signature sig = Signature::FromItems(items, 7);
+  EXPECT_EQ(sig.ToString(), "1110000");
+  EXPECT_EQ(sig.Area(), 3u);
+}
+
+TEST(SignatureTest, ToItemsRoundTrip) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto items = testing::RandomItems(rng, 500, 25);
+    const Signature sig = Signature::FromItems(items, 500);
+    EXPECT_EQ(sig.ToItems(), items);
+  }
+}
+
+TEST(SignatureTest, ClearZeroesEverything) {
+  Rng rng(1);
+  Signature sig = RandomSignature(rng, 300, 0.5);
+  ASSERT_GT(sig.Area(), 0u);
+  sig.Clear();
+  EXPECT_EQ(sig.Area(), 0u);
+  EXPECT_TRUE(sig.Empty());
+}
+
+TEST(SignatureTest, UnionIsCommutativeAndIdempotent) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Signature a = RandomSignature(rng, 256, 0.2);
+    const Signature b = RandomSignature(rng, 256, 0.2);
+    Signature ab = a;
+    ab.UnionWith(b);
+    Signature ba = b;
+    ba.UnionWith(a);
+    EXPECT_EQ(ab, ba);
+    Signature aa = a;
+    aa.UnionWith(a);
+    EXPECT_EQ(aa, a);
+    EXPECT_TRUE(ab.Contains(a));
+    EXPECT_TRUE(ab.Contains(b));
+  }
+}
+
+TEST(SignatureTest, IntersectWith) {
+  Signature a = Signature::FromItems(std::vector<uint32_t>{1, 2, 3, 70}, 128);
+  const Signature b =
+      Signature::FromItems(std::vector<uint32_t>{2, 3, 4, 70}, 128);
+  a.IntersectWith(b);
+  EXPECT_EQ(a.ToItems(), (std::vector<uint32_t>{2, 3, 70}));
+}
+
+TEST(SignatureTest, ContainsReflexiveAndEmpty) {
+  Rng rng(9);
+  const Signature a = RandomSignature(rng, 200, 0.3);
+  const Signature empty(200);
+  EXPECT_TRUE(a.Contains(a));
+  EXPECT_TRUE(a.Contains(empty));
+  EXPECT_EQ(empty.Contains(a), a.Empty());
+}
+
+TEST(SignatureTest, ContainsDetectsSingleMissingBit) {
+  Signature big(512);
+  for (uint32_t i = 0; i < 512; i += 3) big.Set(i);
+  Signature small = big;
+  small.Reset(510);
+  EXPECT_TRUE(big.Contains(small));
+  small.Set(511);  // 511 not set in big (511 % 3 != 0).
+  EXPECT_FALSE(big.Contains(small));
+}
+
+TEST(SignatureTest, CountIdentities) {
+  Rng rng(11);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Signature a = RandomSignature(rng, 320, 0.3);
+    const Signature b = RandomSignature(rng, 320, 0.3);
+    const uint32_t inter = Signature::IntersectCount(a, b);
+    const uint32_t uni = Signature::UnionCount(a, b);
+    const uint32_t x = Signature::XorCount(a, b);
+    const uint32_t a_not_b = Signature::AndNotCount(a, b);
+    const uint32_t b_not_a = Signature::AndNotCount(b, a);
+    // Inclusion-exclusion identities.
+    EXPECT_EQ(uni, a.Area() + b.Area() - inter);
+    EXPECT_EQ(x, a_not_b + b_not_a);
+    EXPECT_EQ(x, uni - inter);
+    EXPECT_EQ(Signature::Enlargement(a, b), b_not_a);
+  }
+}
+
+TEST(SignatureTest, XorCountIsZeroIffEqual) {
+  Rng rng(13);
+  const Signature a = RandomSignature(rng, 320, 0.4);
+  Signature b = a;
+  EXPECT_EQ(Signature::XorCount(a, b), 0u);
+  b.Set(b.Test(5) ? 6 : 5);
+  EXPECT_GT(Signature::XorCount(a, b), 0u);
+}
+
+TEST(SignatureTest, HashEqualForEqualSignatures) {
+  Rng rng(17);
+  SignatureHash hash;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Signature a = RandomSignature(rng, 256, 0.3);
+    const Signature b = a;
+    EXPECT_EQ(hash(a), hash(b));
+  }
+}
+
+TEST(SignatureTest, HashSpreadsDistinctSignatures) {
+  Rng rng(19);
+  SignatureHash hash;
+  std::unordered_set<size_t> hashes;
+  for (int trial = 0; trial < 200; ++trial) {
+    hashes.insert(hash(RandomSignature(rng, 256, 0.3)));
+  }
+  // Collisions should be essentially absent at this scale.
+  EXPECT_GT(hashes.size(), 195u);
+}
+
+// Width sweep: operations must be correct when the tail word is partial.
+class SignatureWidthTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SignatureWidthTest, BoundaryBitsWork) {
+  const uint32_t bits = GetParam();
+  Signature sig(bits);
+  sig.Set(bits - 1);
+  sig.Set(0);
+  EXPECT_EQ(sig.Area(), bits == 1 ? 1u : 2u);
+  EXPECT_TRUE(sig.Test(bits - 1));
+  const auto items = sig.ToItems();
+  EXPECT_EQ(items.back(), bits - 1);
+}
+
+TEST_P(SignatureWidthTest, CountsConsistentAcrossWidths) {
+  const uint32_t bits = GetParam();
+  Rng rng(23 + bits);
+  const Signature a = RandomSignature(rng, bits, 0.5);
+  const Signature b = RandomSignature(rng, bits, 0.5);
+  uint32_t expected_inter = 0;
+  uint32_t expected_xor = 0;
+  for (uint32_t i = 0; i < bits; ++i) {
+    expected_inter += (a.Test(i) && b.Test(i)) ? 1 : 0;
+    expected_xor += (a.Test(i) != b.Test(i)) ? 1 : 0;
+  }
+  EXPECT_EQ(Signature::IntersectCount(a, b), expected_inter);
+  EXPECT_EQ(Signature::XorCount(a, b), expected_xor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SignatureWidthTest,
+                         ::testing::Values(1u, 7u, 63u, 64u, 65u, 127u, 128u,
+                                           129u, 255u, 525u, 1000u, 1024u));
+
+// ---------------------------------------------------------------------------
+// Gray-code ordering.
+// ---------------------------------------------------------------------------
+
+// Reference: integer Gray rank for signatures that fit in one word.
+uint64_t SmallGrayRank(const Signature& sig) {
+  const uint64_t g = sig.words()[0];
+  uint64_t x = 0;
+  for (int i = 63; i >= 0; --i) {
+    const uint64_t bit = (g >> i) & 1;
+    const uint64_t above = i == 63 ? 0 : (x >> (i + 1)) & 1;
+    x |= (bit ^ above) << i;
+  }
+  return x;
+}
+
+TEST(GrayCodeTest, RankMatchesScalarReferenceOneWord) {
+  Rng rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Signature sig = RandomSignature(rng, 64, 0.5);
+    EXPECT_EQ(GrayRank(sig)[0], SmallGrayRank(sig)) << sig.ToString();
+  }
+}
+
+TEST(GrayCodeTest, RankInvertsGrayCodeForSmallIntegers) {
+  // For x in 0..255: gray(x) = x ^ (x >> 1); rank(gray(x)) must be x.
+  for (uint64_t x = 0; x < 256; ++x) {
+    const uint64_t g = x ^ (x >> 1);
+    Signature sig(64);
+    for (uint32_t b = 0; b < 64; ++b) {
+      if ((g >> b) & 1) sig.Set(b);
+    }
+    EXPECT_EQ(GrayRank(sig)[0], x);
+  }
+}
+
+TEST(GrayCodeTest, GrayLessAgreesWithRankComparison) {
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Signature a = RandomSignature(rng, 192, 0.4);
+    const Signature b = RandomSignature(rng, 192, 0.4);
+    const auto ra = GrayRank(a);
+    const auto rb = GrayRank(b);
+    // Compare ranks as big integers, most significant word first.
+    bool less = false;
+    for (size_t i = ra.size(); i-- > 0;) {
+      if (ra[i] != rb[i]) {
+        less = ra[i] < rb[i];
+        break;
+      }
+    }
+    EXPECT_EQ(GrayLess(a, b), less);
+  }
+}
+
+TEST(GrayCodeTest, GrayLessIsStrictWeakOrder) {
+  Rng rng(37);
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 50; ++i) sigs.push_back(RandomSignature(rng, 128, 0.3));
+  std::sort(sigs.begin(), sigs.end(),
+            [](const Signature& a, const Signature& b) {
+              return GrayLess(a, b);
+            });
+  for (size_t i = 0; i + 1 < sigs.size(); ++i) {
+    EXPECT_FALSE(GrayLess(sigs[i + 1], sigs[i]));
+  }
+  EXPECT_FALSE(GrayLess(sigs[0], sigs[0]));
+}
+
+TEST(GrayCodeTest, ConsecutiveGrayCodesDifferInOneBit) {
+  // Walking ranks 0..63, the codewords (= signatures) at consecutive ranks
+  // differ in exactly one bit; verify our comparator sorts them in rank
+  // order.
+  std::vector<Signature> codes;
+  for (uint64_t x = 0; x < 64; ++x) {
+    const uint64_t g = x ^ (x >> 1);
+    Signature sig(64);
+    for (uint32_t b = 0; b < 64; ++b) {
+      if ((g >> b) & 1) sig.Set(b);
+    }
+    codes.push_back(sig);
+  }
+  for (size_t i = 0; i + 1 < codes.size(); ++i) {
+    EXPECT_EQ(Signature::XorCount(codes[i], codes[i + 1]), 1u);
+    EXPECT_TRUE(GrayLess(codes[i], codes[i + 1]));
+  }
+}
+
+}  // namespace
+}  // namespace sgtree

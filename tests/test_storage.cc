@@ -1,0 +1,353 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+#include "storage/codec.h"
+#include "storage/node_format.h"
+#include "storage/page_store.h"
+#include "tests/test_util.h"
+
+namespace sgtree {
+namespace {
+
+using ::sgtree::testing::RandomSignature;
+
+// ---------------------------------------------------------------------------
+// Signature codec (Section 3.2 compression).
+// ---------------------------------------------------------------------------
+
+TEST(CodecTest, SparseEncodingChosenForSparseSignature) {
+  // The paper's example: a 256-bit signature with ten 1s costs ~10 position
+  // slots instead of 32 bitmap bytes.
+  Signature sig(256);
+  for (uint32_t i = 0; i < 10; ++i) sig.Set(i * 20);
+  std::vector<uint8_t> out;
+  EncodeSignature(sig, &out);
+  EXPECT_EQ(out[0], kSparseTag);
+  EXPECT_LT(out.size(), DenseEncodedSize(256));
+  EXPECT_EQ(out.size(), EncodedSize(sig));
+}
+
+TEST(CodecTest, DenseEncodingChosenForDenseSignature) {
+  Signature sig(256);
+  for (uint32_t i = 0; i < 200; ++i) sig.Set(i);
+  std::vector<uint8_t> out;
+  EncodeSignature(sig, &out);
+  EXPECT_EQ(out[0], kDenseTag);
+  EXPECT_EQ(out.size(), DenseEncodedSize(256));
+}
+
+TEST(CodecTest, RoundTripSparse) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Signature sig = RandomSignature(rng, 1000, 0.01);
+    std::vector<uint8_t> out;
+    EncodeSignature(sig, &out);
+    size_t offset = 0;
+    Signature decoded;
+    ASSERT_TRUE(DecodeSignature(out, &offset, 1000, &decoded));
+    EXPECT_EQ(decoded, sig);
+    EXPECT_EQ(offset, out.size());
+  }
+}
+
+TEST(CodecTest, RoundTripDense) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Signature sig = RandomSignature(rng, 525, 0.6);
+    std::vector<uint8_t> out;
+    EncodeSignature(sig, &out);
+    size_t offset = 0;
+    Signature decoded;
+    ASSERT_TRUE(DecodeSignature(out, &offset, 525, &decoded));
+    EXPECT_EQ(decoded, sig);
+  }
+}
+
+TEST(CodecTest, RoundTripConcatenatedStream) {
+  Rng rng(3);
+  std::vector<Signature> sigs;
+  std::vector<uint8_t> out;
+  for (int i = 0; i < 20; ++i) {
+    sigs.push_back(RandomSignature(rng, 300, i % 2 == 0 ? 0.02 : 0.5));
+    EncodeSignature(sigs.back(), &out);
+  }
+  size_t offset = 0;
+  for (const Signature& expected : sigs) {
+    Signature decoded;
+    ASSERT_TRUE(DecodeSignature(out, &offset, 300, &decoded));
+    EXPECT_EQ(decoded, expected);
+  }
+  EXPECT_EQ(offset, out.size());
+}
+
+TEST(CodecTest, EmptyAndFullSignatures) {
+  for (uint32_t bits : {1u, 64u, 65u, 525u}) {
+    Signature empty(bits);
+    Signature full(bits);
+    for (uint32_t i = 0; i < bits; ++i) full.Set(i);
+    for (const Signature& sig : {empty, full}) {
+      std::vector<uint8_t> out;
+      EncodeSignature(sig, &out);
+      size_t offset = 0;
+      Signature decoded;
+      ASSERT_TRUE(DecodeSignature(out, &offset, bits, &decoded));
+      EXPECT_EQ(decoded, sig);
+    }
+  }
+}
+
+TEST(CodecTest, EncodedSizePredictsActual) {
+  Rng rng(4);
+  for (double density : {0.0, 0.005, 0.02, 0.1, 0.5, 1.0}) {
+    const Signature sig = RandomSignature(rng, 800, density);
+    std::vector<uint8_t> out;
+    EncodeSignature(sig, &out);
+    EXPECT_EQ(out.size(), EncodedSize(sig)) << "density=" << density;
+  }
+}
+
+TEST(CodecTest, RejectsTruncatedInput) {
+  Signature sig(128);
+  sig.Set(5);
+  std::vector<uint8_t> out;
+  EncodeSignature(sig, &out);
+  out.resize(out.size() - 1);
+  size_t offset = 0;
+  Signature decoded;
+  EXPECT_FALSE(DecodeSignature(out, &offset, 128, &decoded));
+}
+
+TEST(CodecTest, RejectsOutOfRangePosition) {
+  // Sparse encoding claiming bit 200 in a 128-bit signature.
+  std::vector<uint8_t> bad = {kSparseTag, 1, 0, 200, 0};
+  size_t offset = 0;
+  Signature decoded;
+  EXPECT_FALSE(DecodeSignature(bad, &offset, 128, &decoded));
+}
+
+TEST(CodecTest, RejectsUnknownTag) {
+  std::vector<uint8_t> bad = {42, 0, 0};
+  size_t offset = 0;
+  Signature decoded;
+  EXPECT_FALSE(DecodeSignature(bad, &offset, 128, &decoded));
+}
+
+TEST(CodecTest, RejectsDenseWithTrailingGarbageBits) {
+  // Dense payload for 4 bits with a bit set beyond num_bits.
+  std::vector<uint8_t> bad = {kDenseTag, 0xF0};
+  size_t offset = 0;
+  Signature decoded;
+  EXPECT_FALSE(DecodeSignature(bad, &offset, 4, &decoded));
+}
+
+// ---------------------------------------------------------------------------
+// Node format.
+// ---------------------------------------------------------------------------
+
+NodeRecord MakeRecord(Rng& rng, uint16_t level, int entries, uint32_t bits,
+                      double density) {
+  NodeRecord record;
+  record.level = level;
+  for (int i = 0; i < entries; ++i) {
+    record.entries.emplace_back(rng.NextU64(),
+                                RandomSignature(rng, bits, density));
+  }
+  return record;
+}
+
+class NodeFormatTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(NodeFormatTest, RoundTrip) {
+  Rng rng(5);
+  const bool compress = GetParam();
+  for (uint16_t level : {0, 1, 3}) {
+    const NodeRecord record = MakeRecord(rng, level, 17, 500, 0.03);
+    std::vector<uint8_t> out;
+    EncodeNode(record, compress, &out);
+    EXPECT_EQ(out.size(), EncodedNodeSize(record, compress));
+    NodeRecord decoded;
+    ASSERT_TRUE(DecodeNode(out, 500, &decoded));
+    EXPECT_EQ(decoded.level, record.level);
+    ASSERT_EQ(decoded.entries.size(), record.entries.size());
+    for (size_t i = 0; i < record.entries.size(); ++i) {
+      EXPECT_EQ(decoded.entries[i].first, record.entries[i].first);
+      EXPECT_EQ(decoded.entries[i].second, record.entries[i].second);
+    }
+  }
+}
+
+TEST_P(NodeFormatTest, EmptyNodeRoundTrip) {
+  NodeRecord record;
+  record.level = 2;
+  std::vector<uint8_t> out;
+  EncodeNode(record, GetParam(), &out);
+  NodeRecord decoded;
+  ASSERT_TRUE(DecodeNode(out, 100, &decoded));
+  EXPECT_EQ(decoded.level, 2);
+  EXPECT_TRUE(decoded.entries.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(CompressOnOff, NodeFormatTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "compressed" : "dense";
+                         });
+
+TEST(NodeFormatTest, CompressionShrinksSparseNodes) {
+  Rng rng(6);
+  const NodeRecord record = MakeRecord(rng, 0, 20, 1000, 0.01);
+  EXPECT_LT(EncodedNodeSize(record, true), EncodedNodeSize(record, false));
+}
+
+TEST(NodeFormatTest, RejectsTruncatedNode) {
+  Rng rng(7);
+  const NodeRecord record = MakeRecord(rng, 0, 5, 200, 0.1);
+  std::vector<uint8_t> out;
+  EncodeNode(record, true, &out);
+  out.resize(out.size() / 2);
+  NodeRecord decoded;
+  EXPECT_FALSE(DecodeNode(out, 200, &decoded));
+}
+
+TEST(NodeFormatTest, UncompressedEntrySizeMatchesEncoding) {
+  Rng rng(8);
+  NodeRecord record = MakeRecord(rng, 0, 1, 333, 0.9);
+  EXPECT_EQ(EncodedNodeSize(record, false),
+            4 + UncompressedEntrySize(333));
+}
+
+// ---------------------------------------------------------------------------
+// Page store.
+// ---------------------------------------------------------------------------
+
+TEST(PageStoreTest, AllocateWriteRead) {
+  PageStore store(64);
+  const PageId id = store.Allocate();
+  ASSERT_TRUE(store.Write(id, {1, 2, 3}));
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(store.Read(id, &payload));
+  EXPECT_EQ(payload, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(PageStoreTest, RejectsOversizedPayload) {
+  PageStore store(4);
+  const PageId id = store.Allocate();
+  EXPECT_FALSE(store.Write(id, {1, 2, 3, 4, 5}));
+  EXPECT_TRUE(store.Write(id, {1, 2, 3, 4}));
+}
+
+TEST(PageStoreTest, FreeListReusesIds) {
+  PageStore store;
+  const PageId a = store.Allocate();
+  const PageId b = store.Allocate();
+  EXPECT_NE(a, b);
+  store.Free(a);
+  EXPECT_EQ(store.LivePages(), 1u);
+  const PageId c = store.Allocate();
+  EXPECT_EQ(c, a);  // Reused.
+  EXPECT_EQ(store.TotalPages(), 2u);
+}
+
+TEST(PageStoreTest, ReadOfFreedPageFails) {
+  PageStore store;
+  const PageId id = store.Allocate();
+  ASSERT_TRUE(store.Write(id, {9}));
+  store.Free(id);
+  std::vector<uint8_t> payload;
+  EXPECT_FALSE(store.Read(id, &payload));
+  EXPECT_FALSE(store.Write(id, {1}));
+}
+
+TEST(PageStoreTest, InvalidIdRejected) {
+  PageStore store;
+  std::vector<uint8_t> payload;
+  EXPECT_FALSE(store.Read(123, &payload));
+}
+
+// ---------------------------------------------------------------------------
+// Buffer pool.
+// ---------------------------------------------------------------------------
+
+TEST(BufferPoolTest, FirstAccessIsMissSecondIsHit) {
+  BufferPool pool(4);
+  EXPECT_FALSE(pool.Touch(1));
+  EXPECT_TRUE(pool.Touch(1));
+  EXPECT_EQ(pool.stats().random_ios, 1u);
+  EXPECT_EQ(pool.stats().buffer_hits, 1u);
+  EXPECT_EQ(pool.stats().page_accesses, 2u);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  BufferPool pool(2);
+  pool.Touch(1);
+  pool.Touch(2);
+  pool.Touch(3);              // Evicts 1.
+  EXPECT_TRUE(pool.Touch(3));
+  EXPECT_TRUE(pool.Touch(2));
+  EXPECT_FALSE(pool.Touch(1));  // Was evicted.
+}
+
+TEST(BufferPoolTest, TouchRefreshesRecency) {
+  BufferPool pool(2);
+  pool.Touch(1);
+  pool.Touch(2);
+  pool.Touch(1);  // 1 becomes MRU; 2 is now LRU.
+  pool.Touch(3);  // Evicts 2.
+  EXPECT_TRUE(pool.Touch(1));
+  EXPECT_FALSE(pool.Touch(2));
+}
+
+TEST(BufferPoolTest, ZeroCapacityChargesEveryAccess) {
+  BufferPool pool(0);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(pool.Touch(7));
+  EXPECT_EQ(pool.stats().random_ios, 5u);
+  EXPECT_EQ(pool.ResidentPages(), 0u);
+}
+
+TEST(BufferPoolTest, EvictDropsPage) {
+  BufferPool pool(4);
+  pool.Touch(1);
+  pool.Evict(1);
+  EXPECT_FALSE(pool.Touch(1));
+}
+
+TEST(BufferPoolTest, ClearKeepsStats) {
+  BufferPool pool(4);
+  pool.Touch(1);
+  pool.Touch(1);
+  pool.Clear();
+  EXPECT_EQ(pool.ResidentPages(), 0u);
+  EXPECT_EQ(pool.stats().buffer_hits, 1u);
+  EXPECT_FALSE(pool.Touch(1));
+}
+
+TEST(BufferPoolTest, ResizeShrinkEvicts) {
+  BufferPool pool(4);
+  for (PageId id = 1; id <= 4; ++id) pool.Touch(id);
+  pool.Resize(2);
+  EXPECT_EQ(pool.ResidentPages(), 2u);
+  EXPECT_TRUE(pool.Touch(4));   // Most recent survive.
+  EXPECT_TRUE(pool.Touch(3));
+  EXPECT_FALSE(pool.Touch(1));  // Oldest evicted.
+}
+
+TEST(BufferPoolTest, HitRatio) {
+  BufferPool pool(8);
+  pool.Touch(1);
+  pool.Touch(1);
+  pool.Touch(1);
+  pool.Touch(2);
+  EXPECT_DOUBLE_EQ(pool.stats().HitRatio(), 0.5);
+}
+
+TEST(BufferPoolTest, WriteMakesResident) {
+  BufferPool pool(4);
+  pool.TouchWrite(5);
+  EXPECT_TRUE(pool.Touch(5));
+  EXPECT_EQ(pool.stats().page_writes, 1u);
+}
+
+}  // namespace
+}  // namespace sgtree

@@ -1,0 +1,74 @@
+#ifndef SGTREE_TESTS_TEST_UTIL_H_
+#define SGTREE_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/signature.h"
+#include "data/transaction.h"
+
+namespace sgtree::testing {
+
+/// A random signature with approximately `density * num_bits` set bits.
+inline Signature RandomSignature(Rng& rng, uint32_t num_bits,
+                                 double density) {
+  Signature sig(num_bits);
+  for (uint32_t i = 0; i < num_bits; ++i) {
+    if (rng.Bernoulli(density)) sig.Set(i);
+  }
+  return sig;
+}
+
+/// A random sorted item set of exactly `size` distinct items.
+inline std::vector<ItemId> RandomItems(Rng& rng, uint32_t num_items,
+                                       uint32_t size) {
+  std::vector<ItemId> items;
+  while (items.size() < size) {
+    const auto item = static_cast<ItemId>(rng.UniformInt(num_items));
+    if (std::find(items.begin(), items.end(), item) == items.end()) {
+      items.push_back(item);
+    }
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+/// A small clustered dataset: `num_clusters` random centers, each
+/// transaction perturbs a center by flipping a few memberships. Gives the
+/// index something meaningful to organize without a full generator.
+inline Dataset ClusteredDataset(uint64_t seed, uint32_t num_transactions,
+                                uint32_t num_items, uint32_t num_clusters,
+                                uint32_t center_size, uint32_t noise) {
+  Rng rng(seed);
+  std::vector<std::vector<ItemId>> centers;
+  centers.reserve(num_clusters);
+  for (uint32_t c = 0; c < num_clusters; ++c) {
+    centers.push_back(RandomItems(rng, num_items, center_size));
+  }
+  Dataset dataset;
+  dataset.num_items = num_items;
+  dataset.transactions.reserve(num_transactions);
+  for (uint32_t t = 0; t < num_transactions; ++t) {
+    const auto& center = centers[rng.UniformInt(num_clusters)];
+    Signature sig = Signature::FromItems(center, num_items);
+    for (uint32_t f = 0; f < noise; ++f) {
+      const auto bit = static_cast<uint32_t>(rng.UniformInt(num_items));
+      if (sig.Test(bit)) {
+        sig.Reset(bit);
+      } else {
+        sig.Set(bit);
+      }
+    }
+    Transaction txn;
+    txn.tid = t;
+    txn.items = sig.ToItems();
+    if (txn.items.empty()) txn.items.push_back(0);
+    dataset.transactions.push_back(std::move(txn));
+  }
+  return dataset;
+}
+
+}  // namespace sgtree::testing
+
+#endif  // SGTREE_TESTS_TEST_UTIL_H_
