@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bulk_loaders.dir/bench_ablation_bulk_loaders.cc.o"
+  "CMakeFiles/bench_ablation_bulk_loaders.dir/bench_ablation_bulk_loaders.cc.o.d"
+  "bench_ablation_bulk_loaders"
+  "bench_ablation_bulk_loaders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bulk_loaders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buffer_sensitivity.dir/bench_buffer_sensitivity.cc.o"
+  "CMakeFiles/bench_buffer_sensitivity.dir/bench_buffer_sensitivity.cc.o.d"
+  "bench_buffer_sensitivity"
+  "bench_buffer_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffer_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

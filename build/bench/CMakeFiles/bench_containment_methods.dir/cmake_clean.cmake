@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_containment_methods.dir/bench_containment_methods.cc.o"
+  "CMakeFiles/bench_containment_methods.dir/bench_containment_methods.cc.o.d"
+  "bench_containment_methods"
+  "bench_containment_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_containment_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_vary_d.dir/bench_fig11_vary_d.cc.o"
+  "CMakeFiles/bench_fig11_vary_d.dir/bench_fig11_vary_d.cc.o.d"
+  "bench_fig11_vary_d"
+  "bench_fig11_vary_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_vary_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

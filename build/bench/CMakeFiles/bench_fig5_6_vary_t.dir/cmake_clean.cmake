@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_6_vary_t.dir/bench_fig5_6_vary_t.cc.o"
+  "CMakeFiles/bench_fig5_6_vary_t.dir/bench_fig5_6_vary_t.cc.o.d"
+  "bench_fig5_6_vary_t"
+  "bench_fig5_6_vary_t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_6_vary_t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

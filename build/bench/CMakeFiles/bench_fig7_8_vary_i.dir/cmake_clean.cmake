@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8_vary_i.dir/bench_fig7_8_vary_i.cc.o"
+  "CMakeFiles/bench_fig7_8_vary_i.dir/bench_fig7_8_vary_i.cc.o.d"
+  "bench_fig7_8_vary_i"
+  "bench_fig7_8_vary_i.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_vary_i.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_queries.dir/bench_join_queries.cc.o"
+  "CMakeFiles/bench_join_queries.dir/bench_join_queries.cc.o.d"
+  "bench_join_queries"
+  "bench_join_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leaf_clustering.dir/bench_leaf_clustering.cc.o"
+  "CMakeFiles/bench_leaf_clustering.dir/bench_leaf_clustering.cc.o.d"
+  "bench_leaf_clustering"
+  "bench_leaf_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leaf_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

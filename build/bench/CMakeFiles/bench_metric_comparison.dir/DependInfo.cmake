@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_metric_comparison.cc" "bench/CMakeFiles/bench_metric_comparison.dir/bench_metric_comparison.cc.o" "gcc" "bench/CMakeFiles/bench_metric_comparison.dir/bench_metric_comparison.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_sgtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_sgtable.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_inverted.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

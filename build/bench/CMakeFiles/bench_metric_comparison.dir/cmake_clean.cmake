@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metric_comparison.dir/bench_metric_comparison.cc.o"
+  "CMakeFiles/bench_metric_comparison.dir/bench_metric_comparison.cc.o.d"
+  "bench_metric_comparison"
+  "bench_metric_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metric_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sgtable_sensitivity.dir/bench_sgtable_sensitivity.cc.o"
+  "CMakeFiles/bench_sgtable_sensitivity.dir/bench_sgtable_sensitivity.cc.o.d"
+  "bench_sgtable_sensitivity"
+  "bench_sgtable_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sgtable_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

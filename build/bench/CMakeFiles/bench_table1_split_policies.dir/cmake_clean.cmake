@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_split_policies.dir/bench_table1_split_policies.cc.o"
+  "CMakeFiles/bench_table1_split_policies.dir/bench_table1_split_policies.cc.o.d"
+  "bench_table1_split_policies"
+  "bench_table1_split_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_split_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_search.dir/containment_search.cc.o"
+  "CMakeFiles/containment_search.dir/containment_search.cc.o.d"
+  "containment_search"
+  "containment_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

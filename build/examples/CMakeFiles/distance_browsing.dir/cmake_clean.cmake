@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_browsing.dir/distance_browsing.cc.o"
+  "CMakeFiles/distance_browsing.dir/distance_browsing.cc.o.d"
+  "distance_browsing"
+  "distance_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_basket_recommender.dir/market_basket_recommender.cc.o"
+  "CMakeFiles/market_basket_recommender.dir/market_basket_recommender.cc.o.d"
+  "market_basket_recommender"
+  "market_basket_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_basket_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistence_demo.dir/persistence_demo.cc.o"
+  "CMakeFiles/persistence_demo.dir/persistence_demo.cc.o.d"
+  "persistence_demo"
+  "persistence_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistence_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_baseline.dir/baseline/linear_scan.cc.o"
+  "CMakeFiles/sg_baseline.dir/baseline/linear_scan.cc.o.d"
+  "libsg_baseline.a"
+  "libsg_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

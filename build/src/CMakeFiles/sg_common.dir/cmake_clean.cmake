@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_common.dir/common/distance.cc.o"
+  "CMakeFiles/sg_common.dir/common/distance.cc.o.d"
+  "CMakeFiles/sg_common.dir/common/gray_code.cc.o"
+  "CMakeFiles/sg_common.dir/common/gray_code.cc.o.d"
+  "CMakeFiles/sg_common.dir/common/rng.cc.o"
+  "CMakeFiles/sg_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/sg_common.dir/common/signature.cc.o"
+  "CMakeFiles/sg_common.dir/common/signature.cc.o.d"
+  "libsg_common.a"
+  "libsg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

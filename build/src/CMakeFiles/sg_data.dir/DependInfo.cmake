@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/census_generator.cc" "src/CMakeFiles/sg_data.dir/data/census_generator.cc.o" "gcc" "src/CMakeFiles/sg_data.dir/data/census_generator.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/sg_data.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/sg_data.dir/data/dataset_io.cc.o.d"
+  "/root/repo/src/data/dictionary.cc" "src/CMakeFiles/sg_data.dir/data/dictionary.cc.o" "gcc" "src/CMakeFiles/sg_data.dir/data/dictionary.cc.o.d"
+  "/root/repo/src/data/quest_generator.cc" "src/CMakeFiles/sg_data.dir/data/quest_generator.cc.o" "gcc" "src/CMakeFiles/sg_data.dir/data/quest_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

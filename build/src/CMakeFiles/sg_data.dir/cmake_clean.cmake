@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_data.dir/data/census_generator.cc.o"
+  "CMakeFiles/sg_data.dir/data/census_generator.cc.o.d"
+  "CMakeFiles/sg_data.dir/data/dataset_io.cc.o"
+  "CMakeFiles/sg_data.dir/data/dataset_io.cc.o.d"
+  "CMakeFiles/sg_data.dir/data/dictionary.cc.o"
+  "CMakeFiles/sg_data.dir/data/dictionary.cc.o.d"
+  "CMakeFiles/sg_data.dir/data/quest_generator.cc.o"
+  "CMakeFiles/sg_data.dir/data/quest_generator.cc.o.d"
+  "libsg_data.a"
+  "libsg_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

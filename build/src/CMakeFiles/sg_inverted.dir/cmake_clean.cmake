@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_inverted.dir/inverted/inverted_index.cc.o"
+  "CMakeFiles/sg_inverted.dir/inverted/inverted_index.cc.o.d"
+  "libsg_inverted.a"
+  "libsg_inverted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_inverted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

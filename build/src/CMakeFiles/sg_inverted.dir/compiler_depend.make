@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sg_inverted.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgtable/cooccurrence.cc" "src/CMakeFiles/sg_sgtable.dir/sgtable/cooccurrence.cc.o" "gcc" "src/CMakeFiles/sg_sgtable.dir/sgtable/cooccurrence.cc.o.d"
+  "/root/repo/src/sgtable/item_clustering.cc" "src/CMakeFiles/sg_sgtable.dir/sgtable/item_clustering.cc.o" "gcc" "src/CMakeFiles/sg_sgtable.dir/sgtable/item_clustering.cc.o.d"
+  "/root/repo/src/sgtable/sg_table.cc" "src/CMakeFiles/sg_sgtable.dir/sgtable/sg_table.cc.o" "gcc" "src/CMakeFiles/sg_sgtable.dir/sgtable/sg_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_sgtable.dir/sgtable/cooccurrence.cc.o"
+  "CMakeFiles/sg_sgtable.dir/sgtable/cooccurrence.cc.o.d"
+  "CMakeFiles/sg_sgtable.dir/sgtable/item_clustering.cc.o"
+  "CMakeFiles/sg_sgtable.dir/sgtable/item_clustering.cc.o.d"
+  "CMakeFiles/sg_sgtable.dir/sgtable/sg_table.cc.o"
+  "CMakeFiles/sg_sgtable.dir/sgtable/sg_table.cc.o.d"
+  "libsg_sgtable.a"
+  "libsg_sgtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_sgtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgtree/bulk_load.cc" "src/CMakeFiles/sg_sgtree.dir/sgtree/bulk_load.cc.o" "gcc" "src/CMakeFiles/sg_sgtree.dir/sgtree/bulk_load.cc.o.d"
+  "/root/repo/src/sgtree/choose_subtree.cc" "src/CMakeFiles/sg_sgtree.dir/sgtree/choose_subtree.cc.o" "gcc" "src/CMakeFiles/sg_sgtree.dir/sgtree/choose_subtree.cc.o.d"
+  "/root/repo/src/sgtree/clustering.cc" "src/CMakeFiles/sg_sgtree.dir/sgtree/clustering.cc.o" "gcc" "src/CMakeFiles/sg_sgtree.dir/sgtree/clustering.cc.o.d"
+  "/root/repo/src/sgtree/incremental.cc" "src/CMakeFiles/sg_sgtree.dir/sgtree/incremental.cc.o" "gcc" "src/CMakeFiles/sg_sgtree.dir/sgtree/incremental.cc.o.d"
+  "/root/repo/src/sgtree/join.cc" "src/CMakeFiles/sg_sgtree.dir/sgtree/join.cc.o" "gcc" "src/CMakeFiles/sg_sgtree.dir/sgtree/join.cc.o.d"
+  "/root/repo/src/sgtree/node.cc" "src/CMakeFiles/sg_sgtree.dir/sgtree/node.cc.o" "gcc" "src/CMakeFiles/sg_sgtree.dir/sgtree/node.cc.o.d"
+  "/root/repo/src/sgtree/paged_reader.cc" "src/CMakeFiles/sg_sgtree.dir/sgtree/paged_reader.cc.o" "gcc" "src/CMakeFiles/sg_sgtree.dir/sgtree/paged_reader.cc.o.d"
+  "/root/repo/src/sgtree/persistence.cc" "src/CMakeFiles/sg_sgtree.dir/sgtree/persistence.cc.o" "gcc" "src/CMakeFiles/sg_sgtree.dir/sgtree/persistence.cc.o.d"
+  "/root/repo/src/sgtree/search.cc" "src/CMakeFiles/sg_sgtree.dir/sgtree/search.cc.o" "gcc" "src/CMakeFiles/sg_sgtree.dir/sgtree/search.cc.o.d"
+  "/root/repo/src/sgtree/sg_tree.cc" "src/CMakeFiles/sg_sgtree.dir/sgtree/sg_tree.cc.o" "gcc" "src/CMakeFiles/sg_sgtree.dir/sgtree/sg_tree.cc.o.d"
+  "/root/repo/src/sgtree/split.cc" "src/CMakeFiles/sg_sgtree.dir/sgtree/split.cc.o" "gcc" "src/CMakeFiles/sg_sgtree.dir/sgtree/split.cc.o.d"
+  "/root/repo/src/sgtree/tree_checker.cc" "src/CMakeFiles/sg_sgtree.dir/sgtree/tree_checker.cc.o" "gcc" "src/CMakeFiles/sg_sgtree.dir/sgtree/tree_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

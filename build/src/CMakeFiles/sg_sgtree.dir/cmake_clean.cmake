@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_sgtree.dir/sgtree/bulk_load.cc.o"
+  "CMakeFiles/sg_sgtree.dir/sgtree/bulk_load.cc.o.d"
+  "CMakeFiles/sg_sgtree.dir/sgtree/choose_subtree.cc.o"
+  "CMakeFiles/sg_sgtree.dir/sgtree/choose_subtree.cc.o.d"
+  "CMakeFiles/sg_sgtree.dir/sgtree/clustering.cc.o"
+  "CMakeFiles/sg_sgtree.dir/sgtree/clustering.cc.o.d"
+  "CMakeFiles/sg_sgtree.dir/sgtree/incremental.cc.o"
+  "CMakeFiles/sg_sgtree.dir/sgtree/incremental.cc.o.d"
+  "CMakeFiles/sg_sgtree.dir/sgtree/join.cc.o"
+  "CMakeFiles/sg_sgtree.dir/sgtree/join.cc.o.d"
+  "CMakeFiles/sg_sgtree.dir/sgtree/node.cc.o"
+  "CMakeFiles/sg_sgtree.dir/sgtree/node.cc.o.d"
+  "CMakeFiles/sg_sgtree.dir/sgtree/paged_reader.cc.o"
+  "CMakeFiles/sg_sgtree.dir/sgtree/paged_reader.cc.o.d"
+  "CMakeFiles/sg_sgtree.dir/sgtree/persistence.cc.o"
+  "CMakeFiles/sg_sgtree.dir/sgtree/persistence.cc.o.d"
+  "CMakeFiles/sg_sgtree.dir/sgtree/search.cc.o"
+  "CMakeFiles/sg_sgtree.dir/sgtree/search.cc.o.d"
+  "CMakeFiles/sg_sgtree.dir/sgtree/sg_tree.cc.o"
+  "CMakeFiles/sg_sgtree.dir/sgtree/sg_tree.cc.o.d"
+  "CMakeFiles/sg_sgtree.dir/sgtree/split.cc.o"
+  "CMakeFiles/sg_sgtree.dir/sgtree/split.cc.o.d"
+  "CMakeFiles/sg_sgtree.dir/sgtree/tree_checker.cc.o"
+  "CMakeFiles/sg_sgtree.dir/sgtree/tree_checker.cc.o.d"
+  "libsg_sgtree.a"
+  "libsg_sgtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_sgtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/sg_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/sg_storage.dir/storage/codec.cc.o"
+  "CMakeFiles/sg_storage.dir/storage/codec.cc.o.d"
+  "CMakeFiles/sg_storage.dir/storage/node_format.cc.o"
+  "CMakeFiles/sg_storage.dir/storage/node_format.cc.o.d"
+  "CMakeFiles/sg_storage.dir/storage/page_store.cc.o"
+  "CMakeFiles/sg_storage.dir/storage/page_store.cc.o.d"
+  "libsg_storage.a"
+  "libsg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_tools.dir/tools/cli.cc.o"
+  "CMakeFiles/sg_tools.dir/tools/cli.cc.o.d"
+  "CMakeFiles/sg_tools.dir/tools/command_line.cc.o"
+  "CMakeFiles/sg_tools.dir/tools/command_line.cc.o.d"
+  "libsg_tools.a"
+  "libsg_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgtree_cli.dir/tools/sgtree_cli_main.cc.o"
+  "CMakeFiles/sgtree_cli.dir/tools/sgtree_cli_main.cc.o.d"
+  "sgtree_cli"
+  "sgtree_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgtree_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_component.dir/test_cross_component.cc.o"
+  "CMakeFiles/test_cross_component.dir/test_cross_component.cc.o.d"
+  "test_cross_component"
+  "test_cross_component.pdb"
+  "test_cross_component[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

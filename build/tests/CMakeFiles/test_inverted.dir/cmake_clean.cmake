@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inverted.dir/test_inverted.cc.o"
+  "CMakeFiles/test_inverted.dir/test_inverted.cc.o.d"
+  "test_inverted"
+  "test_inverted.pdb"
+  "test_inverted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inverted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

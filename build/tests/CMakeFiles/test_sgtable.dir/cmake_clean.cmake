@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgtable.dir/test_sgtable.cc.o"
+  "CMakeFiles/test_sgtable.dir/test_sgtable.cc.o.d"
+  "test_sgtable"
+  "test_sgtable.pdb"
+  "test_sgtable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgtree_bulk.dir/test_sgtree_bulk.cc.o"
+  "CMakeFiles/test_sgtree_bulk.dir/test_sgtree_bulk.cc.o.d"
+  "test_sgtree_bulk"
+  "test_sgtree_bulk.pdb"
+  "test_sgtree_bulk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgtree_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

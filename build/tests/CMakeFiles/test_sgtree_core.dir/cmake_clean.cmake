@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgtree_core.dir/test_sgtree_core.cc.o"
+  "CMakeFiles/test_sgtree_core.dir/test_sgtree_core.cc.o.d"
+  "test_sgtree_core"
+  "test_sgtree_core.pdb"
+  "test_sgtree_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgtree_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

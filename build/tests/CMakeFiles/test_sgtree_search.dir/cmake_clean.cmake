@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgtree_search.dir/test_sgtree_search.cc.o"
+  "CMakeFiles/test_sgtree_search.dir/test_sgtree_search.cc.o.d"
+  "test_sgtree_search"
+  "test_sgtree_search.pdb"
+  "test_sgtree_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgtree_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgtree_updates.dir/test_sgtree_updates.cc.o"
+  "CMakeFiles/test_sgtree_updates.dir/test_sgtree_updates.cc.o.d"
+  "test_sgtree_updates"
+  "test_sgtree_updates.pdb"
+  "test_sgtree_updates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgtree_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

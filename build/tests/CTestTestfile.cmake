@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_signature[1]_include.cmake")
+include("/root/repo/build/tests/test_distance[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_sgtree_core[1]_include.cmake")
+include("/root/repo/build/tests/test_sgtree_search[1]_include.cmake")
+include("/root/repo/build/tests/test_sgtree_updates[1]_include.cmake")
+include("/root/repo/build/tests/test_sgtree_bulk[1]_include.cmake")
+include("/root/repo/build/tests/test_sgtable[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_area_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_inverted[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_component[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
