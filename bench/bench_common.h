@@ -125,7 +125,7 @@ inline std::vector<Signature> ToSignatures(
 
 /// Runs k-NN queries against the tree with a cold buffer per query (the
 /// paper measures per-query random I/O).
-inline MethodResult RunTreeKnn(const SgTree& tree,
+inline MethodResult RunTreeKnn(SgTree& tree,
                                const std::vector<Signature>& queries,
                                uint32_t k, size_t dataset_size) {
   QueryStats stats;
@@ -154,7 +154,7 @@ inline MethodResult RunTableKnn(const SgTable& table,
           elapsed / n, stats.random_ios / n};
 }
 
-inline MethodResult RunTreeRange(const SgTree& tree,
+inline MethodResult RunTreeRange(SgTree& tree,
                                  const std::vector<Signature>& queries,
                                  double epsilon, size_t dataset_size) {
   QueryStats stats;

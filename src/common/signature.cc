@@ -42,10 +42,28 @@ void Signature::IntersectWith(const Signature& other) {
 
 bool Signature::Contains(const Signature& other) const {
   assert(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((other.words_[i] & ~words_[i]) != 0) return false;
+  if (this == &other) return true;
+  // Early exit on the first word with a bit of `other` not already present
+  // in *this; random signatures diverge within the first word or two, so
+  // the common (non-contained) case touches a fraction of the words.
+  const uint64_t* mine = words_.data();
+  const uint64_t* theirs = other.words_.data();
+  const size_t n = words_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if ((theirs[i] & ~mine[i]) != 0) return false;
   }
   return true;
+}
+
+Signature::BoundAndArea Signature::EnlargementAndArea(const Signature& a,
+                                                      const Signature& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  BoundAndArea result;
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    result.enlargement += PopCount(b.words_[i] & ~a.words_[i]);
+    result.area += PopCount(a.words_[i]);
+  }
+  return result;
 }
 
 uint32_t Signature::IntersectCount(const Signature& a, const Signature& b) {
@@ -95,6 +113,7 @@ uint32_t Signature::Enlargement(const Signature& a, const Signature& b) {
 
 std::vector<uint32_t> Signature::ToItems() const {
   std::vector<uint32_t> items;
+  items.reserve(Area());
   for (uint32_t wi = 0; wi < words_.size(); ++wi) {
     uint64_t w = words_[wi];
     while (w != 0) {

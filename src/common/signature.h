@@ -68,6 +68,16 @@ class Signature {
   /// covers `other`; a directory entry covers every signature below it).
   bool Contains(const Signature& other) const;
 
+  /// Enlargement and area of `a` computed together. ChooseSubtree needs
+  /// both for every candidate entry; fusing them halves the passes over the
+  /// signature words on the insert hot path.
+  struct BoundAndArea {
+    uint32_t enlargement = 0;  // |b AND NOT a| = growth of a to cover b.
+    uint32_t area = 0;         // |a|.
+  };
+  static BoundAndArea EnlargementAndArea(const Signature& a,
+                                         const Signature& b);
+
   /// |a AND b| without materializing the intersection.
   static uint32_t IntersectCount(const Signature& a, const Signature& b);
   /// |a AND NOT b|: bits of `a` missing from `b`.

@@ -1,0 +1,220 @@
+#include "exec/query_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sgtree/search.h"
+#include "storage/query_context.h"
+
+namespace sgtree {
+
+QueryResult ExecuteTreeQuery(const SgTree& tree, const BatchQuery& query,
+                             PageCache* pool) {
+  QueryResult result;
+  const QueryContext ctx{pool, &result.stats};
+  Timer timer;
+  switch (query.type) {
+    case QueryType::kKnn:
+      result.neighbors = DfsKNearest(tree, query.query, query.k, ctx);
+      break;
+    case QueryType::kBestFirstKnn:
+      result.neighbors = BestFirstKNearest(tree, query.query, query.k, ctx);
+      break;
+    case QueryType::kRange:
+      result.neighbors = RangeSearch(tree, query.query, query.epsilon, ctx);
+      break;
+    case QueryType::kContainment:
+      result.ids = ContainmentSearch(tree, query.query, ctx);
+      break;
+    case QueryType::kExact:
+      result.ids = ExactSearch(tree, query.query, ctx);
+      break;
+    case QueryType::kSubset:
+      result.ids = SubsetSearch(tree, query.query, ctx);
+      break;
+  }
+  result.elapsed_us = timer.ElapsedMs() * 1000.0;
+  return result;
+}
+
+QueryResult ExecuteTableQuery(const SgTable& table, const BatchQuery& query) {
+  QueryResult result;
+  Timer timer;
+  switch (query.type) {
+    case QueryType::kKnn:
+    case QueryType::kBestFirstKnn:
+      result.neighbors = table.KNearest(query.query, query.k, &result.stats);
+      break;
+    case QueryType::kRange:
+      result.neighbors = table.Range(query.query, query.epsilon, &result.stats);
+      break;
+    case QueryType::kContainment:
+    case QueryType::kExact:
+    case QueryType::kSubset:
+      break;  // The SG-table does not index set predicates.
+  }
+  result.elapsed_us = timer.ElapsedMs() * 1000.0;
+  return result;
+}
+
+QueryResult ExecuteInvertedQuery(const InvertedIndex& index,
+                                 const BatchQuery& query) {
+  QueryResult result;
+  Timer timer;
+  const std::vector<ItemId> items = query.query.ToItems();
+  switch (query.type) {
+    case QueryType::kKnn:
+    case QueryType::kBestFirstKnn:
+      result.neighbors = index.KNearest(items, query.k, &result.stats);
+      break;
+    case QueryType::kRange:
+      result.neighbors = index.Range(items, query.epsilon, &result.stats);
+      break;
+    case QueryType::kContainment:
+      result.ids = index.Containing(items, &result.stats);
+      break;
+    case QueryType::kSubset:
+      result.ids = index.ContainedIn(items, &result.stats);
+      break;
+    case QueryType::kExact:
+      break;  // Exact match needs signatures, not posting lists.
+  }
+  result.elapsed_us = timer.ElapsedMs() * 1000.0;
+  return result;
+}
+
+QueryExecutor::QueryExecutor(const QueryExecutorOptions& options)
+    : options_(options) {
+  uint32_t n = options_.num_threads;
+  if (n == 0) n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  if (options_.pool_shards > 0) {
+    shared_pool_ = std::make_unique<ShardedBufferPool>(options_.buffer_pages,
+                                                       options_.pool_shards);
+  }
+  workers_ = std::vector<Worker>(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (shared_pool_ == nullptr) {
+      workers_[i].pool = std::make_unique<BufferPool>(options_.buffer_pages);
+    }
+    workers_[i].thread = std::thread(&QueryExecutor::WorkerLoop, this, i);
+  }
+}
+
+QueryExecutor::~QueryExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (Worker& w : workers_) {
+    if (w.thread.joinable()) w.thread.join();
+  }
+}
+
+PageCache* QueryExecutor::PoolFor(uint32_t worker_id) {
+  if (shared_pool_ != nullptr) return shared_pool_.get();
+  return workers_[worker_id].pool.get();
+}
+
+void QueryExecutor::WorkerLoop(uint32_t worker_id) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(size_t, uint32_t)>* job = nullptr;
+    size_t size = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || job_epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+      size = job_size_;
+    }
+    // Drain the shared cursor: each fetch_add claims one item, so the batch
+    // load-balances itself regardless of per-query cost skew.
+    for (;;) {
+      const size_t i = next_item_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= size) break;
+      (*job)(i, worker_id);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++workers_done_ == workers_.size()) done_cv_.notify_one();
+    }
+  }
+}
+
+void QueryExecutor::ParallelFor(
+    size_t n, const std::function<void(size_t, uint32_t)>& fn) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_size_ = n;
+    next_item_.store(0, std::memory_order_relaxed);
+    workers_done_ = 0;
+    ++job_epoch_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_done_ == workers_.size(); });
+  job_ = nullptr;
+}
+
+template <typename ExecuteFn>
+std::vector<QueryResult> QueryExecutor::RunBatch(size_t n,
+                                                 ExecuteFn&& execute) {
+  // Results land in pre-sized slots by batch index; each slot is written by
+  // exactly one worker, so no synchronization is needed on the vector.
+  std::vector<QueryResult> results(n);
+  std::vector<QueryStats> worker_stats(workers_.size());
+  ParallelFor(n, [&](size_t i, uint32_t worker_id) {
+    results[i] = execute(i, worker_id);
+    worker_stats[worker_id] += results[i].stats;
+  });
+  batch_stats_ = QueryStats{};
+  for (const QueryStats& s : worker_stats) batch_stats_ += s;
+  return results;
+}
+
+std::vector<QueryResult> QueryExecutor::Run(
+    const SgTree& tree, const std::vector<BatchQuery>& batch) {
+  return RunBatch(batch.size(), [&](size_t i, uint32_t worker_id) {
+    PageCache* pool = PoolFor(worker_id);
+    // Private-pool mode starts every query cold, exactly like RunSerial and
+    // the paper's per-query I/O measurements; the shared sharded pool stays
+    // warm across the whole batch instead.
+    if (shared_pool_ == nullptr) pool->Clear();
+    return ExecuteTreeQuery(tree, batch[i], pool);
+  });
+}
+
+std::vector<QueryResult> QueryExecutor::Run(
+    const SgTable& table, const std::vector<BatchQuery>& batch) {
+  return RunBatch(batch.size(), [&](size_t i, uint32_t /*worker_id*/) {
+    return ExecuteTableQuery(table, batch[i]);
+  });
+}
+
+std::vector<QueryResult> QueryExecutor::Run(
+    const InvertedIndex& index, const std::vector<BatchQuery>& batch) {
+  return RunBatch(batch.size(), [&](size_t i, uint32_t /*worker_id*/) {
+    return ExecuteInvertedQuery(index, batch[i]);
+  });
+}
+
+std::vector<QueryResult> QueryExecutor::RunSerial(
+    const SgTree& tree, const std::vector<BatchQuery>& batch,
+    uint32_t buffer_pages) {
+  BufferPool pool(buffer_pages);
+  std::vector<QueryResult> results;
+  results.reserve(batch.size());
+  for (const BatchQuery& query : batch) {
+    pool.Clear();
+    results.push_back(ExecuteTreeQuery(tree, query, &pool));
+  }
+  return results;
+}
+
+}  // namespace sgtree

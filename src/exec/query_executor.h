@@ -1,0 +1,196 @@
+#ifndef SGTREE_EXEC_QUERY_EXECUTOR_H_
+#define SGTREE_EXEC_QUERY_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "baseline/linear_scan.h"
+#include "common/signature.h"
+#include "common/stats.h"
+#include "inverted/inverted_index.h"
+#include "sgtable/sg_table.h"
+#include "sgtree/sg_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/sharded_buffer_pool.h"
+
+namespace sgtree {
+
+/// Query types a batch may mix freely. kKnn / kBestFirstKnn / kRange fill
+/// QueryResult::neighbors; the set-predicate types fill QueryResult::ids.
+enum class QueryType {
+  kKnn,           // Depth-first branch-and-bound k-NN (Figure 4).
+  kBestFirstKnn,  // Optimal best-first k-NN (Hjaltason & Samet).
+  kRange,         // All transactions within distance epsilon.
+  kContainment,   // Supersets of the query item set.
+  kExact,         // Exact signature matches.
+  kSubset,        // Subsets of the query item set.
+};
+
+/// One query of a batch. `k` is used by the k-NN types, `epsilon` by kRange;
+/// the others need only the signature.
+struct BatchQuery {
+  QueryType type = QueryType::kKnn;
+  Signature query;
+  uint32_t k = 1;
+  double epsilon = 0.0;
+};
+
+/// Result slot for one query, in batch order.
+struct QueryResult {
+  std::vector<Neighbor> neighbors;  // kKnn / kBestFirstKnn / kRange.
+  std::vector<uint64_t> ids;        // kContainment / kExact / kSubset.
+  QueryStats stats;                 // Per-query counters (deterministic in
+                                    // private-pool mode).
+  double elapsed_us = 0;            // Wall time of this query (not compared
+                                    // by the determinism tests).
+
+  friend bool operator==(const QueryResult& a, const QueryResult& b) {
+    return a.neighbors == b.neighbors && a.ids == b.ids &&
+           a.stats.nodes_accessed == b.stats.nodes_accessed &&
+           a.stats.random_ios == b.stats.random_ios &&
+           a.stats.transactions_compared == b.stats.transactions_compared &&
+           a.stats.bounds_computed == b.stats.bounds_computed;
+  }
+};
+
+struct QueryExecutorOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  uint32_t num_threads = 0;
+
+  /// Buffer frames for I/O accounting: the capacity of each worker's
+  /// private pool, or the total capacity of the shared sharded pool.
+  uint32_t buffer_pages = 64;
+
+  /// 0 (default): every worker owns a private BufferPool that is cleared
+  /// before each query — per-query random I/Os are the cold-cache cost the
+  /// paper measures, independent of scheduling, so parallel output is
+  /// byte-identical to the serial path.
+  ///
+  /// > 0: all workers share one ShardedBufferPool with this many lock
+  /// stripes. Queries then warm the cache for each other (higher QPS,
+  /// matching a production server with one buffer manager), at the price of
+  /// schedule-dependent per-query I/O counts. Result values are unaffected.
+  uint32_t pool_shards = 0;
+};
+
+/// Fixed-size worker-pool executor for query batches (the ROADMAP's
+/// "serving heavy traffic" path). Threads are started once at construction
+/// and parked on a condition variable between batches; Run() fans a batch
+/// out over them with an atomic work-stealing cursor and returns results in
+/// input order. Per-query counters accumulate into per-worker QueryStats
+/// and are reduced into batch_stats() at batch end — no shared counter is
+/// written from two threads.
+///
+/// The index structures are taken by const reference: queries never mutate
+/// them (see QueryContext), which is the invariant making the fan-out
+/// sound. Do not run a batch concurrently with inserts/erases on the same
+/// tree.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const QueryExecutorOptions& options = {});
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Runs a batch against the SG-tree; all query types are supported.
+  std::vector<QueryResult> Run(const SgTree& tree,
+                               const std::vector<BatchQuery>& batch);
+
+  /// Runs a batch against the SG-table baseline (Hamming only; kKnn /
+  /// kBestFirstKnn answered by KNearest, kRange by Range; set-predicate
+  /// types yield empty results — the SG-table does not index containment).
+  std::vector<QueryResult> Run(const SgTable& table,
+                               const std::vector<BatchQuery>& batch);
+
+  /// Runs a batch against the inverted-file baseline (kKnn / kBestFirstKnn
+  /// -> KNearest, kRange -> Range, kContainment -> Containing, kSubset ->
+  /// ContainedIn; kExact yields empty results).
+  std::vector<QueryResult> Run(const InvertedIndex& index,
+                               const std::vector<BatchQuery>& batch);
+
+  /// Serial reference: executes the batch on the calling thread with one
+  /// private pool cleared per query — the exact semantics of the
+  /// private-pool parallel mode, so Run(tree, batch) == RunSerial(...) for
+  /// any thread count. This is the oracle the determinism tests compare
+  /// against.
+  static std::vector<QueryResult> RunSerial(const SgTree& tree,
+                                            const std::vector<BatchQuery>& batch,
+                                            uint32_t buffer_pages = 64);
+
+  /// Low-level fan-out: invokes fn(index, worker_id) for every index in
+  /// [0, n), load-balanced across the worker pool. worker_id < max(1,
+  /// num_threads()) and is stable within one callback. Blocks until all n
+  /// are done. Not reentrant.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, uint32_t)>& fn);
+
+  /// Aggregate counters of the last Run(), reduced from the per-worker
+  /// accumulators.
+  const QueryStats& batch_stats() const { return batch_stats_; }
+
+  /// The shared pool (null in private-pool mode); its per-shard stats
+  /// snapshot is the batch's global I/O picture.
+  const ShardedBufferPool* shared_pool() const { return shared_pool_.get(); }
+  ShardedBufferPool* shared_pool() { return shared_pool_.get(); }
+
+ private:
+  void WorkerLoop(uint32_t worker_id);
+
+  /// Pool worker `worker_id` charges queries against: its private
+  /// BufferPool, or the shared ShardedBufferPool when sharding is on. A
+  /// buffer_pages of 0 gives capacity-0 private pools that miss on every
+  /// access — the "no buffer" accounting mode.
+  PageCache* PoolFor(uint32_t worker_id);
+
+  /// Runs `batch` by fanning `execute(i, pool)` results into slot i,
+  /// reducing per-worker stats at the end.
+  template <typename ExecuteFn>
+  std::vector<QueryResult> RunBatch(size_t n, ExecuteFn&& execute);
+
+  QueryExecutorOptions options_;
+
+  struct Worker {
+    std::thread thread;
+    std::unique_ptr<BufferPool> pool;  // Private-pool mode only.
+  };
+  std::vector<Worker> workers_;
+  std::unique_ptr<ShardedBufferPool> shared_pool_;
+
+  // Batch hand-off: workers park on work_cv_ until job_epoch_ advances,
+  // then drain next_item_ and report through workers_done_ / done_cv_.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t, uint32_t)>* job_ = nullptr;  // Guarded.
+  size_t job_size_ = 0;                                         // Guarded.
+  uint64_t job_epoch_ = 0;                                      // Guarded.
+  size_t workers_done_ = 0;                                     // Guarded.
+  bool shutdown_ = false;                                       // Guarded.
+  std::atomic<size_t> next_item_{0};
+
+  QueryStats batch_stats_;
+};
+
+/// Executes one query against the tree with an explicit pool — the shared
+/// single-query kernel of QueryExecutor::Run/RunSerial (exposed for tests
+/// and custom harnesses).
+QueryResult ExecuteTreeQuery(const SgTree& tree, const BatchQuery& query,
+                             PageCache* pool);
+QueryResult ExecuteTableQuery(const SgTable& table, const BatchQuery& query);
+QueryResult ExecuteInvertedQuery(const InvertedIndex& index,
+                                 const BatchQuery& query);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_EXEC_QUERY_EXECUTOR_H_

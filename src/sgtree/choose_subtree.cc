@@ -43,15 +43,16 @@ size_t ChooseSubtree(const Node& node, const Signature& sig,
   }
   if (best_containing != node.entries.size()) return best_containing;
 
-  // Case 3: no entry contains the signature.
+  // Case 3: no entry contains the signature. The fused
+  // EnlargementAndArea computes both ranking keys in one pass over the
+  // entry's words instead of two.
   if (policy == ChooseSubtreePolicy::kMinEnlargement) {
     size_t best = 0;
     uint32_t best_enlargement = std::numeric_limits<uint32_t>::max();
     uint32_t best_area = std::numeric_limits<uint32_t>::max();
     for (size_t i = 0; i < node.entries.size(); ++i) {
-      const uint32_t enlargement =
-          Signature::Enlargement(node.entries[i].sig, sig);
-      const uint32_t area = node.entries[i].sig.Area();
+      const auto [enlargement, area] =
+          Signature::EnlargementAndArea(node.entries[i].sig, sig);
       if (enlargement < best_enlargement ||
           (enlargement == best_enlargement && area < best_area)) {
         best = i;
@@ -69,9 +70,8 @@ size_t ChooseSubtree(const Node& node, const Signature& sig,
   uint32_t best_area = std::numeric_limits<uint32_t>::max();
   for (size_t i = 0; i < node.entries.size(); ++i) {
     const uint64_t overlap = OverlapIncrease(node, i, sig);
-    const uint32_t enlargement =
-        Signature::Enlargement(node.entries[i].sig, sig);
-    const uint32_t area = node.entries[i].sig.Area();
+    const auto [enlargement, area] =
+        Signature::EnlargementAndArea(node.entries[i].sig, sig);
     const bool better =
         overlap < best_overlap ||
         (overlap == best_overlap &&

@@ -8,12 +8,16 @@
 namespace sgtree {
 
 NearestIterator::NearestIterator(const SgTree& tree, Signature query,
-                                 QueryStats* stats)
-    : tree_(tree), query_(std::move(query)), stats_(stats) {
+                                 const QueryContext& ctx)
+    : tree_(tree), query_(std::move(query)), ctx_(ctx) {
   if (tree_.root() != kInvalidPageId) {
     queue_.push(Item{0.0, false, tree_.root()});
   }
 }
+
+NearestIterator::NearestIterator(SgTree& tree, Signature query,
+                                 QueryStats* stats)
+    : NearestIterator(tree, std::move(query), tree.OwnPoolContext(stats)) {}
 
 void NearestIterator::ExpandUntilEntryOnTop() {
   const Metric metric = tree_.options().metric;
@@ -21,18 +25,20 @@ void NearestIterator::ExpandUntilEntryOnTop() {
   while (!queue_.empty() && !queue_.top().is_entry) {
     const Item item = queue_.top();
     queue_.pop();
-    const Node& node = tree_.GetNode(static_cast<PageId>(item.ref));
-    if (stats_ != nullptr) ++stats_->nodes_accessed;
+    const Node& node = tree_.GetNode(static_cast<PageId>(item.ref), ctx_);
+    if (ctx_.stats != nullptr) ++ctx_.stats->nodes_accessed;
     if (node.IsLeaf()) {
-      if (stats_ != nullptr) {
-        stats_->transactions_compared += node.entries.size();
+      if (ctx_.stats != nullptr) {
+        ctx_.stats->transactions_compared += node.entries.size();
       }
       for (const Entry& entry : node.entries) {
         queue_.push(
             Item{Distance(query_, entry.sig, metric), true, entry.ref});
       }
     } else {
-      if (stats_ != nullptr) stats_->bounds_computed += node.entries.size();
+      if (ctx_.stats != nullptr) {
+        ctx_.stats->bounds_computed += node.entries.size();
+      }
       for (const Entry& entry : node.entries) {
         queue_.push(Item{MinDistBoundAreaStats(query_, entry.sig, metric,
                                                area_lo, area_hi),
@@ -56,10 +62,15 @@ double NearestIterator::PeekDistance() {
                         : queue_.top().key;
 }
 
-std::vector<Neighbor> AllNearest(const SgTree& tree, const Signature& query,
+std::vector<Neighbor> AllNearest(SgTree& tree, const Signature& query,
                                  QueryStats* stats) {
+  return AllNearest(tree, query, tree.OwnPoolContext(stats));
+}
+
+std::vector<Neighbor> AllNearest(const SgTree& tree, const Signature& query,
+                                 const QueryContext& ctx) {
   std::vector<Neighbor> result;
-  NearestIterator it(tree, query, stats);
+  NearestIterator it(tree, query, ctx);
   const auto first = it.Next();
   if (!first.has_value()) return result;
   result.push_back(*first);

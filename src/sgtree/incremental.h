@@ -23,8 +23,12 @@ namespace sgtree {
 /// the tree must not be modified while iterating.
 class NearestIterator {
  public:
+  /// Thread-safe form: node accesses are charged to `ctx` (see search.h for
+  /// the context/convenience split).
   NearestIterator(const SgTree& tree, Signature query,
-                  QueryStats* stats = nullptr);
+                  const QueryContext& ctx);
+  /// Serial convenience: charges the tree's own buffer pool.
+  NearestIterator(SgTree& tree, Signature query, QueryStats* stats = nullptr);
 
   /// The next closest transaction, or nullopt when exhausted. Equal
   /// distances are yielded in ascending tid order.
@@ -54,7 +58,7 @@ class NearestIterator {
 
   const SgTree& tree_;
   Signature query_;
-  QueryStats* stats_;
+  QueryContext ctx_;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
 };
 
@@ -62,6 +66,8 @@ class NearestIterator {
 /// Section 4.1 "all nearest neighbors with the same minimum distance"
 /// variant), in ascending tid order. Empty for an empty tree.
 std::vector<Neighbor> AllNearest(const SgTree& tree, const Signature& query,
+                                 const QueryContext& ctx);
+std::vector<Neighbor> AllNearest(SgTree& tree, const Signature& query,
                                  QueryStats* stats = nullptr);
 
 }  // namespace sgtree

@@ -58,6 +58,8 @@ namespace {
 struct JoinContext {
   const SgTree* tree_a;
   const SgTree* tree_b;
+  QueryContext ctx_a;
+  QueryContext ctx_b;
   Metric metric;
   uint32_t fixed_dim;
   double epsilon;
@@ -66,8 +68,8 @@ struct JoinContext {
 };
 
 void JoinNodes(const JoinContext& ctx, PageId id_a, PageId id_b) {
-  const Node& na = ctx.tree_a->GetNode(id_a);
-  const Node& nb = ctx.tree_b->GetNode(id_b);
+  const Node& na = ctx.tree_a->GetNode(id_a, ctx.ctx_a);
+  const Node& nb = ctx.tree_b->GetNode(id_b, ctx.ctx_b);
   CountNode(ctx.stats, 2);
 
   if (na.IsLeaf() && nb.IsLeaf()) {
@@ -124,7 +126,9 @@ void JoinNodes(const JoinContext& ctx, PageId id_a, PageId id_b) {
 }  // namespace
 
 std::vector<JoinPair> SimilarityJoin(const SgTree& a, const SgTree& b,
-                                     double epsilon, QueryStats* stats) {
+                                     double epsilon,
+                                     const QueryContext& ctx_a,
+                                     const QueryContext& ctx_b) {
   assert(a.num_bits() == b.num_bits());
   std::vector<JoinPair> result;
   if (a.root() == kInvalidPageId || b.root() == kInvalidPageId) return result;
@@ -132,20 +136,29 @@ std::vector<JoinPair> SimilarityJoin(const SgTree& a, const SgTree& b,
                                      b.options().fixed_dimensionality
                                  ? a.options().fixed_dimensionality
                                  : 0;
-  JoinContext ctx{&a,       &b,      a.options().metric, fixed_dim,
-                  epsilon,  &result, stats};
+  QueryStats* stats = ctx_a.stats != nullptr ? ctx_a.stats : ctx_b.stats;
+  JoinContext ctx{&a,        &b,      ctx_a,   ctx_b, a.options().metric,
+                  fixed_dim, epsilon, &result, stats};
   JoinNodes(ctx, a.root(), b.root());
   std::sort(result.begin(), result.end(), PairLess);
   return result;
 }
 
+std::vector<JoinPair> SimilarityJoin(SgTree& a, SgTree& b, double epsilon,
+                                     QueryStats* stats) {
+  return SimilarityJoin(a, b, epsilon, a.OwnPoolContext(stats),
+                        b.OwnPoolContext(stats));
+}
+
 std::vector<JoinPair> ClosestPairs(const SgTree& a, const SgTree& b,
-                                   uint32_t k, QueryStats* stats) {
+                                   uint32_t k, const QueryContext& ctx_a,
+                                   const QueryContext& ctx_b) {
   assert(a.num_bits() == b.num_bits());
   std::vector<JoinPair> best;  // Max-heap under PairLess.
   if (a.root() == kInvalidPageId || b.root() == kInvalidPageId || k == 0) {
     return best;
   }
+  QueryStats* stats = ctx_a.stats != nullptr ? ctx_a.stats : ctx_b.stats;
   const Metric metric = a.options().metric;
   const uint32_t fixed_dim = a.options().fixed_dimensionality ==
                                      b.options().fixed_dimensionality
@@ -183,8 +196,8 @@ std::vector<JoinPair> ClosestPairs(const SgTree& a, const SgTree& b,
     const QueueItem item = queue.top();
     queue.pop();
     if (item.bound >= tau()) break;
-    const Node& na = a.GetNode(item.node_a);
-    const Node& nb = b.GetNode(item.node_b);
+    const Node& na = a.GetNode(item.node_a, ctx_a);
+    const Node& nb = b.GetNode(item.node_b, ctx_b);
     CountNode(stats, 2);
 
     if (na.IsLeaf() && nb.IsLeaf()) {
@@ -235,4 +248,11 @@ std::vector<JoinPair> ClosestPairs(const SgTree& a, const SgTree& b,
   return best;
 }
 
+std::vector<JoinPair> ClosestPairs(SgTree& a, SgTree& b, uint32_t k,
+                                   QueryStats* stats) {
+  return ClosestPairs(a, b, k, a.OwnPoolContext(stats),
+                      b.OwnPoolContext(stats));
+}
+
 }  // namespace sgtree
+

@@ -40,13 +40,25 @@ double PairMinDist(const Signature& a, bool leaf_a, const Signature& b,
 /// All pairs (ta, tb), ta indexed by `a`, tb by `b`, with distance <=
 /// epsilon. Pairs are sorted by (distance, tid_a, tid_b). The trees must
 /// share signature width and metric.
+///
+/// The context form is thread-safe over const trees: each tree's node
+/// accesses are charged to its own context (page ids are tree-local, so the
+/// two trees must not share one pool); per-pair counters accumulate in
+/// whichever context stats pointers are set. The convenience form charges
+/// each tree's own buffer pool, like the search wrappers.
 std::vector<JoinPair> SimilarityJoin(const SgTree& a, const SgTree& b,
                                      double epsilon,
+                                     const QueryContext& ctx_a,
+                                     const QueryContext& ctx_b);
+std::vector<JoinPair> SimilarityJoin(SgTree& a, SgTree& b, double epsilon,
                                      QueryStats* stats = nullptr);
 
 /// The k closest pairs between the two trees, ascending distance.
 std::vector<JoinPair> ClosestPairs(const SgTree& a, const SgTree& b,
-                                   uint32_t k, QueryStats* stats = nullptr);
+                                   uint32_t k, const QueryContext& ctx_a,
+                                   const QueryContext& ctx_b);
+std::vector<JoinPair> ClosestPairs(SgTree& a, SgTree& b, uint32_t k,
+                                   QueryStats* stats = nullptr);
 
 }  // namespace sgtree
 

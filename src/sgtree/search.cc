@@ -9,25 +9,6 @@
 namespace sgtree {
 namespace {
 
-// Adds the buffer pool's random-I/O delta of one query to its stats.
-class IoScope {
- public:
-  IoScope(const SgTree& tree, QueryStats* stats)
-      : tree_(tree),
-        stats_(stats),
-        start_ios_(tree.io_stats().random_ios) {}
-  ~IoScope() {
-    if (stats_ != nullptr) {
-      stats_->random_ios += tree_.io_stats().random_ios - start_ios_;
-    }
-  }
-
- private:
-  const SgTree& tree_;
-  QueryStats* stats_;
-  uint64_t start_ios_;
-};
-
 void CountNode(QueryStats* stats) {
   if (stats != nullptr) ++stats->nodes_accessed;
 }
@@ -108,28 +89,28 @@ std::vector<BoundedEntry> SortedBounds(const SgTree& tree, const Node& node,
 }
 
 void DfsKnnRecurse(const SgTree& tree, PageId node_id, const Signature& query,
-                   NeighborHeap* heap, QueryStats* stats) {
-  const Node& node = tree.GetNode(node_id);
-  CountNode(stats);
+                   NeighborHeap* heap, const QueryContext& ctx) {
+  const Node& node = tree.GetNode(node_id, ctx);
+  CountNode(ctx.stats);
   const Metric metric = tree.options().metric;
   if (node.IsLeaf()) {
-    CountCompared(stats, node.entries.size());
+    CountCompared(ctx.stats, node.entries.size());
     for (const Entry& entry : node.entries) {
       heap->Offer({entry.ref, Distance(query, entry.sig, metric)});
     }
     return;
   }
-  for (const BoundedEntry& be : SortedBounds(tree, node, query, stats)) {
+  for (const BoundedEntry& be : SortedBounds(tree, node, query, ctx.stats)) {
     if (be.bound >= heap->Tau()) break;  // Later entries bound even higher.
-    DfsKnnRecurse(tree, node.entries[be.index].ref, query, heap, stats);
+    DfsKnnRecurse(tree, node.entries[be.index].ref, query, heap, ctx);
   }
 }
 
 }  // namespace
 
 Neighbor DfsNearest(const SgTree& tree, const Signature& query,
-                    QueryStats* stats) {
-  auto result = DfsKNearest(tree, query, 1, stats);
+                    const QueryContext& ctx) {
+  auto result = DfsKNearest(tree, query, 1, ctx);
   if (result.empty()) {
     return {0, std::numeric_limits<double>::infinity()};
   }
@@ -137,19 +118,17 @@ Neighbor DfsNearest(const SgTree& tree, const Signature& query,
 }
 
 std::vector<Neighbor> DfsKNearest(const SgTree& tree, const Signature& query,
-                                  uint32_t k, QueryStats* stats) {
-  IoScope io(tree, stats);
+                                  uint32_t k, const QueryContext& ctx) {
   NeighborHeap heap(k);
   if (tree.root() != kInvalidPageId && k > 0) {
-    DfsKnnRecurse(tree, tree.root(), query, &heap, stats);
+    DfsKnnRecurse(tree, tree.root(), query, &heap, ctx);
   }
   return std::move(heap).Sorted();
 }
 
 std::vector<Neighbor> BestFirstKNearest(const SgTree& tree,
                                         const Signature& query, uint32_t k,
-                                        QueryStats* stats) {
-  IoScope io(tree, stats);
+                                        const QueryContext& ctx) {
   NeighborHeap heap(k);
   if (tree.root() == kInvalidPageId || k == 0) {
     return std::move(heap).Sorted();
@@ -170,16 +149,16 @@ std::vector<Neighbor> BestFirstKNearest(const SgTree& tree,
     const QueueItem item = queue.top();
     queue.pop();
     if (item.bound >= heap.Tau()) break;  // Optimal stopping condition.
-    const Node& node = tree.GetNode(item.node);
-    CountNode(stats);
+    const Node& node = tree.GetNode(item.node, ctx);
+    CountNode(ctx.stats);
     if (node.IsLeaf()) {
-      CountCompared(stats, node.entries.size());
+      CountCompared(ctx.stats, node.entries.size());
       for (const Entry& entry : node.entries) {
         heap.Offer({entry.ref, Distance(query, entry.sig, metric)});
       }
       continue;
     }
-    CountBounds(stats, node.entries.size());
+    CountBounds(ctx.stats, node.entries.size());
     const auto [lo, hi] = tree.TransactionAreaBounds();
     for (const Entry& entry : node.entries) {
       const double bound =
@@ -196,26 +175,26 @@ namespace {
 
 void RangeRecurse(const SgTree& tree, PageId node_id, const Signature& query,
                   double epsilon, std::vector<Neighbor>* result,
-                  QueryStats* stats) {
-  const Node& node = tree.GetNode(node_id);
-  CountNode(stats);
+                  const QueryContext& ctx) {
+  const Node& node = tree.GetNode(node_id, ctx);
+  CountNode(ctx.stats);
   const Metric metric = tree.options().metric;
   if (node.IsLeaf()) {
-    CountCompared(stats, node.entries.size());
+    CountCompared(ctx.stats, node.entries.size());
     for (const Entry& entry : node.entries) {
       const double d = Distance(query, entry.sig, metric);
       if (d <= epsilon) result->push_back({entry.ref, d});
     }
     return;
   }
-  CountBounds(stats, node.entries.size());
+  CountBounds(ctx.stats, node.entries.size());
   const auto [lo, hi] = tree.TransactionAreaBounds();
   for (const Entry& entry : node.entries) {
     const double bound =
         MinDistBoundAreaStats(query, entry.sig, metric, lo, hi);
     if (bound <= epsilon) {
       RangeRecurse(tree, static_cast<PageId>(entry.ref), query, epsilon,
-                   result, stats);
+                   result, ctx);
     }
   }
 }
@@ -223,11 +202,10 @@ void RangeRecurse(const SgTree& tree, PageId node_id, const Signature& query,
 }  // namespace
 
 std::vector<Neighbor> RangeSearch(const SgTree& tree, const Signature& query,
-                                  double epsilon, QueryStats* stats) {
-  IoScope io(tree, stats);
+                                  double epsilon, const QueryContext& ctx) {
   std::vector<Neighbor> result;
   if (tree.root() != kInvalidPageId) {
-    RangeRecurse(tree, tree.root(), query, epsilon, &result, stats);
+    RangeRecurse(tree, tree.root(), query, epsilon, &result, ctx);
   }
   std::sort(result.begin(), result.end(),
             [](const Neighbor& a, const Neighbor& b) {
@@ -241,11 +219,11 @@ namespace {
 
 void ContainRecurse(const SgTree& tree, PageId node_id, const Signature& query,
                     bool exact, std::vector<uint64_t>* result,
-                    QueryStats* stats) {
-  const Node& node = tree.GetNode(node_id);
-  CountNode(stats);
+                    const QueryContext& ctx) {
+  const Node& node = tree.GetNode(node_id, ctx);
+  CountNode(ctx.stats);
   if (node.IsLeaf()) {
-    CountCompared(stats, node.entries.size());
+    CountCompared(ctx.stats, node.entries.size());
     for (const Entry& entry : node.entries) {
       const bool match =
           exact ? entry.sig == query : entry.sig.Contains(query);
@@ -253,12 +231,12 @@ void ContainRecurse(const SgTree& tree, PageId node_id, const Signature& query,
     }
     return;
   }
-  CountBounds(stats, node.entries.size());
+  CountBounds(ctx.stats, node.entries.size());
   for (const Entry& entry : node.entries) {
     // Only subtrees whose signature covers the query can hold supersets.
     if (entry.sig.Contains(query)) {
       ContainRecurse(tree, static_cast<PageId>(entry.ref), query, exact,
-                     result, stats);
+                     result, ctx);
     }
   }
 }
@@ -267,22 +245,20 @@ void ContainRecurse(const SgTree& tree, PageId node_id, const Signature& query,
 
 std::vector<uint64_t> ContainmentSearch(const SgTree& tree,
                                         const Signature& query,
-                                        QueryStats* stats) {
-  IoScope io(tree, stats);
+                                        const QueryContext& ctx) {
   std::vector<uint64_t> result;
   if (tree.root() != kInvalidPageId) {
-    ContainRecurse(tree, tree.root(), query, /*exact=*/false, &result, stats);
+    ContainRecurse(tree, tree.root(), query, /*exact=*/false, &result, ctx);
   }
   std::sort(result.begin(), result.end());
   return result;
 }
 
 std::vector<uint64_t> ExactSearch(const SgTree& tree, const Signature& query,
-                                  QueryStats* stats) {
-  IoScope io(tree, stats);
+                                  const QueryContext& ctx) {
   std::vector<uint64_t> result;
   if (tree.root() != kInvalidPageId) {
-    ContainRecurse(tree, tree.root(), query, /*exact=*/true, &result, stats);
+    ContainRecurse(tree, tree.root(), query, /*exact=*/true, &result, ctx);
   }
   std::sort(result.begin(), result.end());
   return result;
@@ -291,11 +267,11 @@ std::vector<uint64_t> ExactSearch(const SgTree& tree, const Signature& query,
 namespace {
 
 void SubsetRecurse(const SgTree& tree, PageId node_id, const Signature& query,
-                   std::vector<uint64_t>* result, QueryStats* stats) {
-  const Node& node = tree.GetNode(node_id);
-  CountNode(stats);
+                   std::vector<uint64_t>* result, const QueryContext& ctx) {
+  const Node& node = tree.GetNode(node_id, ctx);
+  CountNode(ctx.stats);
   if (node.IsLeaf()) {
-    CountCompared(stats, node.entries.size());
+    CountCompared(ctx.stats, node.entries.size());
     for (const Entry& entry : node.entries) {
       if (!entry.sig.Empty() && query.Contains(entry.sig)) {
         result->push_back(entry.ref);
@@ -303,13 +279,12 @@ void SubsetRecurse(const SgTree& tree, PageId node_id, const Signature& query,
     }
     return;
   }
-  CountBounds(stats, node.entries.size());
+  CountBounds(ctx.stats, node.entries.size());
   for (const Entry& entry : node.entries) {
     // A non-empty subset of the query must share at least one item with
     // the subtree's coverage — the only (weak) pruning available.
     if (Signature::IntersectCount(entry.sig, query) > 0) {
-      SubsetRecurse(tree, static_cast<PageId>(entry.ref), query, result,
-                    stats);
+      SubsetRecurse(tree, static_cast<PageId>(entry.ref), query, result, ctx);
     }
   }
 }
@@ -317,14 +292,51 @@ void SubsetRecurse(const SgTree& tree, PageId node_id, const Signature& query,
 }  // namespace
 
 std::vector<uint64_t> SubsetSearch(const SgTree& tree, const Signature& query,
-                                   QueryStats* stats) {
-  IoScope io(tree, stats);
+                                   const QueryContext& ctx) {
   std::vector<uint64_t> result;
   if (tree.root() != kInvalidPageId) {
-    SubsetRecurse(tree, tree.root(), query, &result, stats);
+    SubsetRecurse(tree, tree.root(), query, &result, ctx);
   }
   std::sort(result.begin(), result.end());
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Serial convenience wrappers: charge the tree's own buffer pool.
+// ---------------------------------------------------------------------------
+
+Neighbor DfsNearest(SgTree& tree, const Signature& query, QueryStats* stats) {
+  return DfsNearest(tree, query, tree.OwnPoolContext(stats));
+}
+
+std::vector<Neighbor> DfsKNearest(SgTree& tree, const Signature& query,
+                                  uint32_t k, QueryStats* stats) {
+  return DfsKNearest(tree, query, k, tree.OwnPoolContext(stats));
+}
+
+std::vector<Neighbor> BestFirstKNearest(SgTree& tree, const Signature& query,
+                                        uint32_t k, QueryStats* stats) {
+  return BestFirstKNearest(tree, query, k, tree.OwnPoolContext(stats));
+}
+
+std::vector<Neighbor> RangeSearch(SgTree& tree, const Signature& query,
+                                  double epsilon, QueryStats* stats) {
+  return RangeSearch(tree, query, epsilon, tree.OwnPoolContext(stats));
+}
+
+std::vector<uint64_t> ContainmentSearch(SgTree& tree, const Signature& query,
+                                        QueryStats* stats) {
+  return ContainmentSearch(tree, query, tree.OwnPoolContext(stats));
+}
+
+std::vector<uint64_t> ExactSearch(SgTree& tree, const Signature& query,
+                                  QueryStats* stats) {
+  return ExactSearch(tree, query, tree.OwnPoolContext(stats));
+}
+
+std::vector<uint64_t> SubsetSearch(SgTree& tree, const Signature& query,
+                                   QueryStats* stats) {
+  return SubsetSearch(tree, query, tree.OwnPoolContext(stats));
 }
 
 }  // namespace sgtree

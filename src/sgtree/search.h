@@ -8,25 +8,42 @@
 #include "common/signature.h"
 #include "common/stats.h"
 #include "sgtree/sg_tree.h"
+#include "storage/query_context.h"
 
 namespace sgtree {
 
 /// Similarity search and related queries over the SG-tree (Section 4).
-/// All functions charge node accesses to the tree's buffer pool and, when
-/// `stats` is non-null, record per-query counters there (including the
-/// random-I/O delta of this query).
+///
+/// Every query comes in two forms:
+///
+///  - A context form taking `const SgTree&` plus a QueryContext. The tree is
+///    never mutated; node accesses are charged to the context's pool and the
+///    per-query counters (including this query's random-I/O misses) to the
+///    context's stats. This is the thread-safe entry point the parallel
+///    QueryExecutor uses — any number of these may run concurrently against
+///    one tree, each with a private pool or a shared ShardedBufferPool.
+///
+///  - A serial convenience form taking `SgTree&` plus an optional
+///    QueryStats*, which charges the tree's own buffer pool (the historical
+///    behavior). Requiring a non-const tree here is deliberate: charging the
+///    embedded pool is a mutation, so `const SgTree` now really means
+///    "thread-safe to read".
 
 /// Depth-first branch-and-bound nearest-neighbor search (Figure 4): child
 /// entries are visited in ascending order of the optimistic lower bound
 /// MinDistBound(q, e), ties broken by minimum entry area; a subtree is
 /// pruned when its bound is not below the best distance found so far.
 Neighbor DfsNearest(const SgTree& tree, const Signature& query,
+                    const QueryContext& ctx);
+Neighbor DfsNearest(SgTree& tree, const Signature& query,
                     QueryStats* stats = nullptr);
 
 /// k-nearest-neighbor variant: the single best-so-far is replaced by a
 /// size-k priority queue whose maximum is the pruning bound. Results are
 /// ascending by distance (ties by tid).
 std::vector<Neighbor> DfsKNearest(const SgTree& tree, const Signature& query,
+                                  uint32_t k, const QueryContext& ctx);
+std::vector<Neighbor> DfsKNearest(SgTree& tree, const Signature& query,
                                   uint32_t k, QueryStats* stats = nullptr);
 
 /// Optimal best-first nearest neighbor (Hjaltason & Samet): a global
@@ -34,12 +51,17 @@ std::vector<Neighbor> DfsKNearest(const SgTree& tree, const Signature& query,
 /// exceeds the final k-th distance.
 std::vector<Neighbor> BestFirstKNearest(const SgTree& tree,
                                         const Signature& query, uint32_t k,
+                                        const QueryContext& ctx);
+std::vector<Neighbor> BestFirstKNearest(SgTree& tree, const Signature& query,
+                                        uint32_t k,
                                         QueryStats* stats = nullptr);
 
 /// Similarity range query: all transactions within distance `epsilon` of
 /// the query, ascending by distance (ties by tid). Subtrees with
 /// MinDistBound > epsilon are pruned.
 std::vector<Neighbor> RangeSearch(const SgTree& tree, const Signature& query,
+                                  double epsilon, const QueryContext& ctx);
+std::vector<Neighbor> RangeSearch(SgTree& tree, const Signature& query,
                                   double epsilon,
                                   QueryStats* stats = nullptr);
 
@@ -48,10 +70,14 @@ std::vector<Neighbor> RangeSearch(const SgTree& tree, const Signature& query,
 /// contains the query signature.
 std::vector<uint64_t> ContainmentSearch(const SgTree& tree,
                                         const Signature& query,
+                                        const QueryContext& ctx);
+std::vector<uint64_t> ContainmentSearch(SgTree& tree, const Signature& query,
                                         QueryStats* stats = nullptr);
 
 /// Exact-match lookup: ids of transactions whose signature equals `query`.
 std::vector<uint64_t> ExactSearch(const SgTree& tree, const Signature& query,
+                                  const QueryContext& ctx);
+std::vector<uint64_t> ExactSearch(SgTree& tree, const Signature& query,
                                   QueryStats* stats = nullptr);
 
 /// Subset query: all non-empty transactions whose item set is a SUBSET of
@@ -61,6 +87,8 @@ std::vector<uint64_t> ExactSearch(const SgTree& tree, const Signature& query,
 /// query type (inverted files win); provided for completeness and measured
 /// honestly in bench_containment_methods.
 std::vector<uint64_t> SubsetSearch(const SgTree& tree, const Signature& query,
+                                   const QueryContext& ctx);
+std::vector<uint64_t> SubsetSearch(SgTree& tree, const Signature& query,
                                    QueryStats* stats = nullptr);
 
 }  // namespace sgtree

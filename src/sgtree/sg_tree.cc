@@ -59,8 +59,8 @@ SgTree::SgTree(const SgTreeOptions& options)
   assert(min_entries_ >= 1 && min_entries_ <= max_entries_ / 2);
 }
 
-const Node& SgTree::GetNode(PageId id) const {
-  pool_->Touch(id);
+const Node& SgTree::GetNode(PageId id, const QueryContext& ctx) const {
+  ctx.ChargeRead(id);
   auto it = nodes_.find(id);
   assert(it != nodes_.end());
   return *it->second;

@@ -14,6 +14,7 @@
 #include "sgtree/options.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
+#include "storage/query_context.h"
 
 namespace sgtree {
 
@@ -75,12 +76,27 @@ class SgTree {
   /// the bulk loader and persistence, which bypass Insert).
   void NoteTransactionArea(uint32_t area);
 
-  /// Fetches a node, charging the buffer pool (use for query paths).
-  const Node& GetNode(PageId id) const;
+  /// Fetches a node for a query, charging the context's buffer pool and
+  /// per-query stats. The tree itself is not mutated, so any number of
+  /// threads may call this concurrently (each with its own context, or
+  /// sharing a thread-safe PageCache) as long as no thread is updating the
+  /// tree.
+  const Node& GetNode(PageId id, const QueryContext& ctx) const;
   /// Fetches a node without I/O accounting (checker, persistence, tests).
   const Node& GetNodeNoCharge(PageId id) const;
 
-  BufferPool& buffer_pool() const { return *pool_; }
+  /// The tree's own buffer pool: charged by the update path and by the
+  /// single-threaded query convenience wrappers (via OwnPoolContext).
+  /// Mutating the pool requires a non-const tree — a const SgTree& is
+  /// genuinely read-only and therefore safe to share across threads.
+  BufferPool& buffer_pool() { return *pool_; }
+  const BufferPool& buffer_pool() const { return *pool_; }
+
+  /// Query context charging this tree's own pool (serial use only).
+  QueryContext OwnPoolContext(QueryStats* stats = nullptr) {
+    return QueryContext{pool_.get(), stats};
+  }
+
   const IoStats& io_stats() const { return pool_->stats(); }
   /// Clears the buffer contents and counters (cold-cache measurements).
   void ResetIo();
@@ -128,7 +144,7 @@ class SgTree {
 
   std::unordered_map<PageId, std::unique_ptr<Node>> nodes_;
   std::unique_ptr<PageStore> pages_;      // Page-id allocator / free list.
-  mutable std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BufferPool> pool_;
 
   PageId root_ = kInvalidPageId;
   uint32_t height_ = 0;

@@ -1,0 +1,32 @@
+#ifndef SGTREE_STORAGE_PAGE_CACHE_H_
+#define SGTREE_STORAGE_PAGE_CACHE_H_
+
+#include "storage/page.h"
+
+namespace sgtree {
+
+/// Abstract page-buffer interface the I/O-accounting layer charges against.
+/// Two implementations exist: the single-threaded BufferPool (one LRU list,
+/// no locking) and the ShardedBufferPool (lock-striped shards, safe to hit
+/// from many query threads at once).
+class PageCache {
+ public:
+  virtual ~PageCache() = default;
+
+  /// Records a read of `id`. Returns true on a buffer hit; a miss is charged
+  /// as one random I/O in the implementation's stats.
+  virtual bool Touch(PageId id) = 0;
+
+  /// Records a write of `id` (also makes the page resident).
+  virtual void TouchWrite(PageId id) = 0;
+
+  /// Drops `id` from the buffer (page freed).
+  virtual void Evict(PageId id) = 0;
+
+  /// Empties the buffer (but keeps cumulative stats).
+  virtual void Clear() = 0;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_STORAGE_PAGE_CACHE_H_

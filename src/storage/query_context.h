@@ -1,0 +1,35 @@
+#ifndef SGTREE_STORAGE_QUERY_CONTEXT_H_
+#define SGTREE_STORAGE_QUERY_CONTEXT_H_
+
+#include "common/stats.h"
+#include "storage/page.h"
+#include "storage/page_cache.h"
+
+namespace sgtree {
+
+/// Per-query execution context: where node accesses are buffered and where
+/// per-query counters accumulate. Search functions take one of these instead
+/// of mutating state owned by a const tree, which is what makes a const
+/// SgTree genuinely thread-safe to read — concurrent queries each bring
+/// their own context (private pool, private stats) or share a thread-safe
+/// PageCache (ShardedBufferPool).
+///
+/// Both pointers may be null: a null `pool` skips buffering entirely (no
+/// I/O is charged anywhere), a null `stats` skips per-query counting.
+struct QueryContext {
+  PageCache* pool = nullptr;
+  QueryStats* stats = nullptr;
+
+  /// Charges one page read: touches the pool and, on a buffer miss, adds a
+  /// random I/O to the per-query stats.
+  void ChargeRead(PageId id) const {
+    if (pool != nullptr) {
+      const bool hit = pool->Touch(id);
+      if (!hit && stats != nullptr) ++stats->random_ios;
+    }
+  }
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_STORAGE_QUERY_CONTEXT_H_

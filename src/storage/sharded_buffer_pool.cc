@@ -1,0 +1,82 @@
+#include "storage/sharded_buffer_pool.h"
+
+#include <algorithm>
+
+namespace sgtree {
+
+ShardedBufferPool::ShardedBufferPool(uint32_t total_capacity,
+                                     uint32_t num_shards)
+    : capacity_(total_capacity) {
+  num_shards = std::max<uint32_t>(num_shards, 1);
+  shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    // Distribute the frame budget as evenly as possible; the first
+    // total % num_shards shards take the remainder frames.
+    const uint32_t share = total_capacity / num_shards +
+                           (s < total_capacity % num_shards ? 1 : 0);
+    shards_.push_back(std::make_unique<Shard>(share));
+  }
+}
+
+uint32_t ShardedBufferPool::ShardOf(PageId id) const {
+  // Fibonacci multiplicative hash: neighboring page ids (trees allocate them
+  // sequentially) spread across shards instead of striping predictably.
+  const uint64_t h = static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull;
+  return static_cast<uint32_t>(h >> 32) % num_shards();
+}
+
+bool ShardedBufferPool::Touch(PageId id) {
+  Shard& shard = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.pool.Touch(id);
+}
+
+void ShardedBufferPool::TouchWrite(PageId id) {
+  Shard& shard = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.pool.TouchWrite(id);
+}
+
+void ShardedBufferPool::Evict(PageId id) {
+  Shard& shard = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.pool.Evict(id);
+}
+
+void ShardedBufferPool::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->pool.Clear();
+  }
+}
+
+IoStats ShardedBufferPool::StatsSnapshot() const {
+  IoStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const IoStats& s = shard->pool.stats();
+    total.page_accesses += s.page_accesses;
+    total.buffer_hits += s.buffer_hits;
+    total.random_ios += s.random_ios;
+    total.page_writes += s.page_writes;
+  }
+  return total;
+}
+
+void ShardedBufferPool::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->pool.mutable_stats()->Reset();
+  }
+}
+
+uint32_t ShardedBufferPool::ResidentPages() const {
+  uint32_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->pool.ResidentPages();
+  }
+  return total;
+}
+
+}  // namespace sgtree

@@ -1,0 +1,74 @@
+#ifndef SGTREE_STORAGE_SHARDED_BUFFER_POOL_H_
+#define SGTREE_STORAGE_SHARDED_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/page_cache.h"
+
+namespace sgtree {
+
+/// Thread-safe buffer pool: pages are partitioned across N lock-striped
+/// shards, each an independent BufferPool guarding 1/N of the total frame
+/// budget. Concurrent queries touching different shards proceed without
+/// contention; queries colliding on a shard serialize only for the few
+/// nanoseconds of one LRU update.
+///
+/// The per-shard LRU is an approximation of one global LRU (a page can be
+/// evicted from a full shard while another shard has idle frames), which is
+/// exactly the trade real buffer managers make when they stripe their latch.
+/// Per-shard IoStats are merged on demand by StatsSnapshot().
+class ShardedBufferPool : public PageCache {
+ public:
+  /// `total_capacity` frames split as evenly as possible across
+  /// `num_shards` shards (every shard gets at least one frame when the
+  /// total allows; num_shards is clamped to >= 1).
+  ShardedBufferPool(uint32_t total_capacity, uint32_t num_shards);
+
+  ShardedBufferPool(const ShardedBufferPool&) = delete;
+  ShardedBufferPool& operator=(const ShardedBufferPool&) = delete;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  uint32_t capacity() const { return capacity_; }
+
+  bool Touch(PageId id) override;
+  void TouchWrite(PageId id) override;
+  void Evict(PageId id) override;
+  void Clear() override;
+
+  /// Sum of the per-shard counters at this instant. Taken shard by shard
+  /// under each shard's lock; concurrent traffic may land between shards,
+  /// so the snapshot is consistent per shard, not globally — fine for the
+  /// end-of-batch reporting it exists for.
+  IoStats StatsSnapshot() const;
+
+  /// Resets the per-shard counters (keeps resident pages).
+  void ResetStats();
+
+  uint32_t ResidentPages() const;
+
+  /// Shard a page maps to (exposed for tests).
+  uint32_t ShardOf(PageId id) const;
+
+ private:
+  // Each shard on its own cache line so neighboring locks don't false-share.
+  struct alignas(64) Shard {
+    explicit Shard(uint32_t capacity) : pool(capacity) {}
+    mutable std::mutex mu;
+    BufferPool pool;
+  };
+
+  uint32_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_STORAGE_SHARDED_BUFFER_POOL_H_

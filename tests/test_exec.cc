@@ -1,0 +1,513 @@
+// Tests for the parallel query engine and the concurrent storage layer:
+// the flat-array LRU against a reference model, the sharded pool's lock
+// striping and stats merging, and the QueryExecutor's central promise —
+// parallel batches are byte-identical to the serial path for every query
+// type and metric. The stress tests at the bottom are the ThreadSanitizer
+// targets (see the tsan CI job).
+
+#include "exec/query_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <iterator>
+#include <list>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/linear_scan.h"
+#include "common/rng.h"
+#include "inverted/inverted_index.h"
+#include "sgtable/sg_table.h"
+#include "sgtree/search.h"
+#include "storage/buffer_pool.h"
+#include "storage/sharded_buffer_pool.h"
+#include "tests/test_util.h"
+
+namespace sgtree {
+namespace {
+
+using ::sgtree::testing::ClusteredDataset;
+using ::sgtree::testing::RandomSignature;
+
+// ---------------------------------------------------------------------------
+// Flat-array LRU vs a straightforward std::list reference model.
+// ---------------------------------------------------------------------------
+
+/// The obviously-correct LRU the BufferPool used to be: a recency list plus
+/// hit/miss counters. The flat intrusive rewrite must be indistinguishable.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(uint32_t capacity) : capacity_(capacity) {}
+
+  bool Touch(PageId id) {
+    auto it = std::find(lru_.begin(), lru_.end(), id);
+    if (it != lru_.end()) {
+      lru_.erase(it);
+      lru_.push_front(id);
+      ++hits_;
+      return true;
+    }
+    ++misses_;
+    if (capacity_ == 0) return false;
+    if (lru_.size() == capacity_) lru_.pop_back();
+    lru_.push_front(id);
+    return false;
+  }
+
+  void TouchWrite(PageId id) {
+    // Same residency effect as Touch, but writes are not classified as
+    // buffer hits or random I/Os (matching BufferPool::TouchWrite).
+    auto it = std::find(lru_.begin(), lru_.end(), id);
+    if (it != lru_.end()) {
+      lru_.erase(it);
+      lru_.push_front(id);
+      return;
+    }
+    if (capacity_ == 0) return;
+    if (lru_.size() == capacity_) lru_.pop_back();
+    lru_.push_front(id);
+  }
+
+  void Evict(PageId id) {
+    auto it = std::find(lru_.begin(), lru_.end(), id);
+    if (it != lru_.end()) lru_.erase(it);
+  }
+
+  void Clear() { lru_.clear(); }
+
+  size_t resident() const { return lru_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  uint32_t capacity_;
+  std::list<PageId> lru_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+TEST(BufferPoolModelTest, RandomOpsMatchReferenceModel) {
+  for (uint32_t capacity : {0u, 1u, 2u, 7u, 64u}) {
+    BufferPool pool(capacity);
+    ReferenceLru model(capacity);
+    Rng rng(42 + capacity);
+    for (int op = 0; op < 20000; ++op) {
+      const auto id = static_cast<PageId>(rng.UniformInt(100));
+      const auto action = rng.UniformInt(100);
+      if (action < 80) {
+        ASSERT_EQ(pool.Touch(id), model.Touch(id))
+            << "capacity=" << capacity << " op=" << op << " page=" << id;
+      } else if (action < 90) {
+        pool.Evict(id);
+        model.Evict(id);
+      } else if (action < 95) {
+        pool.TouchWrite(id);
+        model.TouchWrite(id);
+      } else {
+        pool.Clear();
+        model.Clear();
+      }
+      ASSERT_EQ(pool.ResidentPages(), model.resident());
+    }
+    EXPECT_EQ(pool.stats().buffer_hits, model.hits());
+  }
+}
+
+TEST(BufferPoolModelTest, ResizeKeepsMostRecentAndMatchesModelAfter) {
+  BufferPool pool(32);
+  ReferenceLru model(8);
+  for (PageId id = 0; id < 32; ++id) pool.Touch(id);
+  pool.Resize(8);
+  // Pages 24..31 survive (most recent 8); re-touching them must all hit.
+  for (PageId id = 24; id < 32; ++id) {
+    model.Touch(id);  // Model starts empty: prime it to the same state.
+  }
+  ASSERT_EQ(pool.ResidentPages(), 8u);
+  Rng rng(7);
+  for (int op = 0; op < 5000; ++op) {
+    const auto id = static_cast<PageId>(rng.UniformInt(48));
+    ASSERT_EQ(pool.Touch(id), model.Touch(id)) << "op=" << op;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedBufferPool.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedBufferPoolTest, SingleThreadBehavesLikeLruPerShard) {
+  ShardedBufferPool pool(64, 4);
+  // A page is resident after a touch and hits on re-touch.
+  EXPECT_FALSE(pool.Touch(17));
+  EXPECT_TRUE(pool.Touch(17));
+  const IoStats merged = pool.StatsSnapshot();
+  EXPECT_EQ(merged.random_ios, 1u);
+  EXPECT_EQ(merged.buffer_hits, 1u);
+  EXPECT_EQ(pool.ResidentPages(), 1u);
+  pool.Evict(17);
+  EXPECT_EQ(pool.ResidentPages(), 0u);
+  EXPECT_FALSE(pool.Touch(17));
+  pool.Clear();
+  EXPECT_EQ(pool.ResidentPages(), 0u);
+  // Stats survive Clear, matching BufferPool semantics.
+  EXPECT_EQ(pool.StatsSnapshot().random_ios, 2u);
+  pool.ResetStats();
+  EXPECT_EQ(pool.StatsSnapshot().random_ios, 0u);
+}
+
+TEST(ShardedBufferPoolTest, CapacityIsDistributedAcrossShards) {
+  // 10 frames over 4 shards: 3+3+2+2. Whatever the distribution, the pool
+  // as a whole must never hold more than 10 pages.
+  ShardedBufferPool pool(10, 4);
+  for (PageId id = 0; id < 1000; ++id) pool.Touch(id);
+  EXPECT_LE(pool.ResidentPages(), 10u);
+  EXPECT_GT(pool.ResidentPages(), 0u);
+}
+
+TEST(ShardedBufferPoolTest, ZeroShardsClampsToOne) {
+  ShardedBufferPool pool(8, 0);
+  EXPECT_FALSE(pool.Touch(1));
+  EXPECT_TRUE(pool.Touch(1));
+}
+
+TEST(ShardedBufferPoolTest, ConcurrentTouchesLoseNoStats) {
+  // Every touch is classified as exactly one hit or miss; with all threads
+  // hammering the same small id range, hits + misses must equal the total
+  // number of touches regardless of interleaving. Run under TSAN this also
+  // exercises the per-shard locking.
+  ShardedBufferPool pool(16, 4);
+  constexpr int kThreads = 8;
+  constexpr int kTouchesPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kTouchesPerThread; ++i) {
+        pool.Touch(static_cast<PageId>(rng.UniformInt(64)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const IoStats merged = pool.StatsSnapshot();
+  EXPECT_EQ(merged.random_ios + merged.buffer_hits,
+            static_cast<uint64_t>(kThreads) * kTouchesPerThread);
+  EXPECT_LE(pool.ResidentPages(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryExecutor: parallel == serial, byte for byte.
+// ---------------------------------------------------------------------------
+
+struct ExecFixture {
+  Dataset dataset;
+  std::unique_ptr<SgTree> tree;
+  std::vector<BatchQuery> batch;
+};
+
+ExecFixture MakeExecFixture(uint64_t seed, Metric metric,
+                            uint32_t num_queries = 60) {
+  ExecFixture f;
+  f.dataset = ClusteredDataset(seed, 900, 200, 8, 10, 3);
+  SgTreeOptions options;
+  options.num_bits = 200;
+  options.max_entries = 10;
+  options.metric = metric;
+  f.tree = std::make_unique<SgTree>(options);
+  for (const Transaction& txn : f.dataset.transactions) f.tree->Insert(txn);
+
+  Rng rng(seed ^ 0x5eed);
+  const QueryType kTypes[] = {QueryType::kKnn,         QueryType::kBestFirstKnn,
+                              QueryType::kRange,       QueryType::kContainment,
+                              QueryType::kExact,       QueryType::kSubset};
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    BatchQuery q;
+    q.type = kTypes[i % std::size(kTypes)];
+    Signature sig = RandomSignature(rng, 200, 0.04);
+    if (sig.Empty()) sig.Set(3);
+    // Exact queries only make sense for signatures actually in the data;
+    // reuse a transaction's signature for some of them.
+    if (q.type == QueryType::kExact && i % 2 == 0) {
+      const auto& txn =
+          f.dataset.transactions[rng.UniformInt(f.dataset.size())];
+      sig = Signature::FromItems(txn.items, 200);
+    }
+    q.query = std::move(sig);
+    q.k = 1 + static_cast<uint32_t>(rng.UniformInt(10));
+    q.epsilon = metric == Metric::kHamming ? 6.0 : 0.4;
+    f.batch.push_back(std::move(q));
+  }
+  return f;
+}
+
+void ExpectBatchesIdentical(const std::vector<QueryResult>& a,
+                            const std::vector<QueryResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].neighbors, b[i].neighbors) << "query " << i;
+    EXPECT_EQ(a[i].ids, b[i].ids) << "query " << i;
+    EXPECT_EQ(a[i].stats.nodes_accessed, b[i].stats.nodes_accessed)
+        << "query " << i;
+    EXPECT_EQ(a[i].stats.random_ios, b[i].stats.random_ios) << "query " << i;
+    EXPECT_EQ(a[i].stats.transactions_compared,
+              b[i].stats.transactions_compared)
+        << "query " << i;
+    EXPECT_EQ(a[i].stats.bounds_computed, b[i].stats.bounds_computed)
+        << "query " << i;
+  }
+}
+
+class ExecutorDeterminismTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(ExecutorDeterminismTest, ParallelMatchesSerialAllQueryTypes) {
+  const ExecFixture f = MakeExecFixture(11, GetParam());
+  const auto serial = QueryExecutor::RunSerial(*f.tree, f.batch, 16);
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    QueryExecutorOptions options;
+    options.num_threads = threads;
+    options.buffer_pages = 16;
+    QueryExecutor executor(options);
+    ASSERT_EQ(executor.num_threads(), threads);
+    const auto parallel = executor.Run(*f.tree, f.batch);
+    ExpectBatchesIdentical(parallel, serial);
+  }
+}
+
+TEST_P(ExecutorDeterminismTest, RepeatedRunsAreIdentical) {
+  const ExecFixture f = MakeExecFixture(12, GetParam());
+  QueryExecutorOptions options;
+  options.num_threads = 4;
+  options.buffer_pages = 16;
+  QueryExecutor executor(options);
+  const auto first = executor.Run(*f.tree, f.batch);
+  const auto second = executor.Run(*f.tree, f.batch);
+  ExpectBatchesIdentical(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, ExecutorDeterminismTest,
+                         ::testing::Values(Metric::kHamming, Metric::kJaccard,
+                                           Metric::kDice, Metric::kCosine),
+                         [](const auto& info) {
+                           return MetricName(info.param);
+                         });
+
+TEST(ExecutorTest, MatchesDirectSearchCalls) {
+  ExecFixture f = MakeExecFixture(13, Metric::kHamming, 24);
+  QueryExecutor executor({.num_threads = 3, .buffer_pages = 16});
+  const auto results = executor.Run(*f.tree, f.batch);
+  ASSERT_EQ(results.size(), f.batch.size());
+  for (size_t i = 0; i < f.batch.size(); ++i) {
+    const BatchQuery& q = f.batch[i];
+    f.tree->ResetIo();
+    f.tree->buffer_pool().Resize(16);
+    f.tree->buffer_pool().Clear();
+    switch (q.type) {
+      case QueryType::kKnn:
+        EXPECT_EQ(results[i].neighbors, DfsKNearest(*f.tree, q.query, q.k));
+        break;
+      case QueryType::kBestFirstKnn:
+        EXPECT_EQ(results[i].neighbors,
+                  BestFirstKNearest(*f.tree, q.query, q.k));
+        break;
+      case QueryType::kRange:
+        EXPECT_EQ(results[i].neighbors,
+                  RangeSearch(*f.tree, q.query, q.epsilon));
+        break;
+      case QueryType::kContainment:
+        EXPECT_EQ(results[i].ids, ContainmentSearch(*f.tree, q.query));
+        break;
+      case QueryType::kExact:
+        EXPECT_EQ(results[i].ids, ExactSearch(*f.tree, q.query));
+        break;
+      case QueryType::kSubset:
+        EXPECT_EQ(results[i].ids, SubsetSearch(*f.tree, q.query));
+        break;
+    }
+  }
+}
+
+TEST(ExecutorTest, BatchStatsEqualSumOfPerQueryStats) {
+  const ExecFixture f = MakeExecFixture(14, Metric::kHamming);
+  QueryExecutor executor({.num_threads = 4, .buffer_pages = 16});
+  const auto results = executor.Run(*f.tree, f.batch);
+  QueryStats sum;
+  for (const QueryResult& r : results) sum += r.stats;
+  EXPECT_EQ(executor.batch_stats().nodes_accessed, sum.nodes_accessed);
+  EXPECT_EQ(executor.batch_stats().random_ios, sum.random_ios);
+  EXPECT_EQ(executor.batch_stats().transactions_compared,
+            sum.transactions_compared);
+  EXPECT_EQ(executor.batch_stats().bounds_computed, sum.bounds_computed);
+}
+
+TEST(ExecutorTest, EmptyBatchAndEmptyTree) {
+  QueryExecutor executor({.num_threads = 2});
+  SgTreeOptions options;
+  options.num_bits = 64;
+  SgTree empty_tree(options);
+  EXPECT_TRUE(executor.Run(empty_tree, {}).empty());
+  BatchQuery q;
+  q.query = Signature(64);
+  q.query.Set(1);
+  const auto results = executor.Run(empty_tree, {q});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].neighbors.empty());
+}
+
+TEST(ExecutorTest, SharedShardedPoolReturnsSameValues) {
+  // With a shared pool, per-query I/O counts depend on scheduling, but the
+  // query *values* must still match the serial oracle exactly.
+  const ExecFixture f = MakeExecFixture(15, Metric::kHamming);
+  const auto serial = QueryExecutor::RunSerial(*f.tree, f.batch, 16);
+  QueryExecutorOptions options;
+  options.num_threads = 4;
+  options.buffer_pages = 64;
+  options.pool_shards = 4;
+  QueryExecutor executor(options);
+  ASSERT_NE(executor.shared_pool(), nullptr);
+  const auto parallel = executor.Run(*f.tree, f.batch);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].neighbors, serial[i].neighbors) << "query " << i;
+    EXPECT_EQ(parallel[i].ids, serial[i].ids) << "query " << i;
+  }
+}
+
+TEST(ExecutorTest, ParallelForVisitsEachIndexExactlyOnce) {
+  QueryExecutor executor({.num_threads = 4});
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<uint32_t>> visits(kN);
+  executor.ParallelFor(kN, [&](size_t i, uint32_t worker_id) {
+    ASSERT_LT(worker_id, executor.num_threads());
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1u) << "index " << i;
+  }
+}
+
+TEST(ExecutorTest, TableBatchMatchesDirectCalls) {
+  const Dataset dataset = ClusteredDataset(21, 800, 150, 6, 9, 2);
+  SgTableOptions topt;
+  topt.clustering.num_signatures = 8;
+  const SgTable table(dataset, topt);
+  Rng rng(99);
+  std::vector<BatchQuery> batch;
+  for (int i = 0; i < 20; ++i) {
+    BatchQuery q;
+    q.type = i % 2 == 0 ? QueryType::kKnn : QueryType::kRange;
+    q.query = RandomSignature(rng, 150, 0.05);
+    if (q.query.Empty()) q.query.Set(0);
+    q.k = 3;
+    q.epsilon = 5.0;
+    batch.push_back(std::move(q));
+  }
+  QueryExecutor executor({.num_threads = 4});
+  const auto results = executor.Run(table, batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    QueryStats stats;
+    const auto expected =
+        batch[i].type == QueryType::kKnn
+            ? table.KNearest(batch[i].query, batch[i].k, &stats)
+            : table.Range(batch[i].query, batch[i].epsilon, &stats);
+    EXPECT_EQ(results[i].neighbors, expected) << "query " << i;
+    EXPECT_EQ(results[i].stats.random_ios, stats.random_ios) << "query " << i;
+  }
+}
+
+TEST(ExecutorTest, InvertedBatchMatchesDirectCalls) {
+  const Dataset dataset = ClusteredDataset(22, 800, 150, 6, 9, 2);
+  const InvertedIndex index(dataset);
+  Rng rng(98);
+  std::vector<BatchQuery> batch;
+  const QueryType kTypes[] = {QueryType::kKnn, QueryType::kRange,
+                              QueryType::kContainment, QueryType::kSubset};
+  for (int i = 0; i < 20; ++i) {
+    BatchQuery q;
+    q.type = kTypes[i % std::size(kTypes)];
+    q.query = RandomSignature(rng, 150, 0.03);
+    if (q.query.Empty()) q.query.Set(0);
+    q.k = 4;
+    q.epsilon = 6.0;
+    batch.push_back(std::move(q));
+  }
+  QueryExecutor executor({.num_threads = 4});
+  const auto results = executor.Run(index, batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto items = batch[i].query.ToItems();
+    switch (batch[i].type) {
+      case QueryType::kKnn:
+        EXPECT_EQ(results[i].neighbors, index.KNearest(items, batch[i].k));
+        break;
+      case QueryType::kRange:
+        EXPECT_EQ(results[i].neighbors,
+                  index.Range(items, batch[i].epsilon));
+        break;
+      case QueryType::kContainment:
+        EXPECT_EQ(results[i].ids, index.Containing(items));
+        break;
+      case QueryType::kSubset:
+        EXPECT_EQ(results[i].ids, index.ContainedIn(items));
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stress: the ThreadSanitizer targets.
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorStressTest, ManyThreadsSmallSharedPool) {
+  // 8 workers against a deliberately tiny 2-shard pool: maximum lock
+  // contention and constant eviction. Values must still match the oracle.
+  const ExecFixture f = MakeExecFixture(31, Metric::kHamming, 120);
+  const auto serial = QueryExecutor::RunSerial(*f.tree, f.batch, 4);
+  QueryExecutorOptions options;
+  options.num_threads = 8;
+  options.buffer_pages = 4;
+  options.pool_shards = 2;
+  QueryExecutor executor(options);
+  for (int round = 0; round < 3; ++round) {
+    const auto parallel = executor.Run(*f.tree, f.batch);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(parallel[i].neighbors, serial[i].neighbors)
+          << "round " << round << " query " << i;
+      ASSERT_EQ(parallel[i].ids, serial[i].ids)
+          << "round " << round << " query " << i;
+    }
+  }
+}
+
+TEST(ExecutorStressTest, ManyThreadsPrivatePoolsRepeatedBatches) {
+  const ExecFixture f = MakeExecFixture(32, Metric::kJaccard, 120);
+  QueryExecutorOptions options;
+  options.num_threads = 8;
+  options.buffer_pages = 8;
+  QueryExecutor executor(options);
+  const auto first = executor.Run(*f.tree, f.batch);
+  for (int round = 0; round < 3; ++round) {
+    const auto again = executor.Run(*f.tree, f.batch);
+    ExpectBatchesIdentical(again, first);
+  }
+}
+
+TEST(ExecutorStressTest, ExecutorsConstructedAndDestroyedRepeatedly) {
+  // Start-up/shutdown races: workers parked on the condition variable must
+  // see the shutdown flag and exit; destruction joins everything.
+  const ExecFixture f = MakeExecFixture(33, Metric::kHamming, 16);
+  for (int round = 0; round < 10; ++round) {
+    QueryExecutor executor(
+        {.num_threads = 4, .buffer_pages = 8});
+    const auto results = executor.Run(*f.tree, f.batch);
+    ASSERT_EQ(results.size(), f.batch.size());
+  }
+}
+
+}  // namespace
+}  // namespace sgtree
