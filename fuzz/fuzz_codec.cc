@@ -1,0 +1,75 @@
+// Fuzz harness for the signature codec (storage/codec.h).
+//
+// Input layout: bytes [0,2) pick the signature width; the rest is used twice,
+// once as an arbitrary encoded stream fed to DecodeSignature (which must
+// reject garbage without crashing or over-reading) and once as a raw bitmap
+// turned into a Signature and pushed through an encode/decode round trip
+// (decode(encode(s)) == s, with the advertised EncodedSize).
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+#include "common/signature.h"
+#include "storage/codec.h"
+
+namespace {
+
+using sgtree::DecodeSignature;
+using sgtree::EncodeSignature;
+using sgtree::EncodedSize;
+using sgtree::Signature;
+
+void DecodeArbitrary(const std::vector<uint8_t>& payload, uint32_t num_bits) {
+  size_t offset = 0;
+  Signature sig;
+  // Decode back-to-back signatures until the stream is rejected or drained;
+  // every accepted signature must survive a canonical round trip.
+  while (offset < payload.size() &&
+         DecodeSignature(payload, &offset, num_bits, &sig)) {
+    SGTREE_ASSERT_MSG(offset <= payload.size(), "decoder overran the buffer");
+    std::vector<uint8_t> reencoded;
+    EncodeSignature(sig, &reencoded);
+    SGTREE_ASSERT_MSG(reencoded.size() == EncodedSize(sig),
+                      "EncodedSize disagrees with EncodeSignature");
+    size_t check_offset = 0;
+    Signature again;
+    SGTREE_ASSERT_MSG(
+        DecodeSignature(reencoded, &check_offset, num_bits, &again),
+        "re-encoding of an accepted signature failed to decode");
+    SGTREE_ASSERT_MSG(again == sig, "codec round trip changed the signature");
+  }
+}
+
+void RoundTripFromBitmap(const std::vector<uint8_t>& payload,
+                         uint32_t num_bits) {
+  Signature sig(num_bits);
+  for (uint32_t pos = 0; pos < num_bits && pos / 8 < payload.size(); ++pos) {
+    if ((payload[pos / 8] >> (pos % 8)) & 1) sig.Set(pos);
+  }
+  std::vector<uint8_t> encoded;
+  EncodeSignature(sig, &encoded);
+  SGTREE_ASSERT_MSG(encoded.size() == EncodedSize(sig),
+                    "EncodedSize disagrees with EncodeSignature");
+  size_t offset = 0;
+  Signature decoded;
+  SGTREE_ASSERT_MSG(DecodeSignature(encoded, &offset, num_bits, &decoded),
+                    "encoding of a live signature failed to decode");
+  SGTREE_ASSERT_MSG(offset == encoded.size(),
+                    "decoder consumed a different size than it encoded");
+  SGTREE_ASSERT_MSG(decoded == sig, "codec round trip changed the signature");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 2) return 0;
+  uint16_t raw_bits = 0;
+  std::memcpy(&raw_bits, data, sizeof(raw_bits));
+  const uint32_t num_bits = static_cast<uint32_t>(raw_bits % 2048) + 1;
+  const std::vector<uint8_t> payload(data + 2, data + size);
+  DecodeArbitrary(payload, num_bits);
+  RoundTripFromBitmap(payload, num_bits);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fuzz harness for the dataset interchange parser (data/dataset_io.h).
+//
+// ParseDataset must reject arbitrary text without crashing and without
+// letting a hostile header drive giant allocations. Any input it accepts
+// must reach a serialization fixpoint: serialize(parse(x)) re-parses to the
+// identical canonical text.
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "data/dataset_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  sgtree::Dataset parsed;
+  if (!sgtree::ParseDataset(text, &parsed)) return 0;
+  SGTREE_ASSERT_MSG(parsed.num_items <= sgtree::kMaxDatasetItems,
+                    "parser accepted an out-of-cap dictionary size");
+  const std::string canonical = sgtree::SerializeDataset(parsed);
+  sgtree::Dataset reparsed;
+  SGTREE_ASSERT_MSG(sgtree::ParseDataset(canonical, &reparsed),
+                    "serialization of an accepted dataset failed to parse");
+  SGTREE_ASSERT_MSG(sgtree::SerializeDataset(reparsed) == canonical,
+                    "dataset serialization is not a fixpoint");
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sgtree::internal {
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const char* detail) {
+  if (detail != nullptr && detail[0] != '\0') {
+    std::fprintf(stderr, "%s:%d: check failed: %s (%s)\n", file, line, expr,
+                 detail);
+  } else {
+    std::fprintf(stderr, "%s:%d: check failed: %s\n", file, line, expr);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sgtree::internal

@@ -1,0 +1,44 @@
+#ifndef SGTREE_COMMON_CHECK_H_
+#define SGTREE_COMMON_CHECK_H_
+
+namespace sgtree::internal {
+
+/// Prints "<file>:<line>: check failed: <expr> (<detail>)" to stderr and
+/// aborts. Out of line so the macro expansion stays one cold call.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const char* detail);
+
+}  // namespace sgtree::internal
+
+/// SGTREE_ASSERT(cond) — enabled in every build type.
+///
+/// Use on mutating and cold paths (insert/erase restructuring, page
+/// encode/decode, pool bookkeeping) where a broken invariant would silently
+/// corrupt persisted signatures: the check is a handful of instructions and
+/// the operation it guards already costs orders of magnitude more. Release
+/// builds therefore keep these on, unlike bare assert().
+#define SGTREE_ASSERT(cond)                                              \
+  (static_cast<bool>(cond)                                               \
+       ? static_cast<void>(0)                                            \
+       : ::sgtree::internal::CheckFailed(#cond, __FILE__, __LINE__, ""))
+
+/// SGTREE_ASSERT_MSG(cond, detail) — SGTREE_ASSERT with a string-literal
+/// explanation appended to the failure report.
+#define SGTREE_ASSERT_MSG(cond, detail)                                  \
+  (static_cast<bool>(cond)                                               \
+       ? static_cast<void>(0)                                            \
+       : ::sgtree::internal::CheckFailed(#cond, __FILE__, __LINE__,      \
+                                         detail))
+
+/// SGTREE_DCHECK(cond) — debug builds only.
+///
+/// Use on hot query paths (per-word signature ops, per-entry bounds) where
+/// an always-on check would be measurable. Compiles to nothing under NDEBUG
+/// without evaluating (or odr-using) the condition.
+#ifdef NDEBUG
+#define SGTREE_DCHECK(cond) static_cast<void>(sizeof((cond) ? 1 : 0))
+#else
+#define SGTREE_DCHECK(cond) SGTREE_ASSERT(cond)
+#endif
+
+#endif  // SGTREE_COMMON_CHECK_H_

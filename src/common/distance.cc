@@ -1,7 +1,6 @@
 #include "common/distance.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace sgtree {

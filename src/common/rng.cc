@@ -1,7 +1,8 @@
 #include "common/rng.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace sgtree {
 namespace {
@@ -35,7 +36,7 @@ uint64_t Rng::NextU64() {
 }
 
 uint64_t Rng::UniformInt(uint64_t bound) {
-  assert(bound != 0);
+  SGTREE_DCHECK(bound != 0);
   // Lemire's nearly-divisionless unbiased bounded generation.
   uint64_t x = NextU64();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -56,7 +57,7 @@ double Rng::UniformDouble() {
 }
 
 uint32_t Rng::Poisson(double mean) {
-  assert(mean >= 0);
+  SGTREE_DCHECK(mean >= 0);
   if (mean <= 0) return 0;
   if (mean > 64) {
     // Normal approximation with continuity correction; adequate for

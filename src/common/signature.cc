@@ -1,7 +1,8 @@
 #include "common/signature.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace sgtree {
 
@@ -9,7 +10,7 @@ Signature Signature::FromItems(std::span<const uint32_t> items,
                                uint32_t num_bits) {
   Signature sig(num_bits);
   for (uint32_t item : items) {
-    assert(item < num_bits);
+    SGTREE_ASSERT(item < num_bits);
     sig.Set(item);
   }
   return sig;
@@ -31,17 +32,17 @@ bool Signature::Empty() const {
 }
 
 void Signature::UnionWith(const Signature& other) {
-  assert(num_bits_ == other.num_bits_);
+  SGTREE_DCHECK(num_bits_ == other.num_bits_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
 }
 
 void Signature::IntersectWith(const Signature& other) {
-  assert(num_bits_ == other.num_bits_);
+  SGTREE_DCHECK(num_bits_ == other.num_bits_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
 }
 
 bool Signature::Contains(const Signature& other) const {
-  assert(num_bits_ == other.num_bits_);
+  SGTREE_DCHECK(num_bits_ == other.num_bits_);
   if (this == &other) return true;
   // Early exit on the first word with a bit of `other` not already present
   // in *this; random signatures diverge within the first word or two, so
@@ -57,7 +58,7 @@ bool Signature::Contains(const Signature& other) const {
 
 Signature::BoundAndArea Signature::EnlargementAndArea(const Signature& a,
                                                       const Signature& b) {
-  assert(a.num_bits_ == b.num_bits_);
+  SGTREE_DCHECK(a.num_bits_ == b.num_bits_);
   BoundAndArea result;
   for (size_t i = 0; i < a.words_.size(); ++i) {
     result.enlargement += PopCount(b.words_[i] & ~a.words_[i]);
@@ -67,7 +68,7 @@ Signature::BoundAndArea Signature::EnlargementAndArea(const Signature& a,
 }
 
 uint32_t Signature::IntersectCount(const Signature& a, const Signature& b) {
-  assert(a.num_bits_ == b.num_bits_);
+  SGTREE_DCHECK(a.num_bits_ == b.num_bits_);
   uint32_t count = 0;
   for (size_t i = 0; i < a.words_.size(); ++i) {
     count += PopCount(a.words_[i] & b.words_[i]);
@@ -76,7 +77,7 @@ uint32_t Signature::IntersectCount(const Signature& a, const Signature& b) {
 }
 
 uint32_t Signature::AndNotCount(const Signature& a, const Signature& b) {
-  assert(a.num_bits_ == b.num_bits_);
+  SGTREE_DCHECK(a.num_bits_ == b.num_bits_);
   uint32_t count = 0;
   for (size_t i = 0; i < a.words_.size(); ++i) {
     count += PopCount(a.words_[i] & ~b.words_[i]);
@@ -85,7 +86,7 @@ uint32_t Signature::AndNotCount(const Signature& a, const Signature& b) {
 }
 
 uint32_t Signature::XorCount(const Signature& a, const Signature& b) {
-  assert(a.num_bits_ == b.num_bits_);
+  SGTREE_DCHECK(a.num_bits_ == b.num_bits_);
   uint32_t count = 0;
   for (size_t i = 0; i < a.words_.size(); ++i) {
     count += PopCount(a.words_[i] ^ b.words_[i]);
@@ -94,7 +95,7 @@ uint32_t Signature::XorCount(const Signature& a, const Signature& b) {
 }
 
 uint32_t Signature::UnionCount(const Signature& a, const Signature& b) {
-  assert(a.num_bits_ == b.num_bits_);
+  SGTREE_DCHECK(a.num_bits_ == b.num_bits_);
   uint32_t count = 0;
   for (size_t i = 0; i < a.words_.size(); ++i) {
     count += PopCount(a.words_[i] | b.words_[i]);
@@ -103,7 +104,7 @@ uint32_t Signature::UnionCount(const Signature& a, const Signature& b) {
 }
 
 uint32_t Signature::Enlargement(const Signature& a, const Signature& b) {
-  assert(a.num_bits_ == b.num_bits_);
+  SGTREE_DCHECK(a.num_bits_ == b.num_bits_);
   uint32_t count = 0;
   for (size_t i = 0; i < a.words_.size(); ++i) {
     count += PopCount(b.words_[i] & ~a.words_[i]);

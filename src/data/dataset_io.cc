@@ -1,13 +1,13 @@
 #include "data/dataset_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
 namespace sgtree {
 
-bool SaveDataset(const Dataset& dataset, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+std::string SerializeDataset(const Dataset& dataset) {
+  std::ostringstream out;
   out << dataset.num_items << ' ' << dataset.fixed_dimensionality << ' '
       << dataset.transactions.size() << '\n';
   for (const Transaction& txn : dataset.transactions) {
@@ -15,18 +15,20 @@ bool SaveDataset(const Dataset& dataset, const std::string& path) {
     for (ItemId item : txn.items) out << ' ' << item;
     out << '\n';
   }
-  return static_cast<bool>(out);
+  return out.str();
 }
 
-bool LoadDataset(const std::string& path, Dataset* dataset) {
-  std::ifstream in(path);
-  if (!in) return false;
+bool ParseDataset(const std::string& text, Dataset* dataset) {
+  std::istringstream in(text);
   size_t count = 0;
   if (!(in >> dataset->num_items >> dataset->fixed_dimensionality >> count)) {
     return false;
   }
+  if (dataset->num_items > kMaxDatasetItems) return false;
   dataset->transactions.clear();
-  dataset->transactions.reserve(count);
+  // A row takes at least two characters ("0\n"), so a sane count is bounded
+  // by the input length — reserve accordingly, never from the raw header.
+  dataset->transactions.reserve(std::min(count, text.size() / 2 + 1));
   std::string line;
   std::getline(in, line);  // Consume the header's newline.
   for (size_t i = 0; i < count; ++i) {
@@ -44,9 +46,26 @@ bool LoadDataset(const std::string& path, Dataset* dataset) {
       prev = item;
       first = false;
     }
+    if (!row.eof()) return false;  // Trailing non-numeric garbage.
     dataset->transactions.push_back(std::move(txn));
   }
   return true;
+}
+
+bool SaveDataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << SerializeDataset(dataset);
+  return static_cast<bool>(out);
+}
+
+bool LoadDataset(const std::string& path, Dataset* dataset) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return false;
+  return ParseDataset(buffer.str(), dataset);
 }
 
 }  // namespace sgtree

@@ -12,6 +12,19 @@ namespace sgtree {
 ///   then one line per transaction: "tid item item item ..."
 /// Items must be sorted ascending and < num_items.
 
+/// Upper bound accepted for `num_items` when parsing. Dictionary sizes in
+/// this domain are at most tens of thousands (Section 3.2); the cap keeps a
+/// corrupt or hostile header from driving giant signature allocations.
+inline constexpr uint32_t kMaxDatasetItems = 1u << 22;
+
+/// Renders `dataset` in the interchange format.
+std::string SerializeDataset(const Dataset& dataset);
+
+/// Parses the interchange format. Returns false on malformed content
+/// (bad header, unsorted/duplicate/out-of-range items, truncated rows,
+/// num_items past kMaxDatasetItems). On failure `dataset` is unspecified.
+bool ParseDataset(const std::string& text, Dataset* dataset);
+
 /// Writes `dataset` to `path`. Returns false on I/O error.
 bool SaveDataset(const Dataset& dataset, const std::string& path);
 

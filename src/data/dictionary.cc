@@ -1,7 +1,8 @@
 #include "data/dictionary.h"
 
-#include <cassert>
 #include <numeric>
+
+#include "common/check.h"
 
 namespace sgtree {
 
@@ -10,7 +11,7 @@ CategoricalSchema::CategoricalSchema(std::vector<uint32_t> domain_sizes)
   offsets_.reserve(domain_sizes_.size());
   uint32_t offset = 0;
   for (uint32_t size : domain_sizes_) {
-    assert(size > 0);
+    SGTREE_ASSERT(size > 0);
     offsets_.push_back(offset);
     offset += size;
   }
@@ -18,7 +19,7 @@ CategoricalSchema::CategoricalSchema(std::vector<uint32_t> domain_sizes)
 }
 
 std::pair<uint32_t, uint32_t> CategoricalSchema::Decode(ItemId item) const {
-  assert(item < total_values_);
+  SGTREE_DCHECK(item < total_values_);
   // Binary search for the owning attribute.
   uint32_t lo = 0;
   uint32_t hi = num_attributes() - 1;
@@ -41,8 +42,8 @@ std::vector<uint32_t> CategoricalSchema::CensusDomainSizes() {
       12, 10, 9,  2,  2,  2,  2,  3,  3,  3,  3,  4,
       4,  4,  4,  5,  5,  5,  6,  6,  7,  7,  8,  19,
   };
-  assert(sizes.size() == 36);
-  assert(std::accumulate(sizes.begin(), sizes.end(), 0u) == 525u);
+  SGTREE_ASSERT(sizes.size() == 36);
+  SGTREE_ASSERT(std::accumulate(sizes.begin(), sizes.end(), 0u) == 525u);
   return sizes;
 }
 

@@ -1,9 +1,10 @@
 #include "data/quest_generator.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <sstream>
+
+#include "common/check.h"
 
 namespace sgtree {
 
@@ -20,8 +21,8 @@ std::string QuestOptions::Label() const {
 
 QuestGenerator::QuestGenerator(const QuestOptions& options)
     : options_(options), rng_(options.seed), query_rng_(options.seed ^ 0x9e3779b97f4a7c15ull) {
-  assert(options_.num_items > 0);
-  assert(options_.avg_itemset_size >= 1);
+  SGTREE_ASSERT(options_.num_items > 0);
+  SGTREE_ASSERT(options_.avg_itemset_size >= 1);
   BuildPatternPool();
 }
 

@@ -1,9 +1,10 @@
 #include "inverted/inverted_index.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <unordered_map>
+
+#include "common/check.h"
 
 namespace sgtree {
 
@@ -16,7 +17,7 @@ InvertedIndex::InvertedIndex(const Dataset& dataset, uint32_t page_size)
 
 void InvertedIndex::Insert(const Transaction& txn) {
   for (ItemId item : txn.items) {
-    assert(item < postings_.size());
+    SGTREE_ASSERT(item < postings_.size());
     auto& list = postings_[item];
     if (list.empty() || list.back() < txn.tid) {
       list.push_back(txn.tid);

@@ -1,7 +1,8 @@
 #include "sgtable/cooccurrence.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace sgtree {
 
@@ -27,7 +28,7 @@ CooccurrenceMatrix::CooccurrenceMatrix(const Dataset& dataset,
 }
 
 size_t CooccurrenceMatrix::IndexOf(ItemId a, ItemId b) const {
-  assert(a < num_items_ && b < num_items_);
+  SGTREE_DCHECK(a < num_items_ && b < num_items_);
   if (a > b) std::swap(a, b);
   // Row-major upper triangle including the diagonal: row a starts after
   // a*(2n - a + 1)/2 cells.

@@ -1,7 +1,6 @@
 #include "sgtable/item_clustering.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace sgtree {
 namespace {

@@ -1,8 +1,9 @@
 #include "sgtable/sg_table.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "common/check.h"
 
 #include "storage/codec.h"
 
@@ -12,7 +13,7 @@ SgTable::SgTable(const Dataset& dataset, const SgTableOptions& options)
     : options_(options), num_bits_(dataset.num_items) {
   CooccurrenceMatrix matrix(dataset, options_.cooccurrence_sample);
   groups_ = ClusterItems(matrix, options_.clustering);
-  assert(groups_.size() <= 64 && "activation codes are 64-bit");
+  SGTREE_ASSERT_MSG(groups_.size() <= 64, "activation codes are 64-bit");
   group_bitmaps_.reserve(groups_.size());
   for (const VerticalSignature& group : groups_) {
     group_bitmaps_.push_back(Signature::FromItems(group.items, num_bits_));

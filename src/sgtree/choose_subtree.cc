@@ -1,8 +1,9 @@
 #include "sgtree/choose_subtree.h"
 
-#include <cassert>
 #include <cstdint>
 #include <limits>
+
+#include "common/check.h"
 
 namespace sgtree {
 namespace {
@@ -26,7 +27,7 @@ uint64_t OverlapIncrease(const Node& node, size_t index,
 
 size_t ChooseSubtree(const Node& node, const Signature& sig,
                      ChooseSubtreePolicy policy) {
-  assert(!node.entries.empty());
+  SGTREE_ASSERT(!node.entries.empty());
 
   // Cases 1 and 2: prefer entries that already contain the signature; among
   // those, the one with minimum area.

@@ -1,0 +1,110 @@
+#ifndef SGTREE_SGTREE_INVARIANT_AUDITOR_H_
+#define SGTREE_SGTREE_INVARIANT_AUDITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sgtree/paged_reader.h"
+#include "sgtree/sg_tree.h"
+
+namespace sgtree {
+
+/// Deep structural verification of an SG-tree, in both its in-memory form
+/// and its serialized page image. Unlike the original tree checker (which
+/// stopped at the first broken invariant), the auditor keeps walking and
+/// reports every violation it finds, each tagged with a machine-readable
+/// check id and a human-readable diagnostic naming the offending page —
+/// the difference between "tree is broken" and "page 17, entry 3 lost bit
+/// 412 of its signature".
+///
+/// Verified invariants:
+///   - coverage (Definition 5): every directory entry's signature is exactly
+///     the OR of its child node's entry signatures;
+///   - height balance: child level == parent level - 1, all leaves at level
+///     0, recorded height matches the root level;
+///   - fill-factor bounds: non-root nodes hold between m and M entries, a
+///     directory root at least 2;
+///   - signature width: every entry matches the tree-wide width;
+///   - leaf tid uniqueness: no transaction id is indexed twice;
+///   - referential integrity: every entry reference resolves to a live
+///     page, every live page is reached exactly once from the root, and
+///     (paged form) every page image decodes cleanly with no trailing
+///     bytes and within the page size;
+///   - bookkeeping: recorded size / height / node count match the walk.
+enum class AuditCheck {
+  kStructure,        // bookkeeping mismatch (size/height/count, cycles)
+  kCoverage,         // directory signature != OR of child entries
+  kLevel,            // child level != parent level - 1
+  kFill,             // under minimum fill / over capacity / root fill
+  kSignatureWidth,   // entry signature width != tree signature width
+  kDuplicateTid,     // transaction id indexed by two leaf entries
+  kUnreachablePage,  // live page never reached from the root (orphan)
+  kDanglingRef,      // entry referencing a freed or unknown page
+  kPageDecode,       // page image fails to decode, or trailing bytes
+};
+
+/// Stable name for an AuditCheck ("coverage", "fill", ...), used by the CLI
+/// and test diagnostics.
+std::string_view AuditCheckName(AuditCheck check);
+
+struct AuditViolation {
+  AuditCheck check;
+  /// Offending page (kInvalidPageId for tree-level bookkeeping violations).
+  PageId page = kInvalidPageId;
+  std::string detail;
+
+  /// "coverage @page 17: ..." — the one-line form.
+  std::string ToString() const;
+};
+
+/// Traversal statistics, gathered even when violations are found. The
+/// per-level average entry area is the Table 1 split-quality metric.
+struct AuditStats {
+  uint32_t height = 0;
+  uint64_t node_count = 0;
+  uint64_t leaf_entries = 0;
+  /// Average entry area per level; index 0 = leaf level.
+  std::vector<double> avg_entry_area;
+  /// Average node fill (entries / capacity) over all non-root nodes.
+  double avg_utilization = 0;
+  /// Smallest non-root fill fraction seen (1.0 for a root-only tree).
+  double min_fill = 1.0;
+};
+
+struct AuditOptions {
+  /// Recording stops after this many violations (the walk continues, and
+  /// `total_violations` keeps counting).
+  size_t max_violations = 64;
+  bool check_tid_uniqueness = true;
+};
+
+struct AuditReport {
+  std::vector<AuditViolation> violations;
+  /// Total found, including any dropped past AuditOptions::max_violations.
+  size_t total_violations = 0;
+  AuditStats stats;
+
+  bool ok() const { return total_violations == 0; }
+  bool Has(AuditCheck check) const;
+  /// First violation as a one-line string, or "" when ok.
+  std::string FirstMessage() const;
+  /// Multi-line report: one line per violation plus a stats footer.
+  std::string Summary() const;
+};
+
+/// Audits the in-memory tree. Read-only and side-effect free: node access
+/// bypasses the buffer pool, so I/O counters are untouched.
+AuditReport AuditTree(const SgTree& tree, const AuditOptions& options = {});
+
+/// Audits a serialized page image (the disk-resident deployment form):
+/// decodes every page independently of PagedReader and re-derives the same
+/// invariants from raw bytes, plus page-level integrity (decode success, no
+/// trailing bytes, orphaned live pages, dangling references).
+AuditReport AuditPagedImage(const PagedTreeImage& image,
+                            const AuditOptions& options = {});
+
+}  // namespace sgtree
+
+#endif  // SGTREE_SGTREE_INVARIANT_AUDITOR_H_

@@ -1,10 +1,11 @@
 #include "sgtree/join.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <queue>
 #include <unordered_map>
+
+#include "common/check.h"
 
 #include "common/distance.h"
 
@@ -129,7 +130,7 @@ std::vector<JoinPair> SimilarityJoin(const SgTree& a, const SgTree& b,
                                      double epsilon,
                                      const QueryContext& ctx_a,
                                      const QueryContext& ctx_b) {
-  assert(a.num_bits() == b.num_bits());
+  SGTREE_ASSERT(a.num_bits() == b.num_bits());
   std::vector<JoinPair> result;
   if (a.root() == kInvalidPageId || b.root() == kInvalidPageId) return result;
   const uint32_t fixed_dim = a.options().fixed_dimensionality ==
@@ -153,7 +154,7 @@ std::vector<JoinPair> SimilarityJoin(SgTree& a, SgTree& b, double epsilon,
 std::vector<JoinPair> ClosestPairs(const SgTree& a, const SgTree& b,
                                    uint32_t k, const QueryContext& ctx_a,
                                    const QueryContext& ctx_b) {
-  assert(a.num_bits() == b.num_bits());
+  SGTREE_ASSERT(a.num_bits() == b.num_bits());
   std::vector<JoinPair> best;  // Max-heap under PairLess.
   if (a.root() == kInvalidPageId || b.root() == kInvalidPageId || k == 0) {
     return best;

@@ -1,8 +1,9 @@
 #include "sgtree/paged_reader.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "common/check.h"
 
 #include "storage/node_format.h"
 
@@ -47,12 +48,14 @@ PagedTreeImage FlushTreeToPages(const SgTree& tree, bool compress) {
   const auto [area_lo, area_hi] = tree.TransactionAreaBounds();
   image.area_lo = area_lo;
   image.area_hi = area_hi;
+  image.max_entries = tree.max_entries();
+  image.min_entries = tree.min_entries();
   return image;
 }
 
 PagedReader::PagedReader(const PagedTreeImage* image, const Options& options)
     : image_(image), options_(options) {
-  assert(image_ != nullptr && image_->pages != nullptr);
+  SGTREE_ASSERT(image_ != nullptr && image_->pages != nullptr);
 }
 
 const Node& PagedReader::FetchNode(PageId id, QueryStats* stats) {
@@ -68,12 +71,10 @@ const Node& PagedReader::FetchNode(PageId id, QueryStats* stats) {
   if (stats != nullptr) ++stats->random_ios;
   std::vector<uint8_t> payload;
   const bool read_ok = image_->pages->Read(id, &payload);
-  assert(read_ok);
-  (void)read_ok;
+  SGTREE_ASSERT_MSG(read_ok, "reference to a freed or invalid page");
   NodeRecord record;
   const bool decode_ok = DecodeNode(payload, image_->num_bits, &record);
-  assert(decode_ok);
-  (void)decode_ok;
+  SGTREE_ASSERT_MSG(decode_ok, "page image does not decode");
   Node node;
   node.id = id;
   node.level = record.level;
@@ -89,7 +90,7 @@ const Node& PagedReader::FetchNode(PageId id, QueryStats* stats) {
   lru_.push_front(id);
   auto [inserted, ok] =
       cache_.emplace(id, std::make_pair(std::move(node), lru_.begin()));
-  assert(ok);
+  SGTREE_ASSERT(ok);
   return inserted->second.first;
 }
 

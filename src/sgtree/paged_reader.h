@@ -28,6 +28,11 @@ struct PagedTreeImage {
   /// Section 6 statistics-tightened bounds.
   uint32_t area_lo = 0;
   uint32_t area_hi = 0;
+  /// Node capacity window of the source tree, so the invariant auditor can
+  /// verify fill-factor bounds against the serialized image. Zero means
+  /// unknown (images produced before these fields existed).
+  uint32_t max_entries = 0;
+  uint32_t min_entries = 0;
 };
 
 /// Serializes a tree into a fresh PageStore. Returns an empty image

@@ -102,7 +102,8 @@ void DfsKnnRecurse(const SgTree& tree, PageId node_id, const Signature& query,
   }
   for (const BoundedEntry& be : SortedBounds(tree, node, query, ctx.stats)) {
     if (be.bound >= heap->Tau()) break;  // Later entries bound even higher.
-    DfsKnnRecurse(tree, node.entries[be.index].ref, query, heap, ctx);
+    DfsKnnRecurse(tree, static_cast<PageId>(node.entries[be.index].ref),
+                  query, heap, ctx);
   }
 }
 

@@ -1,8 +1,8 @@
 #include "sgtree/sg_tree.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "sgtree/choose_subtree.h"
 #include "sgtree/split.h"
 #include "storage/node_format.h"
@@ -55,20 +55,20 @@ SgTree::SgTree(const SgTreeOptions& options)
       min_entries_(options.ResolvedMinEntries()),
       pages_(std::make_unique<PageStore>(options.page_size)),
       pool_(std::make_unique<BufferPool>(options.buffer_pages)) {
-  assert(options_.num_bits > 0);
-  assert(min_entries_ >= 1 && min_entries_ <= max_entries_ / 2);
+  SGTREE_ASSERT(options_.num_bits > 0);
+  SGTREE_ASSERT(min_entries_ >= 1 && min_entries_ <= max_entries_ / 2);
 }
 
 const Node& SgTree::GetNode(PageId id, const QueryContext& ctx) const {
   ctx.ChargeRead(id);
   auto it = nodes_.find(id);
-  assert(it != nodes_.end());
+  SGTREE_DCHECK(it != nodes_.end());
   return *it->second;
 }
 
 const Node& SgTree::GetNodeNoCharge(PageId id) const {
   auto it = nodes_.find(id);
-  assert(it != nodes_.end());
+  SGTREE_ASSERT_MSG(it != nodes_.end(), "dangling page reference");
   return *it->second;
 }
 
@@ -92,7 +92,7 @@ Node* SgTree::MutableNode(PageId id) {
   pool_->Touch(id);
   pool_->TouchWrite(id);
   auto it = nodes_.find(id);
-  assert(it != nodes_.end());
+  SGTREE_ASSERT_MSG(it != nodes_.end(), "dangling page reference");
   return it->second.get();
 }
 
@@ -126,7 +126,7 @@ void SgTree::Insert(const Transaction& txn) {
 }
 
 void SgTree::Insert(const Signature& sig, uint64_t tid) {
-  assert(sig.num_bits() == options_.num_bits);
+  SGTREE_ASSERT(sig.num_bits() == options_.num_bits);
   NoteTransactionArea(sig.Area());
   InsertEntryAtLevel(Entry{sig, tid}, 0);
   ++size_;
@@ -149,7 +149,7 @@ std::pair<uint32_t, uint32_t> SgTree::TransactionAreaBounds() const {
 
 void SgTree::InsertEntryAtLevel(Entry entry, uint16_t level) {
   if (root_ == kInvalidPageId) {
-    assert(level == 0);
+    SGTREE_ASSERT(level == 0);
     root_ = AllocateNode(0);
     height_ = 1;
   }
@@ -179,9 +179,9 @@ PageId SgTree::InsertRecursive(PageId node_id, Entry entry,
     return kInvalidPageId;
   }
 
-  assert(node->level > target_level);
+  SGTREE_ASSERT(node->level > target_level);
   const size_t index = ChooseSubtree(*node, entry.sig, options_.choose_policy);
-  const PageId child_id = node->entries[index].ref;
+  const auto child_id = static_cast<PageId>(node->entries[index].ref);
   // Enlarge the chosen entry's signature to cover the new one; exact
   // recomputation is unnecessary on insert (signatures only grow).
   node->entries[index].sig.UnionWith(entry.sig);
@@ -258,7 +258,7 @@ SgTree::EraseResult SgTree::EraseRecursive(
 
   for (size_t i = 0; i < node->entries.size(); ++i) {
     if (!node->entries[i].sig.Contains(sig)) continue;
-    const PageId child_id = node->entries[i].ref;
+    const auto child_id = static_cast<PageId>(node->entries[i].ref);
     if (EraseRecursive(child_id, sig, tid, pending) ==
         EraseResult::kNotFound) {
       continue;
@@ -286,7 +286,7 @@ void SgTree::ShrinkRoot() {
   while (root_ != kInvalidPageId) {
     const Node& root = GetNodeNoCharge(root_);
     if (root.IsLeaf() || root.Count() != 1) break;
-    const PageId child = root.entries[0].ref;
+    const auto child = static_cast<PageId>(root.entries[0].ref);
     FreeNode(root_);
     root_ = child;
     --height_;

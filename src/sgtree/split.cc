@@ -1,8 +1,9 @@
 #include "sgtree/split.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "common/check.h"
 
 namespace sgtree {
 namespace {
@@ -213,7 +214,7 @@ SplitResult ClusteringSplit(std::vector<Entry> entries, bool group_average,
   for (size_t c = 0; c < n; ++c) {
     if (clusters[c].active) active.push_back(c);
   }
-  assert(active.size() >= 2);
+  SGTREE_ASSERT(active.size() >= 2);
   std::sort(active.begin(), active.end(), [&](size_t a, size_t b) {
     return clusters[a].members.size() > clusters[b].members.size();
   });
@@ -268,7 +269,7 @@ SplitResult ClusteringSplit(std::vector<Entry> entries, bool group_average,
 
 SplitResult SplitEntries(std::vector<Entry> entries, SplitPolicy policy,
                          uint32_t min_entries, uint32_t num_bits) {
-  assert(entries.size() >= 2);
+  SGTREE_ASSERT(entries.size() >= 2);
   switch (policy) {
     case SplitPolicy::kLinear:
       return LinearSplit(std::move(entries), min_entries);

@@ -1,133 +1,20 @@
 #include "sgtree/tree_checker.h"
 
-#include <sstream>
-#include <unordered_set>
+#include "sgtree/invariant_auditor.h"
 
 namespace sgtree {
-namespace {
-
-struct CheckState {
-  TreeReport report;
-  std::unordered_set<PageId> visited;
-  std::vector<uint64_t> area_sum;    // Per level.
-  std::vector<uint64_t> entry_count; // Per level.
-  uint64_t non_root_nodes = 0;
-  uint64_t non_root_entries = 0;
-
-  void Fail(const std::string& message) {
-    if (report.ok) {
-      report.ok = false;
-      report.message = message;
-    }
-  }
-};
-
-void Visit(const SgTree& tree, PageId node_id, bool is_root,
-           CheckState* state) {
-  if (!state->report.ok) return;
-  if (!state->visited.insert(node_id).second) {
-    state->Fail("node visited twice: " + std::to_string(node_id));
-    return;
-  }
-  const Node& node = tree.GetNodeNoCharge(node_id);
-  ++state->report.node_count;
-
-  const uint32_t level = node.level;
-  if (state->area_sum.size() <= level) {
-    state->area_sum.resize(level + 1, 0);
-    state->entry_count.resize(level + 1, 0);
-  }
-
-  // Capacity invariants.
-  if (node.Count() > tree.max_entries()) {
-    state->Fail("node over capacity: " + std::to_string(node_id));
-    return;
-  }
-  if (is_root) {
-    if (!node.IsLeaf() && node.Count() < 2) {
-      state->Fail("directory root with fewer than 2 entries");
-      return;
-    }
-  } else {
-    if (node.Count() < tree.min_entries()) {
-      state->Fail("node under minimum fill: " + std::to_string(node_id));
-      return;
-    }
-    ++state->non_root_nodes;
-    state->non_root_entries += node.Count();
-  }
-
-  for (const Entry& entry : node.entries) {
-    if (entry.sig.num_bits() != tree.num_bits()) {
-      state->Fail("entry signature width mismatch");
-      return;
-    }
-    state->area_sum[level] += entry.sig.Area();
-    ++state->entry_count[level];
-    if (node.IsLeaf()) {
-      ++state->report.leaf_entries;
-      continue;
-    }
-    const auto child_id = static_cast<PageId>(entry.ref);
-    const Node& child = tree.GetNodeNoCharge(child_id);
-    if (child.level + 1 != node.level) {
-      state->Fail("child level mismatch under node " +
-                  std::to_string(node_id));
-      return;
-    }
-    // Coverage property: the entry signature must be exactly the OR of the
-    // child's entry signatures.
-    if (!(entry.sig == child.UnionSignature(tree.num_bits()))) {
-      state->Fail("directory signature is not the child union at node " +
-                  std::to_string(node_id));
-      return;
-    }
-    Visit(tree, child_id, /*is_root=*/false, state);
-    if (!state->report.ok) return;
-  }
-}
-
-}  // namespace
 
 TreeReport CheckTree(const SgTree& tree) {
-  CheckState state;
-  if (tree.root() == kInvalidPageId) {
-    if (tree.size() != 0) state.Fail("empty tree with nonzero size");
-    if (tree.height() != 0) state.Fail("empty tree with nonzero height");
-    return state.report;
-  }
-
-  const Node& root = tree.GetNodeNoCharge(tree.root());
-  if (root.level + 1u != tree.height()) {
-    state.Fail("recorded height does not match root level");
-  }
-  Visit(tree, tree.root(), /*is_root=*/true, &state);
-
-  if (state.report.ok && state.report.leaf_entries != tree.size()) {
-    std::ostringstream message;
-    message << "recorded size " << tree.size() << " != leaf entries "
-            << state.report.leaf_entries;
-    state.Fail(message.str());
-  }
-  if (state.report.ok && state.report.node_count != tree.node_count()) {
-    state.Fail("recorded node count mismatch");
-  }
-
-  state.report.height = tree.height();
-  state.report.avg_entry_area.resize(state.area_sum.size(), 0.0);
-  for (size_t level = 0; level < state.area_sum.size(); ++level) {
-    if (state.entry_count[level] > 0) {
-      state.report.avg_entry_area[level] =
-          static_cast<double>(state.area_sum[level]) /
-          static_cast<double>(state.entry_count[level]);
-    }
-  }
-  if (state.non_root_nodes > 0) {
-    state.report.avg_utilization =
-        static_cast<double>(state.non_root_entries) /
-        (static_cast<double>(state.non_root_nodes) * tree.max_entries());
-  }
-  return state.report;
+  const AuditReport audit = AuditTree(tree);
+  TreeReport report;
+  report.ok = audit.ok();
+  report.message = audit.FirstMessage();
+  report.height = audit.stats.height;
+  report.node_count = audit.stats.node_count;
+  report.leaf_entries = audit.stats.leaf_entries;
+  report.avg_entry_area = audit.stats.avg_entry_area;
+  report.avg_utilization = audit.stats.avg_utilization;
+  return report;
 }
 
 }  // namespace sgtree

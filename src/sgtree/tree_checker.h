@@ -9,10 +9,16 @@
 
 namespace sgtree {
 
-/// Structural report of an SG-tree; `ok == false` means an invariant is
-/// broken and `message` names the first violation found. Besides
-/// verification, the per-level average entry area is the quality metric the
-/// paper's Table 1 reports for the split-policy comparison.
+/// Compact structural report of an SG-tree; `ok == false` means an
+/// invariant is broken and `message` names the first violation found.
+/// Besides verification, the per-level average entry area is the quality
+/// metric the paper's Table 1 reports for the split-policy comparison.
+///
+/// This is the historical single-verdict interface, now a thin wrapper over
+/// the InvariantAuditor (sgtree/invariant_auditor.h), which reports every
+/// violation with a machine-readable check id and also audits serialized
+/// page images. New code that needs diagnostics should call AuditTree
+/// directly.
 struct TreeReport {
   bool ok = true;
   std::string message;
@@ -26,15 +32,9 @@ struct TreeReport {
   double avg_utilization = 0;
 };
 
-/// Verifies all SG-tree invariants by a full traversal (without charging
-/// the buffer pool):
-///   - every directory entry's signature equals the OR of its child's
-///     entries (coverage property, Definition 5);
-///   - child level == parent level - 1; all leaves at level 0;
-///   - every non-root node has between m and M entries, the root between
-///     2 and M when it is a directory;
-///   - the recorded size/height/node counts match the traversal;
-///   - every node is reachable exactly once.
+/// Runs the full invariant audit (coverage, levels, fill bounds, tid
+/// uniqueness, reachability, bookkeeping) by a complete traversal without
+/// charging the buffer pool, and condenses the result into a TreeReport.
 TreeReport CheckTree(const SgTree& tree);
 
 }  // namespace sgtree

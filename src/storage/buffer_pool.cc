@@ -1,7 +1,8 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace sgtree {
 
@@ -126,7 +127,7 @@ void BufferPool::LinkFront(uint32_t f) {
 }
 
 uint32_t BufferPool::EvictTail() {
-  assert(tail_ != kNil);
+  SGTREE_ASSERT(tail_ != kNil);
   const uint32_t f = tail_;
   index_.erase(frames_[f].page);
   Unlink(f);

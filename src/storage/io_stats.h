@@ -19,7 +19,8 @@ struct IoStats {
   double HitRatio() const {
     return page_accesses == 0
                ? 0.0
-               : static_cast<double>(buffer_hits) / page_accesses;
+               : static_cast<double>(buffer_hits) /
+                     static_cast<double>(page_accesses);
   }
 };
 

@@ -69,7 +69,7 @@ void EncodeNode(const NodeRecord& record, bool compress,
 }
 
 bool DecodeNode(const std::vector<uint8_t>& data, uint32_t num_bits,
-                NodeRecord* record) {
+                NodeRecord* record, size_t* consumed) {
   size_t offset = 0;
   uint16_t level = 0;
   uint16_t count = 0;
@@ -77,6 +77,10 @@ bool DecodeNode(const std::vector<uint8_t>& data, uint32_t num_bits,
   if (!ReadU16(data, &offset, &count)) return false;
   record->level = level;
   record->entries.clear();
+  // Every entry needs at least a ref and a signature tag byte, so a valid
+  // count is bounded by the remaining bytes — don't let a corrupt header
+  // drive a huge allocation.
+  if (static_cast<size_t>(count) * 9 > data.size() - offset) return false;
   record->entries.reserve(count);
   for (uint16_t i = 0; i < count; ++i) {
     uint64_t ref = 0;
@@ -85,6 +89,7 @@ bool DecodeNode(const std::vector<uint8_t>& data, uint32_t num_bits,
     if (!DecodeSignature(data, &offset, num_bits, &sig)) return false;
     record->entries.emplace_back(ref, std::move(sig));
   }
+  if (consumed != nullptr) *consumed = offset;
   return true;
 }
 

@@ -27,9 +27,11 @@ void EncodeNode(const NodeRecord& record, bool compress,
 
 /// Decodes a node image produced by EncodeNode. Returns false on malformed
 /// input. `num_bits` is the tree-wide signature width (stored once in the
-/// tree header, not per node).
+/// tree header, not per node). When `consumed` is non-null it receives the
+/// number of bytes the decoder read, so callers (the invariant auditor, the
+/// fuzz harnesses) can reject images with trailing garbage.
 bool DecodeNode(const std::vector<uint8_t>& data, uint32_t num_bits,
-                NodeRecord* record);
+                NodeRecord* record, size_t* consumed = nullptr);
 
 /// Exact size EncodeNode would produce.
 size_t EncodedNodeSize(const NodeRecord& record, bool compress);

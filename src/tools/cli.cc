@@ -10,6 +10,8 @@
 #include "data/dataset_io.h"
 #include "data/quest_generator.h"
 #include "sgtree/bulk_load.h"
+#include "sgtree/invariant_auditor.h"
+#include "sgtree/paged_reader.h"
 #include "sgtree/persistence.h"
 #include "sgtree/search.h"
 #include "sgtree/sg_tree.h"
@@ -191,6 +193,38 @@ int CmdStats(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int CmdCheck(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  const auto index_path = cmd.GetString("index");
+  if (!index_path.has_value()) return Fail(err, "check requires --index");
+  AuditOptions audit_options;
+  audit_options.max_violations =
+      static_cast<size_t>(cmd.IntOr("max-violations", 64));
+  const bool paged = cmd.IntOr("paged", 1) != 0;
+  if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
+
+  SgTreeOptions options;
+  auto tree = LoadTree(*index_path, options);
+  if (tree == nullptr) return Fail(err, "cannot load " + *index_path);
+
+  const AuditReport report = AuditTree(*tree, audit_options);
+  out << "in-memory audit: " << report.Summary();
+  bool ok = report.ok();
+
+  if (paged) {
+    const PagedTreeImage image =
+        FlushTreeToPages(*tree, tree->options().compress);
+    if (image.pages == nullptr) {
+      out << "paged audit: could not serialize (node exceeds page size)\n";
+      ok = false;
+    } else {
+      const AuditReport paged_report = AuditPagedImage(image, audit_options);
+      out << "paged audit: " << paged_report.Summary();
+      ok = ok && paged_report.ok();
+    }
+  }
+  return ok ? 0 : 2;
+}
+
 int CmdQuery(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   if (cmd.positional().size() < 2) {
     return Fail(err, "usage: query nn|range|contain --index FILE ...");
@@ -267,13 +301,15 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   CommandLine cmd(args);
   if (!cmd.error().empty()) return Fail(err, cmd.error());
   if (cmd.positional().empty()) {
-    err << "usage: sgtree_cli gen|build|stats|query ... (see tools/cli.h)\n";
+    err << "usage: sgtree_cli gen|build|stats|check|query ... "
+           "(see tools/cli.h)\n";
     return 1;
   }
   const std::string& verb = cmd.positional()[0];
   if (verb == "gen") return CmdGen(cmd, out, err);
   if (verb == "build") return CmdBuild(cmd, out, err);
   if (verb == "stats") return CmdStats(cmd, out, err);
+  if (verb == "check") return CmdCheck(cmd, out, err);
   if (verb == "query") return CmdQuery(cmd, out, err);
   return Fail(err, "unknown command '" + verb + "'");
 }

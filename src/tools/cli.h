@@ -17,6 +17,11 @@ namespace sgtree {
 ///               [--bulk gray|bisect|minhash|none] [--compress 0|1]
 ///               [--page N]
 ///   stats       --index F
+///   check       --index F [--paged 0|1] [--max-violations N]
+///               Runs the full InvariantAuditor (coverage, levels, fill
+///               bounds, tid uniqueness, page reachability) on the loaded
+///               tree and, with --paged (default on), on its serialized
+///               page image. Exit 0 = clean, 2 = violations found.
 ///   query nn    --index F (--q "i i i ..." | --queries F) [--k N]
 ///               [--metric hamming|jaccard|dice|cosine]
 ///   query range --index F (--q ... | --queries F) --eps X [--metric M]

@@ -115,8 +115,26 @@ TEST(CliTest, GenBuildStatsQueryPipeline) {
   r = RunArgs({"query", "contain", "--index", index, "--q", "1"});
   ASSERT_EQ(r.code, 0) << r.err;
 
+  r = RunArgs({"check", "--index", index});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("in-memory audit: all invariants hold"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("paged audit: all invariants hold"),
+            std::string::npos);
+
+  r = RunArgs({"check", "--index", index, "--paged", "0"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.find("paged audit"), std::string::npos);
+
   std::remove(data.c_str());
   std::remove(index.c_str());
+}
+
+TEST(CliTest, CheckRequiresIndex) {
+  CliResult r = RunArgs({"check"});
+  EXPECT_NE(r.code, 0);
+  r = RunArgs({"check", "--index", TempPath("cli_no_such_index.bin")});
+  EXPECT_NE(r.code, 0);
 }
 
 TEST(CliTest, CensusGeneratorAndBulkBuild) {

@@ -88,7 +88,9 @@ TEST(QuestGeneratorTest, TransactionsAreSortedUniqueInRange) {
     ASSERT_FALSE(txn.items.empty());
     for (size_t i = 0; i < txn.items.size(); ++i) {
       EXPECT_LT(txn.items[i], 200u);
-      if (i > 0) EXPECT_LT(txn.items[i - 1], txn.items[i]);
+      if (i > 0) {
+        EXPECT_LT(txn.items[i - 1], txn.items[i]);
+      }
     }
   }
 }

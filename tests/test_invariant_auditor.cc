@@ -1,0 +1,311 @@
+#include "sgtree/invariant_auditor.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sgtree/paged_reader.h"
+#include "sgtree/sg_tree.h"
+#include "storage/node_format.h"
+#include "tests/test_util.h"
+
+namespace sgtree {
+namespace {
+
+using ::sgtree::testing::ClusteredDataset;
+
+SgTreeOptions SmallOptions(uint32_t num_bits = 100) {
+  SgTreeOptions options;
+  options.num_bits = num_bits;
+  options.max_entries = 8;
+  options.buffer_pages = 16;
+  return options;
+}
+
+std::unique_ptr<SgTree> BuildTree(uint32_t num_transactions = 300) {
+  auto tree = std::make_unique<SgTree>(SmallOptions());
+  const Dataset dataset = ClusteredDataset(/*seed=*/42, num_transactions,
+                                           /*num_items=*/100,
+                                           /*num_clusters=*/6,
+                                           /*center_size=*/12, /*noise=*/3);
+  for (const Transaction& txn : dataset.transactions) tree->Insert(txn);
+  EXPECT_GE(tree->height(), 2u) << "corruption tests need a directory level";
+  return tree;
+}
+
+/// A non-root directory node id (child of the root), for corruption targets.
+PageId SomeDirectoryChild(SgTree& tree) {
+  const Node& root = tree.GetNodeNoCharge(tree.root());
+  EXPECT_GT(root.level, 0);
+  return static_cast<PageId>(root.entries[0].ref);
+}
+
+bool AnyDetailContains(const AuditReport& report, const std::string& needle) {
+  return std::any_of(report.violations.begin(), report.violations.end(),
+                     [&](const AuditViolation& v) {
+                       return v.detail.find(needle) != std::string::npos;
+                     });
+}
+
+// ---------------------------------------------------------------------------
+// Clean trees.
+// ---------------------------------------------------------------------------
+
+TEST(InvariantAuditorTest, CleanTreePasses) {
+  auto tree = BuildTree();
+  const AuditReport report = AuditTree(*tree);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.stats.height, tree->height());
+  EXPECT_EQ(report.stats.node_count, tree->node_count());
+  EXPECT_EQ(report.stats.leaf_entries, tree->size());
+  EXPECT_GT(report.stats.avg_utilization, 0.0);
+  EXPECT_EQ(report.stats.avg_entry_area.size(), tree->height());
+}
+
+TEST(InvariantAuditorTest, EmptyTreePasses) {
+  SgTree tree(SmallOptions());
+  const AuditReport report = AuditTree(tree);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.stats.node_count, 0u);
+}
+
+TEST(InvariantAuditorTest, CleanPagedImagePasses) {
+  auto tree = BuildTree();
+  for (const bool compress : {false, true}) {
+    const PagedTreeImage image = FlushTreeToPages(*tree, compress);
+    ASSERT_NE(image.pages, nullptr);
+    const AuditReport report = AuditPagedImage(image);
+    EXPECT_TRUE(report.ok()) << report.Summary();
+    EXPECT_EQ(report.stats.leaf_entries, tree->size());
+    EXPECT_EQ(report.stats.node_count, tree->node_count());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory corruption: each injected fault must be detected with the right
+// check id and a diagnostic naming the offending page.
+// ---------------------------------------------------------------------------
+
+TEST(InvariantAuditorTest, DetectsCoverageLossFromFlippedSignatureBit) {
+  auto tree = BuildTree();
+  const PageId victim = SomeDirectoryChild(*tree);
+  Node* node = tree->MutableNode(victim);
+  ASSERT_GT(node->level, 0);
+  // Drop one covered bit from a directory entry: the entry no longer covers
+  // its child's union (Definition 5).
+  const std::vector<uint32_t> set_bits = node->entries[0].sig.ToItems();
+  ASSERT_FALSE(set_bits.empty());
+  node->entries[0].sig.Reset(set_bits[0]);
+
+  const AuditReport report = AuditTree(*tree);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kCoverage)) << report.Summary();
+  EXPECT_TRUE(AnyDetailContains(report, "bit")) << report.Summary();
+  // The diagnostic names the page holding the broken entry.
+  bool named = false;
+  for (const AuditViolation& v : report.violations) {
+    if (v.check == AuditCheck::kCoverage && v.page == victim) named = true;
+  }
+  EXPECT_TRUE(named) << report.Summary();
+}
+
+TEST(InvariantAuditorTest, DetectsOrphanNode) {
+  auto tree = BuildTree();
+  const PageId orphan = tree->AllocateNode(/*level=*/0);
+  const AuditReport report = AuditTree(*tree);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kUnreachablePage)) << report.Summary();
+  bool named = false;
+  for (const AuditViolation& v : report.violations) {
+    if (v.check == AuditCheck::kUnreachablePage && v.page == orphan) {
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named) << report.Summary();
+}
+
+TEST(InvariantAuditorTest, DetectsFillFactorViolation) {
+  auto tree = BuildTree();
+  ASSERT_GT(tree->min_entries(), 1u);
+  // Find a leaf and strip it below the minimum fill.
+  PageId leaf_id = tree->root();
+  while (tree->GetNodeNoCharge(leaf_id).level > 0) {
+    leaf_id =
+        static_cast<PageId>(tree->GetNodeNoCharge(leaf_id).entries[0].ref);
+  }
+  Node* leaf = tree->MutableNode(leaf_id);
+  leaf->entries.resize(1);
+
+  const AuditReport report = AuditTree(*tree);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kFill)) << report.Summary();
+  bool named = false;
+  for (const AuditViolation& v : report.violations) {
+    if (v.check == AuditCheck::kFill && v.page == leaf_id) named = true;
+  }
+  EXPECT_TRUE(named) << report.Summary();
+}
+
+TEST(InvariantAuditorTest, DetectsDuplicateTid) {
+  auto tree = BuildTree();
+  PageId leaf_id = tree->root();
+  while (tree->GetNodeNoCharge(leaf_id).level > 0) {
+    leaf_id =
+        static_cast<PageId>(tree->GetNodeNoCharge(leaf_id).entries[0].ref);
+  }
+  Node* leaf = tree->MutableNode(leaf_id);
+  ASSERT_GE(leaf->entries.size(), 2u);
+  leaf->entries[1].ref = leaf->entries[0].ref;
+
+  const AuditReport report = AuditTree(*tree);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kDuplicateTid)) << report.Summary();
+  // Uniqueness checking can be disabled (e.g. multiset workloads).
+  AuditOptions options;
+  options.check_tid_uniqueness = false;
+  EXPECT_FALSE(AuditTree(*tree, options).Has(AuditCheck::kDuplicateTid));
+}
+
+TEST(InvariantAuditorTest, DetectsSignatureWidthMismatch) {
+  auto tree = BuildTree();
+  const PageId victim = SomeDirectoryChild(*tree);
+  Node* node = tree->MutableNode(victim);
+  node->entries[0].sig = Signature(13);  // Tree-wide width is 100.
+  const AuditReport report = AuditTree(*tree);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kSignatureWidth)) << report.Summary();
+}
+
+TEST(InvariantAuditorTest, ViolationCapKeepsCounting) {
+  auto tree = BuildTree();
+  // Break every directory entry in the root's children.
+  const Node& root = tree->GetNodeNoCharge(tree->root());
+  std::vector<PageId> children;
+  for (const Entry& entry : root.entries) {
+    children.push_back(static_cast<PageId>(entry.ref));
+  }
+  for (const PageId child : children) {
+    Node* node = tree->MutableNode(child);
+    if (node->level == 0) continue;
+    for (Entry& entry : node->entries) {
+      const std::vector<uint32_t> bits = entry.sig.ToItems();
+      if (!bits.empty()) entry.sig.Reset(bits[0]);
+    }
+  }
+  AuditOptions options;
+  options.max_violations = 2;
+  const AuditReport report = AuditTree(*tree, options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.size(), 2u);
+  EXPECT_GT(report.total_violations, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Paged-image corruption.
+// ---------------------------------------------------------------------------
+
+TEST(InvariantAuditorTest, PagedDetectsCorruptSignature) {
+  auto tree = BuildTree();
+  const PageId victim = SomeDirectoryChild(*tree);
+  Node* node = tree->MutableNode(victim);
+  const std::vector<uint32_t> set_bits = node->entries[0].sig.ToItems();
+  ASSERT_FALSE(set_bits.empty());
+  node->entries[0].sig.Reset(set_bits[0]);
+
+  const PagedTreeImage image = FlushTreeToPages(*tree, /*compress=*/true);
+  ASSERT_NE(image.pages, nullptr);
+  const AuditReport report = AuditPagedImage(image);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kCoverage)) << report.Summary();
+}
+
+TEST(InvariantAuditorTest, PagedDetectsOrphanPage) {
+  auto tree = BuildTree();
+  PagedTreeImage image = FlushTreeToPages(*tree, /*compress=*/true);
+  ASSERT_NE(image.pages, nullptr);
+  const PageId orphan = image.pages->Allocate();
+  // Give the orphan a valid empty-leaf image so only reachability fails.
+  NodeRecord record;
+  std::vector<uint8_t> bytes;
+  EncodeNode(record, /*compress=*/false, &bytes);
+  ASSERT_TRUE(image.pages->Write(orphan, std::move(bytes)));
+
+  const AuditReport report = AuditPagedImage(image);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kUnreachablePage)) << report.Summary();
+}
+
+TEST(InvariantAuditorTest, PagedDetectsDanglingReference) {
+  auto tree = BuildTree();
+  PagedTreeImage image = FlushTreeToPages(*tree, /*compress=*/true);
+  ASSERT_NE(image.pages, nullptr);
+  // Free a page the root points to: the reference now dangles.
+  std::vector<uint8_t> root_bytes;
+  ASSERT_TRUE(image.pages->Read(image.root, &root_bytes));
+  NodeRecord root_record;
+  ASSERT_TRUE(DecodeNode(root_bytes, image.num_bits, &root_record));
+  ASSERT_FALSE(root_record.entries.empty());
+  ASSERT_GT(root_record.level, 0);
+  image.pages->Free(static_cast<PageId>(root_record.entries[0].first));
+
+  const AuditReport report = AuditPagedImage(image);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kDanglingRef)) << report.Summary();
+}
+
+TEST(InvariantAuditorTest, PagedDetectsTrailingGarbage) {
+  auto tree = BuildTree();
+  PagedTreeImage image = FlushTreeToPages(*tree, /*compress=*/true);
+  ASSERT_NE(image.pages, nullptr);
+  std::vector<uint8_t> root_bytes;
+  ASSERT_TRUE(image.pages->Read(image.root, &root_bytes));
+  root_bytes.push_back(0xAB);
+  ASSERT_TRUE(image.pages->Write(image.root, std::move(root_bytes)));
+
+  const AuditReport report = AuditPagedImage(image);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kPageDecode)) << report.Summary();
+  EXPECT_TRUE(AnyDetailContains(report, "trailing")) << report.Summary();
+}
+
+TEST(InvariantAuditorTest, PagedDetectsUndecodablePage) {
+  auto tree = BuildTree();
+  PagedTreeImage image = FlushTreeToPages(*tree, /*compress=*/true);
+  ASSERT_NE(image.pages, nullptr);
+  std::vector<uint8_t> root_bytes;
+  ASSERT_TRUE(image.pages->Read(image.root, &root_bytes));
+  root_bytes.resize(3);  // Truncate mid-header.
+  ASSERT_TRUE(image.pages->Write(image.root, std::move(root_bytes)));
+
+  const AuditReport report = AuditPagedImage(image);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kPageDecode)) << report.Summary();
+}
+
+// ---------------------------------------------------------------------------
+// Report plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(InvariantAuditorTest, ViolationToStringNamesCheckAndPage) {
+  AuditViolation violation;
+  violation.check = AuditCheck::kCoverage;
+  violation.page = 17;
+  violation.detail = "entry 3 not covered";
+  const std::string line = violation.ToString();
+  EXPECT_NE(line.find("coverage"), std::string::npos);
+  EXPECT_NE(line.find("17"), std::string::npos);
+  EXPECT_NE(line.find("entry 3 not covered"), std::string::npos);
+}
+
+TEST(InvariantAuditorTest, SummaryOfCleanReportMentionsStats) {
+  auto tree = BuildTree();
+  const std::string summary = AuditTree(*tree).Summary();
+  EXPECT_NE(summary.find("all invariants hold"), std::string::npos);
+  EXPECT_NE(summary.find("height"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sgtree
