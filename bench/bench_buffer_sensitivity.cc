@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "obs/export.h"
 #include "sgtree/search.h"
 
 namespace sgtree::bench {
@@ -39,9 +40,11 @@ void Run() {
     }
     const double elapsed = timer.ElapsedMs();
     const IoStats& io = built.tree->io_stats();
-    std::printf("%-14u %14.1f %14.2f %12.3f\n", pages,
+    // FormatHitRatio renders an untouched pool as "n/a" instead of NaN.
+    std::printf("%-14u %14.1f %14s %12.3f\n", pages,
                 static_cast<double>(io.random_ios) / queries.size(),
-                io.HitRatio(), elapsed / queries.size());
+                obs::FormatHitRatio(io).c_str(),
+                elapsed / queries.size());
     if (pages >= node_count) break;
   }
   std::printf("\nI/O falls smoothly as frames are added — the tree degrades\n"

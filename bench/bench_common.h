@@ -1,9 +1,12 @@
 #ifndef SGTREE_BENCH_BENCH_COMMON_H_
 #define SGTREE_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -106,12 +109,35 @@ inline BuiltTree BuildTree(const Dataset& dataset,
 }
 
 /// Per-method aggregate over a query workload: the three series the paper's
-/// combined diagrams report.
+/// combined diagrams report, plus exact per-query latency percentiles.
 struct MethodResult {
   double pct_data = 0;   // % of transactions compared per query.
   double cpu_ms = 0;     // CPU time per query (ms).
   double random_ios = 0; // Random I/Os per query.
+  double p50_us = 0;     // Nearest-rank percentiles of per-query wall time.
+  double p95_us = 0;
+  double p99_us = 0;
 };
+
+/// Nearest-rank percentile; sorts `latencies_us` in place.
+inline double LatencyPercentileUs(std::vector<double>& latencies_us,
+                                  double p) {
+  if (latencies_us.empty()) return 0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double frac =
+      p / 100.0 * static_cast<double>(latencies_us.size());
+  size_t rank = static_cast<size_t>(std::ceil(frac));
+  if (rank < 1) rank = 1;
+  if (rank > latencies_us.size()) rank = latencies_us.size();
+  return latencies_us[rank - 1];
+}
+
+inline void FillPercentiles(std::vector<double>& latencies_us,
+                            MethodResult* result) {
+  result->p50_us = LatencyPercentileUs(latencies_us, 50);
+  result->p95_us = LatencyPercentileUs(latencies_us, 95);
+  result->p99_us = LatencyPercentileUs(latencies_us, 99);
+}
 
 inline std::vector<Signature> ToSignatures(
     const std::vector<Transaction>& queries, uint32_t num_bits) {
@@ -129,73 +155,166 @@ inline MethodResult RunTreeKnn(SgTree& tree,
                                const std::vector<Signature>& queries,
                                uint32_t k, size_t dataset_size) {
   QueryStats stats;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(queries.size());
   Timer timer;
   for (const Signature& q : queries) {
     tree.buffer_pool().Clear();
+    Timer per_query;
     DfsKNearest(tree, q, k, &stats);
+    latencies_us.push_back(per_query.ElapsedMs() * 1000.0);
   }
   const double elapsed = timer.ElapsedMs();
   const double n = static_cast<double>(queries.size());
-  return {100.0 * stats.transactions_compared / (n * dataset_size),
-          elapsed / n, stats.random_ios / n};
+  MethodResult result{100.0 * stats.transactions_compared / (n * dataset_size),
+                      elapsed / n, stats.random_ios / n};
+  FillPercentiles(latencies_us, &result);
+  return result;
 }
 
 inline MethodResult RunTableKnn(const SgTable& table,
                                 const std::vector<Signature>& queries,
                                 uint32_t k, size_t dataset_size) {
   QueryStats stats;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(queries.size());
   Timer timer;
   for (const Signature& q : queries) {
+    Timer per_query;
     table.KNearest(q, k, &stats);
+    latencies_us.push_back(per_query.ElapsedMs() * 1000.0);
   }
   const double elapsed = timer.ElapsedMs();
   const double n = static_cast<double>(queries.size());
-  return {100.0 * stats.transactions_compared / (n * dataset_size),
-          elapsed / n, stats.random_ios / n};
+  MethodResult result{100.0 * stats.transactions_compared / (n * dataset_size),
+                      elapsed / n, stats.random_ios / n};
+  FillPercentiles(latencies_us, &result);
+  return result;
 }
 
 inline MethodResult RunTreeRange(SgTree& tree,
                                  const std::vector<Signature>& queries,
                                  double epsilon, size_t dataset_size) {
   QueryStats stats;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(queries.size());
   Timer timer;
   for (const Signature& q : queries) {
     tree.buffer_pool().Clear();
+    Timer per_query;
     RangeSearch(tree, q, epsilon, &stats);
+    latencies_us.push_back(per_query.ElapsedMs() * 1000.0);
   }
   const double elapsed = timer.ElapsedMs();
   const double n = static_cast<double>(queries.size());
-  return {100.0 * stats.transactions_compared / (n * dataset_size),
-          elapsed / n, stats.random_ios / n};
+  MethodResult result{100.0 * stats.transactions_compared / (n * dataset_size),
+                      elapsed / n, stats.random_ios / n};
+  FillPercentiles(latencies_us, &result);
+  return result;
 }
 
 inline MethodResult RunTableRange(const SgTable& table,
                                   const std::vector<Signature>& queries,
                                   double epsilon, size_t dataset_size) {
   QueryStats stats;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(queries.size());
   Timer timer;
   for (const Signature& q : queries) {
+    Timer per_query;
     table.Range(q, epsilon, &stats);
+    latencies_us.push_back(per_query.ElapsedMs() * 1000.0);
   }
   const double elapsed = timer.ElapsedMs();
   const double n = static_cast<double>(queries.size());
-  return {100.0 * stats.transactions_compared / (n * dataset_size),
-          elapsed / n, stats.random_ios / n};
+  MethodResult result{100.0 * stats.transactions_compared / (n * dataset_size),
+                      elapsed / n, stats.random_ios / n};
+  FillPercentiles(latencies_us, &result);
+  return result;
 }
+
+/// Machine-readable sink for the printed rows: every PrintRow is also
+/// recorded here, and the collected rows are flushed as JSON at process
+/// exit to $SG_BENCH_JSON_OUT (default sg_bench_metrics.json). Nothing is
+/// written when no row was recorded — binaries that only print free-form
+/// output leave no file behind.
+class BenchJsonCollector {
+ public:
+  static BenchJsonCollector& Instance() {
+    static BenchJsonCollector collector;
+    return collector;
+  }
+
+  void SetExperiment(const std::string& title) { experiment_ = title; }
+
+  void Add(const std::string& x, const std::string& method,
+           const MethodResult& result) {
+    rows_.push_back({experiment_, x, method, result});
+  }
+
+  ~BenchJsonCollector() {
+    if (rows_.empty()) return;
+    const char* env = std::getenv("SG_BENCH_JSON_OUT");
+    const std::string path = env != nullptr ? env : "sg_bench_metrics.json";
+    std::ofstream file(path);
+    if (!file) return;
+    file << "{\"scale_factor\": " << ScaleFactor()
+         << ", \"queries_per_instance\": " << NumQueries()
+         << ", \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      file << "  {\"experiment\": \"" << Escaped(row.experiment)
+           << "\", \"x\": \"" << Escaped(row.x) << "\", \"method\": \""
+           << Escaped(row.method)
+           << "\", \"pct_data\": " << row.result.pct_data
+           << ", \"cpu_ms\": " << row.result.cpu_ms
+           << ", \"random_ios\": " << row.result.random_ios
+           << ", \"p50_us\": " << row.result.p50_us
+           << ", \"p95_us\": " << row.result.p95_us
+           << ", \"p99_us\": " << row.result.p99_us << "}"
+           << (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    file << "]}\n";
+    std::printf("wrote %zu bench rows to %s\n", rows_.size(), path.c_str());
+  }
+
+ private:
+  struct Row {
+    std::string experiment;
+    std::string x;
+    std::string method;
+    MethodResult result;
+  };
+
+  static std::string Escaped(const std::string& text) {
+    std::string escaped;
+    for (const char c : text) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    return escaped;
+  }
+
+  std::string experiment_;
+  std::vector<Row> rows_;
+};
 
 /// Table printing helpers: one row per (x, method).
 inline void PrintHeader(const std::string& title, const std::string& x_name) {
+  BenchJsonCollector::Instance().SetExperiment(title);
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("(scale factor %.2f, %u queries per instance)\n", ScaleFactor(),
               NumQueries());
-  std::printf("%-14s %-10s %12s %12s %14s\n", x_name.c_str(), "method",
-              "%data", "cpu_ms", "random_ios");
+  std::printf("%-14s %-10s %12s %12s %14s %10s %10s\n", x_name.c_str(),
+              "method", "%data", "cpu_ms", "random_ios", "p95_us", "p99_us");
 }
 
 inline void PrintRow(const std::string& x, const std::string& method,
                      const MethodResult& result) {
-  std::printf("%-14s %-10s %12.2f %12.3f %14.1f\n", x.c_str(), method.c_str(),
-              result.pct_data, result.cpu_ms, result.random_ios);
+  BenchJsonCollector::Instance().Add(x, method, result);
+  std::printf("%-14s %-10s %12.2f %12.3f %14.1f %10.1f %10.1f\n", x.c_str(),
+              method.c_str(), result.pct_data, result.cpu_ms,
+              result.random_ios, result.p95_us, result.p99_us);
 }
 
 }  // namespace sgtree::bench

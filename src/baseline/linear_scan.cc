@@ -1,6 +1,7 @@
 #include "baseline/linear_scan.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
 
 namespace sgtree {
@@ -16,6 +17,11 @@ LinearScan::LinearScan(const Dataset& dataset) : num_bits_(dataset.num_items) {
 
 Neighbor LinearScan::Nearest(const Signature& query, Metric metric,
                              QueryStats* stats) const {
+  return Nearest(query, metric, QueryContext{nullptr, stats, nullptr});
+}
+
+Neighbor LinearScan::Nearest(const Signature& query, Metric metric,
+                             const QueryContext& ctx) const {
   Neighbor best{0, std::numeric_limits<double>::infinity()};
   for (size_t i = 0; i < signatures_.size(); ++i) {
     const double d = Distance(query, signatures_[i], metric);
@@ -23,45 +29,56 @@ Neighbor LinearScan::Nearest(const Signature& query, Metric metric,
       best = {tids_[i], d};
     }
   }
-  if (stats != nullptr) {
-    stats->transactions_compared += signatures_.size();
-  }
+  ctx.CountVerified(signatures_.size());
+  ctx.TraceResults(signatures_.empty() ? 0 : 1);
   return best;
 }
 
 std::vector<Neighbor> LinearScan::KNearest(const Signature& query, uint32_t k,
                                            Metric metric,
                                            QueryStats* stats) const {
+  return KNearest(query, k, metric, QueryContext{nullptr, stats, nullptr});
+}
+
+std::vector<Neighbor> LinearScan::KNearest(const Signature& query, uint32_t k,
+                                           Metric metric,
+                                           const QueryContext& ctx) const {
   std::vector<Neighbor> all;
   all.reserve(signatures_.size());
   for (size_t i = 0; i < signatures_.size(); ++i) {
     all.push_back({tids_[i], Distance(query, signatures_[i], metric)});
   }
-  if (stats != nullptr) {
-    stats->transactions_compared += signatures_.size();
-  }
+  ctx.CountVerified(signatures_.size());
   const size_t keep = std::min<size_t>(k, all.size());
-  std::partial_sort(all.begin(), all.begin() + keep, all.end(),
+  std::partial_sort(all.begin(), all.begin() + static_cast<ptrdiff_t>(keep),
+                    all.end(),
                     [](const Neighbor& a, const Neighbor& b) {
                       return a.distance != b.distance
                                  ? a.distance < b.distance
                                  : a.tid < b.tid;
                     });
   all.resize(keep);
+  ctx.TraceResults(all.size());
   return all;
 }
 
 std::vector<Neighbor> LinearScan::Range(const Signature& query, double epsilon,
                                         Metric metric,
                                         QueryStats* stats) const {
+  return Range(query, epsilon, metric, QueryContext{nullptr, stats, nullptr});
+}
+
+std::vector<Neighbor> LinearScan::Range(const Signature& query, double epsilon,
+                                        Metric metric,
+                                        const QueryContext& ctx) const {
   std::vector<Neighbor> result;
   for (size_t i = 0; i < signatures_.size(); ++i) {
     const double d = Distance(query, signatures_[i], metric);
     if (d <= epsilon) result.push_back({tids_[i], d});
   }
-  if (stats != nullptr) {
-    stats->transactions_compared += signatures_.size();
-  }
+  ctx.CountVerified(signatures_.size());
+  ctx.TraceResults(result.size());
+  ctx.TraceFalseDrops(signatures_.size() - result.size());
   std::sort(result.begin(), result.end(),
             [](const Neighbor& a, const Neighbor& b) {
               return a.distance != b.distance ? a.distance < b.distance
@@ -70,16 +87,21 @@ std::vector<Neighbor> LinearScan::Range(const Signature& query, double epsilon,
   return result;
 }
 
-std::vector<uint64_t> LinearScan::Containing(const Signature& query) const {
+std::vector<uint64_t> LinearScan::Containing(const Signature& query,
+                                             const QueryContext& ctx) const {
   std::vector<uint64_t> result;
   for (size_t i = 0; i < signatures_.size(); ++i) {
     if (signatures_[i].Contains(query)) result.push_back(tids_[i]);
   }
   std::sort(result.begin(), result.end());
+  ctx.CountVerified(signatures_.size());
+  ctx.TraceResults(result.size());
+  ctx.TraceFalseDrops(signatures_.size() - result.size());
   return result;
 }
 
-std::vector<uint64_t> LinearScan::ContainedIn(const Signature& query) const {
+std::vector<uint64_t> LinearScan::ContainedIn(const Signature& query,
+                                              const QueryContext& ctx) const {
   std::vector<uint64_t> result;
   for (size_t i = 0; i < signatures_.size(); ++i) {
     if (!signatures_[i].Empty() && query.Contains(signatures_[i])) {
@@ -87,6 +109,9 @@ std::vector<uint64_t> LinearScan::ContainedIn(const Signature& query) const {
     }
   }
   std::sort(result.begin(), result.end());
+  ctx.CountVerified(signatures_.size());
+  ctx.TraceResults(result.size());
+  ctx.TraceFalseDrops(signatures_.size() - result.size());
   return result;
 }
 

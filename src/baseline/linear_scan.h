@@ -8,6 +8,7 @@
 #include "common/signature.h"
 #include "common/stats.h"
 #include "data/transaction.h"
+#include "storage/query_context.h"
 
 namespace sgtree {
 
@@ -30,25 +31,38 @@ class LinearScan {
   uint32_t num_bits() const { return num_bits_; }
   size_t size() const { return signatures_.size(); }
 
+  // The context forms fill the per-query QueryTrace: a full scan verifies
+  // every transaction (no nodes, no pruning — the honest baseline trace).
+  // The QueryStats* forms are shorthand for a context carrying only stats.
+
   /// The single nearest neighbor (lowest tid wins ties).
   Neighbor Nearest(const Signature& query, Metric metric = Metric::kHamming,
                    QueryStats* stats = nullptr) const;
+  Neighbor Nearest(const Signature& query, Metric metric,
+                   const QueryContext& ctx) const;
 
   /// The k nearest neighbors, ascending distance, ties by tid.
   std::vector<Neighbor> KNearest(const Signature& query, uint32_t k,
                                  Metric metric = Metric::kHamming,
                                  QueryStats* stats = nullptr) const;
+  std::vector<Neighbor> KNearest(const Signature& query, uint32_t k,
+                                 Metric metric,
+                                 const QueryContext& ctx) const;
 
   /// All transactions within distance `epsilon`, ascending distance.
   std::vector<Neighbor> Range(const Signature& query, double epsilon,
                               Metric metric = Metric::kHamming,
                               QueryStats* stats = nullptr) const;
+  std::vector<Neighbor> Range(const Signature& query, double epsilon,
+                              Metric metric, const QueryContext& ctx) const;
 
   /// All transactions whose item set contains every item of `query`.
-  std::vector<uint64_t> Containing(const Signature& query) const;
+  std::vector<uint64_t> Containing(const Signature& query,
+                                   const QueryContext& ctx = {}) const;
 
   /// All non-empty transactions whose item set is a subset of `query`.
-  std::vector<uint64_t> ContainedIn(const Signature& query) const;
+  std::vector<uint64_t> ContainedIn(const Signature& query,
+                                    const QueryContext& ctx = {}) const;
 
  private:
   uint32_t num_bits_ = 0;

@@ -1,6 +1,7 @@
 #include "exec/query_executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "sgtree/search.h"
@@ -11,7 +12,7 @@ namespace sgtree {
 QueryResult ExecuteTreeQuery(const SgTree& tree, const BatchQuery& query,
                              PageCache* pool) {
   QueryResult result;
-  const QueryContext ctx{pool, &result.stats};
+  const QueryContext ctx{pool, &result.stats, &result.trace};
   Timer timer;
   switch (query.type) {
     case QueryType::kKnn:
@@ -39,14 +40,15 @@ QueryResult ExecuteTreeQuery(const SgTree& tree, const BatchQuery& query,
 
 QueryResult ExecuteTableQuery(const SgTable& table, const BatchQuery& query) {
   QueryResult result;
+  const QueryContext ctx{nullptr, &result.stats, &result.trace};
   Timer timer;
   switch (query.type) {
     case QueryType::kKnn:
     case QueryType::kBestFirstKnn:
-      result.neighbors = table.KNearest(query.query, query.k, &result.stats);
+      result.neighbors = table.KNearest(query.query, query.k, ctx);
       break;
     case QueryType::kRange:
-      result.neighbors = table.Range(query.query, query.epsilon, &result.stats);
+      result.neighbors = table.Range(query.query, query.epsilon, ctx);
       break;
     case QueryType::kContainment:
     case QueryType::kExact:
@@ -60,21 +62,22 @@ QueryResult ExecuteTableQuery(const SgTable& table, const BatchQuery& query) {
 QueryResult ExecuteInvertedQuery(const InvertedIndex& index,
                                  const BatchQuery& query) {
   QueryResult result;
+  const QueryContext ctx{nullptr, &result.stats, &result.trace};
   Timer timer;
   const std::vector<ItemId> items = query.query.ToItems();
   switch (query.type) {
     case QueryType::kKnn:
     case QueryType::kBestFirstKnn:
-      result.neighbors = index.KNearest(items, query.k, &result.stats);
+      result.neighbors = index.KNearest(items, query.k, ctx);
       break;
     case QueryType::kRange:
-      result.neighbors = index.Range(items, query.epsilon, &result.stats);
+      result.neighbors = index.Range(items, query.epsilon, ctx);
       break;
     case QueryType::kContainment:
-      result.ids = index.Containing(items, &result.stats);
+      result.ids = index.Containing(items, ctx);
       break;
     case QueryType::kSubset:
-      result.ids = index.ContainedIn(items, &result.stats);
+      result.ids = index.ContainedIn(items, ctx);
       break;
     case QueryType::kExact:
       break;  // Exact match needs signatures, not posting lists.
@@ -162,6 +165,20 @@ void QueryExecutor::ParallelFor(
   job_ = nullptr;
 }
 
+namespace {
+
+// Nearest-rank percentile over per-query wall times; `sorted_us` ascending.
+double PercentileUs(const std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  const double frac = p / 100.0 * static_cast<double>(sorted_us.size());
+  size_t rank = static_cast<size_t>(std::ceil(frac));
+  if (rank < 1) rank = 1;
+  if (rank > sorted_us.size()) rank = sorted_us.size();
+  return sorted_us[rank - 1];
+}
+
+}  // namespace
+
 template <typename ExecuteFn>
 std::vector<QueryResult> QueryExecutor::RunBatch(size_t n,
                                                  ExecuteFn&& execute) {
@@ -169,12 +186,48 @@ std::vector<QueryResult> QueryExecutor::RunBatch(size_t n,
   // exactly one worker, so no synchronization is needed on the vector.
   std::vector<QueryResult> results(n);
   std::vector<QueryStats> worker_stats(workers_.size());
+  std::vector<QueryTrace> worker_traces(workers_.size());
+  Timer batch_timer;
   ParallelFor(n, [&](size_t i, uint32_t worker_id) {
     results[i] = execute(i, worker_id);
     worker_stats[worker_id] += results[i].stats;
+    worker_traces[worker_id] += results[i].trace;
   });
+  batch_report_ = BatchReport{};
+  batch_report_.queries = n;
+  batch_report_.wall_ms = batch_timer.ElapsedMs();
   batch_stats_ = QueryStats{};
   for (const QueryStats& s : worker_stats) batch_stats_ += s;
+  for (const QueryTrace& t : worker_traces) batch_report_.trace += t;
+  batch_report_.stats = batch_stats_;
+
+  std::vector<double> latencies;
+  latencies.reserve(n);
+  for (const QueryResult& r : results) latencies.push_back(r.elapsed_us);
+  std::sort(latencies.begin(), latencies.end());
+  batch_report_.p50_us = PercentileUs(latencies, 50);
+  batch_report_.p95_us = PercentileUs(latencies, 95);
+  batch_report_.p99_us = PercentileUs(latencies, 99);
+
+  if (options_.metrics != nullptr) {
+    // Registry feeding happens once per batch on the calling thread: the
+    // counters advance by the batch totals and the latency histogram gets
+    // one sample per query.
+    obs::MetricsRegistry& reg = *options_.metrics;
+    reg.GetCounter("exec.queries")->Increment(n);
+    reg.GetCounter("exec.nodes_visited")
+        ->Increment(batch_report_.trace.nodes_visited());
+    reg.GetCounter("exec.random_ios")->Increment(batch_stats_.random_ios);
+    reg.GetCounter("exec.signatures_tested")
+        ->Increment(batch_report_.trace.signatures_tested);
+    reg.GetCounter("exec.subtrees_pruned")
+        ->Increment(batch_report_.trace.subtrees_pruned);
+    reg.GetCounter("exec.candidates_verified")
+        ->Increment(batch_report_.trace.candidates_verified);
+    reg.GetCounter("exec.results")->Increment(batch_report_.trace.results);
+    obs::Histogram* latency = reg.GetHistogram("exec.query_latency_us");
+    for (const double us : latencies) latency->Observe(us);
+  }
   return results;
 }
 

@@ -14,6 +14,8 @@
 #include "common/signature.h"
 #include "common/stats.h"
 #include "inverted/inverted_index.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
 #include "sgtable/sg_table.h"
 #include "sgtree/sg_tree.h"
 #include "storage/buffer_pool.h"
@@ -47,6 +49,8 @@ struct QueryResult {
   std::vector<uint64_t> ids;        // kContainment / kExact / kSubset.
   QueryStats stats;                 // Per-query counters (deterministic in
                                     // private-pool mode).
+  QueryTrace trace;                 // Per-query pruning trace; lockstep with
+                                    // `stats` by construction (QueryContext).
   double elapsed_us = 0;            // Wall time of this query (not compared
                                     // by the determinism tests).
 
@@ -55,8 +59,22 @@ struct QueryResult {
            a.stats.nodes_accessed == b.stats.nodes_accessed &&
            a.stats.random_ios == b.stats.random_ios &&
            a.stats.transactions_compared == b.stats.transactions_compared &&
-           a.stats.bounds_computed == b.stats.bounds_computed;
+           a.stats.bounds_computed == b.stats.bounds_computed &&
+           a.trace == b.trace;
   }
+};
+
+/// Aggregate view of the last batch: counter totals reduced from the
+/// per-worker accumulators plus exact latency percentiles over the batch's
+/// per-query wall times.
+struct BatchReport {
+  uint64_t queries = 0;
+  double wall_ms = 0;    // Wall time of the whole batch.
+  QueryStats stats;      // Sum of per-query QueryStats.
+  QueryTrace trace;      // Sum of per-query QueryTrace.
+  double p50_us = 0;     // Exact percentiles of per-query elapsed_us
+  double p95_us = 0;     // (nearest-rank); 0 when the batch was empty.
+  double p99_us = 0;
 };
 
 struct QueryExecutorOptions {
@@ -77,6 +95,14 @@ struct QueryExecutorOptions {
   /// matching a production server with one buffer manager), at the price of
   /// schedule-dependent per-query I/O counts. Result values are unaffected.
   uint32_t pool_shards = 0;
+
+  /// Optional metrics sink. When set, every batch feeds the registry's
+  /// "exec.*" counters (queries, nodes, I/Os, verifications, pruned
+  /// subtrees) and the "exec.query_latency_us" histogram — one Observe per
+  /// query, performed on the calling thread after the fan-out, so workers
+  /// never touch the registry. The pools' cache counters can additionally
+  /// be bound via BufferPool::BindMetrics on the same registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Fixed-size worker-pool executor for query batches (the ROADMAP's
@@ -139,6 +165,10 @@ class QueryExecutor {
   /// accumulators.
   const QueryStats& batch_stats() const { return batch_stats_; }
 
+  /// Full report of the last Run(): counter + trace totals and latency
+  /// percentiles. Valid until the next Run()/destruction.
+  const BatchReport& last_batch_report() const { return batch_report_; }
+
   /// The shared pool (null in private-pool mode); its per-shard stats
   /// snapshot is the batch's global I/O picture.
   const ShardedBufferPool* shared_pool() const { return shared_pool_.get(); }
@@ -180,6 +210,7 @@ class QueryExecutor {
   std::atomic<size_t> next_item_{0};
 
   QueryStats batch_stats_;
+  BatchReport batch_report_;
 };
 
 /// Executes one query against the tree with an explicit pool — the shared

@@ -33,16 +33,20 @@ void InvertedIndex::Insert(const Transaction& txn) {
                   entry);
 }
 
-void InvertedIndex::ChargeList(ItemId item, QueryStats* stats) const {
-  if (stats == nullptr) return;
-  ++stats->nodes_accessed;
+void InvertedIndex::ChargeList(ItemId item, const QueryContext& ctx) const {
+  ctx.CountNode(/*leaf=*/true);
   const uint64_t bytes = 8 * postings_[item].size();
-  stats->random_ios += std::max<uint64_t>(1, (bytes + page_size_ - 1) /
-                                                 page_size_);
+  ctx.ChargeSimulatedIo(std::max<uint64_t>(1, (bytes + page_size_ - 1) /
+                                                  page_size_));
 }
 
 std::vector<uint64_t> InvertedIndex::Containing(
     const std::vector<ItemId>& query_items, QueryStats* stats) const {
+  return Containing(query_items, QueryContext{nullptr, stats, nullptr});
+}
+
+std::vector<uint64_t> InvertedIndex::Containing(
+    const std::vector<ItemId>& query_items, const QueryContext& ctx) const {
   if (query_items.empty()) {
     std::vector<uint64_t> all = tids_;
     std::sort(all.begin(), all.end());
@@ -55,7 +59,7 @@ std::vector<uint64_t> InvertedIndex::Containing(
       shortest = item;
     }
   }
-  for (ItemId item : query_items) ChargeList(item, stats);
+  for (ItemId item : query_items) ChargeList(item, ctx);
 
   std::vector<uint64_t> result;
   for (uint64_t tid : postings_[shortest]) {
@@ -70,22 +74,27 @@ std::vector<uint64_t> InvertedIndex::Containing(
     }
     if (in_all) result.push_back(tid);
   }
-  if (stats != nullptr) {
-    stats->transactions_compared += postings_[shortest].size();
-  }
+  ctx.CountVerified(postings_[shortest].size());
+  ctx.TraceResults(result.size());
+  ctx.TraceFalseDrops(postings_[shortest].size() - result.size());
   return result;  // Already ascending (shortest list is sorted).
 }
 
 std::vector<uint64_t> InvertedIndex::ContainedIn(
     const std::vector<ItemId>& query_items, QueryStats* stats) const {
+  return ContainedIn(query_items, QueryContext{nullptr, stats, nullptr});
+}
+
+std::vector<uint64_t> InvertedIndex::ContainedIn(
+    const std::vector<ItemId>& query_items, const QueryContext& ctx) const {
   // Count, per candidate, how many of its items fall inside the query; a
   // transaction is a subset iff all of its items do.
   std::unordered_map<uint64_t, uint32_t> hits;
   for (ItemId item : query_items) {
-    ChargeList(item, stats);
+    ChargeList(item, ctx);
     for (uint64_t tid : postings_[item]) ++hits[tid];
   }
-  if (stats != nullptr) stats->transactions_compared += hits.size();
+  ctx.CountVerified(hits.size());
 
   std::unordered_map<uint64_t, uint32_t> size_of;
   size_of.reserve(tids_.size());
@@ -96,12 +105,20 @@ std::vector<uint64_t> InvertedIndex::ContainedIn(
     if (count == size_of[tid]) result.push_back(tid);
   }
   std::sort(result.begin(), result.end());
+  ctx.TraceResults(result.size());
+  ctx.TraceFalseDrops(hits.size() - result.size());
   return result;
 }
 
 std::vector<Neighbor> InvertedIndex::KNearest(
     const std::vector<ItemId>& query_items, uint32_t k,
     QueryStats* stats) const {
+  return KNearest(query_items, k, QueryContext{nullptr, stats, nullptr});
+}
+
+std::vector<Neighbor> InvertedIndex::KNearest(
+    const std::vector<ItemId>& query_items, uint32_t k,
+    const QueryContext& ctx) const {
   std::vector<Neighbor> heap;  // Max-heap under less.
   auto less = [](const Neighbor& a, const Neighbor& b) {
     return a.distance != b.distance ? a.distance < b.distance : a.tid < b.tid;
@@ -125,7 +142,7 @@ std::vector<Neighbor> InvertedIndex::KNearest(
   // Phase 1: overlap accumulation over the query's posting lists.
   std::unordered_map<uint64_t, uint32_t> overlap;
   for (ItemId item : query_items) {
-    ChargeList(item, stats);
+    ChargeList(item, ctx);
     for (uint64_t tid : postings_[item]) ++overlap[tid];
   }
   std::unordered_map<uint64_t, uint32_t> size_of;
@@ -136,7 +153,7 @@ std::vector<Neighbor> InvertedIndex::KNearest(
   for (const auto& [tid, common] : overlap) {
     offer({tid, q_size + size_of[tid] - 2.0 * common});
   }
-  if (stats != nullptr) stats->transactions_compared += overlap.size();
+  ctx.CountVerified(overlap.size());
 
   // Phase 2: transactions sharing nothing with the query have distance
   // |q| + |t|; walk them in ascending size until they cannot improve.
@@ -147,20 +164,27 @@ std::vector<Neighbor> InvertedIndex::KNearest(
     if (d > tau()) break;
     if (overlap.count(entry.tid) != 0) continue;
     offer({entry.tid, d});
-    if (stats != nullptr) ++stats->transactions_compared;
+    ctx.CountVerified(1);
   }
 
   std::sort(heap.begin(), heap.end(), less);
+  ctx.TraceResults(heap.size());
   return heap;
 }
 
 std::vector<Neighbor> InvertedIndex::Range(
     const std::vector<ItemId>& query_items, double epsilon,
     QueryStats* stats) const {
+  return Range(query_items, epsilon, QueryContext{nullptr, stats, nullptr});
+}
+
+std::vector<Neighbor> InvertedIndex::Range(
+    const std::vector<ItemId>& query_items, double epsilon,
+    const QueryContext& ctx) const {
   std::vector<Neighbor> result;
   std::unordered_map<uint64_t, uint32_t> overlap;
   for (ItemId item : query_items) {
-    ChargeList(item, stats);
+    ChargeList(item, ctx);
     for (uint64_t tid : postings_[item]) ++overlap[tid];
   }
   std::unordered_map<uint64_t, uint32_t> size_of;
@@ -168,18 +192,25 @@ std::vector<Neighbor> InvertedIndex::Range(
   for (size_t i = 0; i < tids_.size(); ++i) size_of[tids_[i]] = sizes_[i];
 
   const auto q_size = static_cast<double>(query_items.size());
+  uint64_t matched = 0;
   for (const auto& [tid, common] : overlap) {
     const double d = q_size + size_of[tid] - 2.0 * common;
-    if (d <= epsilon) result.push_back({tid, d});
+    if (d <= epsilon) {
+      result.push_back({tid, d});
+      ++matched;
+    }
   }
-  if (stats != nullptr) stats->transactions_compared += overlap.size();
+  ctx.CountVerified(overlap.size());
+  ctx.TraceFalseDrops(overlap.size() - matched);
   for (const SizeEntry& entry : by_size_) {
     const double d = q_size + entry.size;
     if (d > epsilon) break;
     if (overlap.count(entry.tid) != 0) continue;
     result.push_back({entry.tid, d});
-    if (stats != nullptr) ++stats->transactions_compared;
+    ++matched;
+    ctx.CountVerified(1);
   }
+  ctx.TraceResults(matched);
   std::sort(result.begin(), result.end(),
             [](const Neighbor& a, const Neighbor& b) {
               return a.distance != b.distance ? a.distance < b.distance

@@ -8,6 +8,7 @@
 #include "common/stats.h"
 #include "data/transaction.h"
 #include "storage/page.h"
+#include "storage/query_context.h"
 
 namespace sgtree {
 
@@ -43,23 +44,37 @@ class InvertedIndex {
     return static_cast<uint32_t>(postings_.size());
   }
 
+  // The context forms additionally fill the per-query QueryTrace: posting
+  // lists count as leaf nodes, their simulated page reads as buffer misses,
+  // and candidate accumulation as verification (the index has no signature
+  // pruning, so the subtree counters stay zero). The QueryStats* forms are
+  // shorthand for a context carrying only stats.
+
   /// Transactions containing every item of `query_items` (sorted tids).
   std::vector<uint64_t> Containing(const std::vector<ItemId>& query_items,
                                    QueryStats* stats = nullptr) const;
+  std::vector<uint64_t> Containing(const std::vector<ItemId>& query_items,
+                                   const QueryContext& ctx) const;
 
   /// Non-empty transactions whose items are all in `query_items`.
   std::vector<uint64_t> ContainedIn(const std::vector<ItemId>& query_items,
                                     QueryStats* stats = nullptr) const;
+  std::vector<uint64_t> ContainedIn(const std::vector<ItemId>& query_items,
+                                    const QueryContext& ctx) const;
 
   /// Exact Hamming k-NN, ascending (distance, tid).
   std::vector<Neighbor> KNearest(const std::vector<ItemId>& query_items,
                                  uint32_t k,
                                  QueryStats* stats = nullptr) const;
+  std::vector<Neighbor> KNearest(const std::vector<ItemId>& query_items,
+                                 uint32_t k, const QueryContext& ctx) const;
 
   /// Exact Hamming range query, ascending (distance, tid).
   std::vector<Neighbor> Range(const std::vector<ItemId>& query_items,
                               double epsilon,
                               QueryStats* stats = nullptr) const;
+  std::vector<Neighbor> Range(const std::vector<ItemId>& query_items,
+                              double epsilon, const QueryContext& ctx) const;
 
  private:
   struct SizeEntry {
@@ -72,7 +87,7 @@ class InvertedIndex {
 
   /// Dense tid -> index mapping is not assumed; candidates are accumulated
   /// in a hash map keyed by tid.
-  void ChargeList(ItemId item, QueryStats* stats) const;
+  void ChargeList(ItemId item, const QueryContext& ctx) const;
 
   uint32_t page_size_;
   std::vector<std::vector<uint64_t>> postings_;  // Per item, sorted tids.

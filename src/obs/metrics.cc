@@ -1,0 +1,163 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace sgtree {
+namespace obs {
+
+uint32_t ThisThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)),
+      bounds_(std::move(bounds)),
+      num_buckets_(bounds_.size() + 1),
+      cells_(kMetricShards * (bounds_.size() + 1)) {
+  SGTREE_ASSERT_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                    "histogram bounds must be ascending");
+  for (double b : bounds_) {
+    SGTREE_ASSERT_MSG(std::isfinite(b), "histogram bounds must be finite");
+  }
+}
+
+size_t Histogram::BucketFor(double value) const {
+  // First bound >= value (le semantics); everything above the last bound
+  // lands in the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<size_t>(it - bounds_.begin());
+}
+
+void Histogram::Observe(double value) {
+  const uint32_t shard = ThisThreadShard();
+  cells_[shard * num_buckets_ + BucketFor(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20 but spotty in older toolchains; a
+  // CAS loop on a shard only this thread usually touches is just as cheap.
+  std::atomic<double>& sum = sums_[shard].value;
+  double old = sum.load(std::memory_order_relaxed);
+  while (!sum.compare_exchange_weak(old, old + value,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> merged(num_buckets_, 0);
+  for (uint32_t shard = 0; shard < kMetricShards; ++shard) {
+    for (size_t b = 0; b < num_buckets_; ++b) {
+      merged[b] += cells_[shard * num_buckets_ + b].load(
+          std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const std::atomic<uint64_t>& cell : cells_) {
+    total += cell.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0;
+  for (const SumShard& shard : sums_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Percentile(double p) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    cumulative += counts[b];
+    if (cumulative >= rank) {
+      return b < bounds_.size() ? bounds_[b]
+                                : std::numeric_limits<double>::infinity();
+    }
+  }
+  return std::numeric_limits<double>::infinity();  // Unreachable.
+}
+
+void Histogram::Reset() {
+  for (std::atomic<uint64_t>& cell : cells_) {
+    cell.store(0, std::memory_order_relaxed);
+  }
+  for (SumShard& shard : sums_) {
+    shard.value.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> LatencyBucketsUs() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  bounds.push_back(1e7);  // 10 s; anything slower overflows.
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>(name);
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(
+        name, bounds.empty() ? LatencyBucketsUs() : bounds);
+  }
+  return slot.get();
+}
+
+std::vector<const Counter*> MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Counter*> result;
+  result.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    result.push_back(counter.get());
+  }
+  return result;  // std::map iteration is already name-sorted.
+}
+
+std::vector<const Histogram*> MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Histogram*> result;
+  result.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    result.push_back(histogram.get());
+  }
+  return result;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace sgtree

@@ -1,0 +1,154 @@
+#ifndef SGTREE_OBS_METRICS_H_
+#define SGTREE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sgtree {
+namespace obs {
+
+/// Number of per-thread shards each metric keeps. Increments from up to this
+/// many threads proceed without sharing a cache line; more threads than
+/// shards simply alternate shards (still correct, mildly contended).
+inline constexpr uint32_t kMetricShards = 16;
+
+/// Stable shard slot of the calling thread (thread id modulo kMetricShards,
+/// assigned round-robin on first use).
+uint32_t ThisThreadShard();
+
+/// Named monotonic counter. The hot path is one relaxed fetch_add on the
+/// calling thread's shard — no lock, no shared cache line; Value() merges
+/// the shards on demand.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  void Increment(uint64_t delta = 1) {
+    shards_[ThisThreadShard()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+
+  /// Sum over shards. Concurrent increments may or may not be included —
+  /// the usual monotonic-counter snapshot semantics.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  std::string name_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Fixed-bucket histogram with per-thread shards. `bounds` are the ascending
+/// finite inclusive upper bounds (Prometheus `le` semantics); an implicit
+/// +Inf overflow bucket catches everything above the last bound. Observe()
+/// is two relaxed atomic updates (bucket count + shard sum), no locks.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  const std::string& name() const { return name_; }
+  /// Finite upper bounds; the overflow bucket is implicit.
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  void Observe(double value);
+
+  /// Merged per-bucket counts, size bounds().size() + 1 (overflow last).
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const;
+  double Sum() const;
+
+  /// Upper bound of the bucket holding the p-th percentile observation
+  /// (p in [0, 100]): the smallest bound whose cumulative count reaches
+  /// rank ceil(p/100 * Count()). Returns NaN when empty and +Inf when the
+  /// rank lands in the overflow bucket. Exact whenever the bounds coincide
+  /// with the observed values, conservative (rounds up to the bucket edge)
+  /// otherwise.
+  double Percentile(double p) const;
+
+  void Reset();
+
+ private:
+  size_t BucketFor(double value) const;
+
+  std::string name_;
+  std::vector<double> bounds_;
+  size_t num_buckets_;  // bounds_.size() + 1 (overflow).
+  // Flat [shard][bucket] grid; a shard's row is contiguous so one thread's
+  // observations stay on few cache lines.
+  std::vector<std::atomic<uint64_t>> cells_;
+  struct alignas(64) SumShard {
+    std::atomic<double> value{0.0};
+  };
+  std::array<SumShard, kMetricShards> sums_;
+};
+
+/// Default latency buckets in microseconds: a 1-2-5 ladder from 1 us to
+/// 10 s, matching the spread between a cached directory probe and a cold
+/// multi-leaf range scan.
+std::vector<double> LatencyBucketsUs();
+
+/// Thread-safe registry of named metrics. Lookup takes a mutex once (cache
+/// the returned pointer — it is stable for the registry's lifetime);
+/// increments on the returned handles are lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter named `name`, creating it on first use.
+  Counter* GetCounter(const std::string& name);
+
+  /// Returns the histogram named `name`, creating it with `bounds` (default
+  /// LatencyBucketsUs()) on first use. Bounds of an existing histogram are
+  /// not altered.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds = {});
+
+  /// Snapshot of the registered metrics, sorted by name (deterministic
+  /// export order). Pointers stay valid for the registry's lifetime.
+  std::vector<const Counter*> Counters() const;
+  std::vector<const Histogram*> Histograms() const;
+
+  /// Zeroes every metric (keeps registrations).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace sgtree
+
+#endif  // SGTREE_OBS_METRICS_H_

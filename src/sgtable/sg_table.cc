@@ -68,13 +68,13 @@ double SgTable::BucketBound(const Signature& query, uint64_t code) const {
 }
 
 std::vector<SgTable::BoundedBucket> SgTable::SortedBuckets(
-    const Signature& query, QueryStats* stats) const {
+    const Signature& query, const QueryContext& ctx) const {
   std::vector<BoundedBucket> order;
   order.reserve(buckets_.size());
   for (const auto& [code, bucket] : buckets_) {
     order.push_back({BucketBound(query, code), &bucket});
   }
-  if (stats != nullptr) stats->bounds_computed += order.size();
+  ctx.CountBounds(order.size());
   std::sort(order.begin(), order.end(),
             [](const BoundedBucket& a, const BoundedBucket& b) {
               return a.bound < b.bound;
@@ -82,19 +82,24 @@ std::vector<SgTable::BoundedBucket> SgTable::SortedBuckets(
   return order;
 }
 
-void SgTable::ChargeBucketRead(const Bucket& bucket, QueryStats* stats) const {
-  if (stats == nullptr) return;
-  ++stats->nodes_accessed;
-  stats->transactions_compared += bucket.signatures.size();
+void SgTable::ChargeBucketRead(const Bucket& bucket,
+                               const QueryContext& ctx) const {
+  ctx.CountNode(/*leaf=*/true);
+  ctx.CountVerified(bucket.signatures.size());
   // A bucket occupies ceil(bytes / page) pages on disk; reading it costs
   // that many random I/Os (at least one).
-  stats->random_ios +=
+  ctx.ChargeSimulatedIo(
       std::max<uint64_t>(1, (bucket.bytes + options_.page_size - 1) /
-                                options_.page_size);
+                                options_.page_size));
 }
 
 Neighbor SgTable::Nearest(const Signature& query, QueryStats* stats) const {
-  auto result = KNearest(query, 1, stats);
+  return Nearest(query, QueryContext{nullptr, stats, nullptr});
+}
+
+Neighbor SgTable::Nearest(const Signature& query,
+                          const QueryContext& ctx) const {
+  auto result = KNearest(query, 1, ctx);
   if (result.empty()) {
     return {0, std::numeric_limits<double>::infinity()};
   }
@@ -103,6 +108,11 @@ Neighbor SgTable::Nearest(const Signature& query, QueryStats* stats) const {
 
 std::vector<Neighbor> SgTable::KNearest(const Signature& query, uint32_t k,
                                         QueryStats* stats) const {
+  return KNearest(query, k, QueryContext{nullptr, stats, nullptr});
+}
+
+std::vector<Neighbor> SgTable::KNearest(const Signature& query, uint32_t k,
+                                        const QueryContext& ctx) const {
   std::vector<Neighbor> heap;  // Max-heap under Less.
   auto less = [](const Neighbor& a, const Neighbor& b) {
     return a.distance != b.distance ? a.distance < b.distance : a.tid < b.tid;
@@ -113,11 +123,17 @@ std::vector<Neighbor> SgTable::KNearest(const Signature& query, uint32_t k,
   };
   if (k == 0) return heap;
 
-  for (const BoundedBucket& bb : SortedBuckets(query, stats)) {
+  const std::vector<BoundedBucket> order = SortedBuckets(query, ctx);
+  for (size_t bi = 0; bi < order.size(); ++bi) {
+    const BoundedBucket& bb = order[bi];
     // Buckets are in ascending bound order: once the bound reaches the k-th
     // best distance no remaining bucket can improve the result.
-    if (bb.bound >= tau()) break;
-    ChargeBucketRead(*bb.bucket, stats);
+    if (bb.bound >= tau()) {
+      ctx.TracePruned(order.size() - bi);
+      break;
+    }
+    ctx.TraceDescended(1);
+    ChargeBucketRead(*bb.bucket, ctx);
     for (size_t i = 0; i < bb.bucket->signatures.size(); ++i) {
       const double d =
           Distance(query, bb.bucket->signatures[i], Metric::kHamming);
@@ -133,20 +149,38 @@ std::vector<Neighbor> SgTable::KNearest(const Signature& query, uint32_t k,
     }
   }
   std::sort(heap.begin(), heap.end(), less);
+  ctx.TraceResults(heap.size());
   return heap;
 }
 
 std::vector<Neighbor> SgTable::Range(const Signature& query, double epsilon,
                                      QueryStats* stats) const {
+  return Range(query, epsilon, QueryContext{nullptr, stats, nullptr});
+}
+
+std::vector<Neighbor> SgTable::Range(const Signature& query, double epsilon,
+                                     const QueryContext& ctx) const {
   std::vector<Neighbor> result;
-  for (const BoundedBucket& bb : SortedBuckets(query, stats)) {
-    if (bb.bound > epsilon) break;
-    ChargeBucketRead(*bb.bucket, stats);
+  const std::vector<BoundedBucket> order = SortedBuckets(query, ctx);
+  for (size_t bi = 0; bi < order.size(); ++bi) {
+    const BoundedBucket& bb = order[bi];
+    if (bb.bound > epsilon) {
+      ctx.TracePruned(order.size() - bi);
+      break;
+    }
+    ctx.TraceDescended(1);
+    ChargeBucketRead(*bb.bucket, ctx);
+    uint64_t matched = 0;
     for (size_t i = 0; i < bb.bucket->signatures.size(); ++i) {
       const double d =
           Distance(query, bb.bucket->signatures[i], Metric::kHamming);
-      if (d <= epsilon) result.push_back({bb.bucket->tids[i], d});
+      if (d <= epsilon) {
+        result.push_back({bb.bucket->tids[i], d});
+        ++matched;
+      }
     }
+    ctx.TraceResults(matched);
+    ctx.TraceFalseDrops(bb.bucket->signatures.size() - matched);
   }
   std::sort(result.begin(), result.end(),
             [](const Neighbor& a, const Neighbor& b) {

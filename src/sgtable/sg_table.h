@@ -11,6 +11,7 @@
 #include "data/transaction.h"
 #include "sgtable/item_clustering.h"
 #include "storage/page.h"
+#include "storage/query_context.h"
 
 namespace sgtree {
 
@@ -64,12 +65,22 @@ class SgTable {
   double BucketBound(const Signature& query, uint64_t code) const;
 
   // -- Queries (Hamming distance) --------------------------------------
+  //
+  // The context forms fill the per-query QueryTrace (buckets count as leaf
+  // nodes; reading one charges its simulated pages as buffer misses — the
+  // table models no buffer pool, so `ctx.pool` is ignored). The QueryStats*
+  // forms are shorthand for a context carrying only stats.
 
   Neighbor Nearest(const Signature& query, QueryStats* stats = nullptr) const;
+  Neighbor Nearest(const Signature& query, const QueryContext& ctx) const;
   std::vector<Neighbor> KNearest(const Signature& query, uint32_t k,
                                  QueryStats* stats = nullptr) const;
+  std::vector<Neighbor> KNearest(const Signature& query, uint32_t k,
+                                 const QueryContext& ctx) const;
   std::vector<Neighbor> Range(const Signature& query, double epsilon,
                               QueryStats* stats = nullptr) const;
+  std::vector<Neighbor> Range(const Signature& query, double epsilon,
+                              const QueryContext& ctx) const;
 
  private:
   struct Bucket {
@@ -85,9 +96,9 @@ class SgTable {
 
   /// Occupied buckets sorted by ascending BucketBound for `query`.
   std::vector<BoundedBucket> SortedBuckets(const Signature& query,
-                                           QueryStats* stats) const;
+                                           const QueryContext& ctx) const;
 
-  void ChargeBucketRead(const Bucket& bucket, QueryStats* stats) const;
+  void ChargeBucketRead(const Bucket& bucket, const QueryContext& ctx) const;
 
   SgTableOptions options_;
   uint32_t num_bits_ = 0;

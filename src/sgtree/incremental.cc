@@ -26,19 +26,15 @@ void NearestIterator::ExpandUntilEntryOnTop() {
     const Item item = queue_.top();
     queue_.pop();
     const Node& node = tree_.GetNode(static_cast<PageId>(item.ref), ctx_);
-    if (ctx_.stats != nullptr) ++ctx_.stats->nodes_accessed;
+    ctx_.CountNode(node.IsLeaf());
     if (node.IsLeaf()) {
-      if (ctx_.stats != nullptr) {
-        ctx_.stats->transactions_compared += node.entries.size();
-      }
+      ctx_.CountVerified(node.entries.size());
       for (const Entry& entry : node.entries) {
         queue_.push(
             Item{Distance(query_, entry.sig, metric), true, entry.ref});
       }
     } else {
-      if (ctx_.stats != nullptr) {
-        ctx_.stats->bounds_computed += node.entries.size();
-      }
+      ctx_.CountBounds(node.entries.size());
       for (const Entry& entry : node.entries) {
         queue_.push(Item{MinDistBoundAreaStats(query_, entry.sig, metric,
                                                area_lo, area_hi),

@@ -12,12 +12,18 @@
 namespace sgtree {
 namespace {
 
-void CountNode(QueryStats* stats, uint64_t n = 1) {
-  if (stats != nullptr) stats->nodes_accessed += n;
-}
-
-void CountCompared(QueryStats* stats, uint64_t n) {
-  if (stats != nullptr) stats->transactions_compared += n;
+// Joins traverse two trees at once: per-tree node reads and buffer traffic
+// are charged to that tree's own context, while the pair-level counters
+// (comparisons, pruning decisions, results) go to one primary sink — the
+// first context that has somewhere to put them. When both contexts share
+// one stats/trace (the convenience wrappers do), the totals are identical
+// to charging everything into it directly.
+QueryContext PrimarySink(const QueryContext& ctx_a,
+                         const QueryContext& ctx_b) {
+  QueryContext primary;
+  primary.stats = ctx_a.stats != nullptr ? ctx_a.stats : ctx_b.stats;
+  primary.trace = ctx_a.trace != nullptr ? ctx_a.trace : ctx_b.trace;
+  return primary;
 }
 
 bool PairLess(const JoinPair& x, const JoinPair& y) {
@@ -65,24 +71,30 @@ struct JoinContext {
   uint32_t fixed_dim;
   double epsilon;
   std::vector<JoinPair>* result;
-  QueryStats* stats;
+  QueryContext primary;  // Pair-level counter sink (pool unused).
 };
 
 void JoinNodes(const JoinContext& ctx, PageId id_a, PageId id_b) {
   const Node& na = ctx.tree_a->GetNode(id_a, ctx.ctx_a);
   const Node& nb = ctx.tree_b->GetNode(id_b, ctx.ctx_b);
-  CountNode(ctx.stats, 2);
+  ctx.ctx_a.CountNode(na.IsLeaf());
+  ctx.ctx_b.CountNode(nb.IsLeaf());
 
   if (na.IsLeaf() && nb.IsLeaf()) {
-    CountCompared(ctx.stats, na.entries.size() * nb.entries.size());
+    ctx.primary.CountVerified(na.entries.size() * nb.entries.size());
+    uint64_t matched = 0;
     for (const Entry& ea : na.entries) {
       for (const Entry& eb : nb.entries) {
         const double d = Distance(ea.sig, eb.sig, ctx.metric);
         if (d <= ctx.epsilon) {
           ctx.result->push_back({ea.ref, eb.ref, d});
+          ++matched;
         }
       }
     }
+    ctx.primary.TraceResults(matched);
+    ctx.primary.TraceFalseDrops(na.entries.size() * nb.entries.size() -
+                                matched);
     return;
   }
 
@@ -91,9 +103,13 @@ void JoinNodes(const JoinContext& ctx, PageId id_a, PageId id_b) {
       for (const Entry& eb : nb.entries) {
         const double bound = PairMinDist(ea.sig, false, eb.sig, false,
                                          ctx.metric, ctx.fixed_dim);
+        ctx.primary.TraceSignatures(1);
         if (bound <= ctx.epsilon) {
+          ctx.primary.TraceDescended(1);
           JoinNodes(ctx, static_cast<PageId>(ea.ref),
                     static_cast<PageId>(eb.ref));
+        } else {
+          ctx.primary.TracePruned(1);
         }
       }
     }
@@ -101,7 +117,9 @@ void JoinNodes(const JoinContext& ctx, PageId id_a, PageId id_b) {
   }
 
   // Mixed levels: keep the leaf side fixed, descend the directory side into
-  // every child some leaf entry cannot rule out.
+  // every child some leaf entry cannot rule out. Several signature pairs
+  // feed one decision here, which is why the joins only promise
+  // descended + pruned <= signatures_tested.
   const bool a_is_leaf = na.IsLeaf();
   const Node& leaf = a_is_leaf ? na : nb;
   const Node& dir = a_is_leaf ? nb : na;
@@ -110,12 +128,17 @@ void JoinNodes(const JoinContext& ctx, PageId id_a, PageId id_b) {
     for (const Entry& el : leaf.entries) {
       const double bound = PairMinDist(el.sig, true, ed.sig, false,
                                        ctx.metric, ctx.fixed_dim);
+      ctx.primary.TraceSignatures(1);
       if (bound <= ctx.epsilon) {
         needed = true;
         break;
       }
     }
-    if (!needed) continue;
+    if (!needed) {
+      ctx.primary.TracePruned(1);
+      continue;
+    }
+    ctx.primary.TraceDescended(1);
     if (a_is_leaf) {
       JoinNodes(ctx, id_a, static_cast<PageId>(ed.ref));
     } else {
@@ -137,9 +160,8 @@ std::vector<JoinPair> SimilarityJoin(const SgTree& a, const SgTree& b,
                                      b.options().fixed_dimensionality
                                  ? a.options().fixed_dimensionality
                                  : 0;
-  QueryStats* stats = ctx_a.stats != nullptr ? ctx_a.stats : ctx_b.stats;
   JoinContext ctx{&a,        &b,      ctx_a,   ctx_b, a.options().metric,
-                  fixed_dim, epsilon, &result, stats};
+                  fixed_dim, epsilon, &result, PrimarySink(ctx_a, ctx_b)};
   JoinNodes(ctx, a.root(), b.root());
   std::sort(result.begin(), result.end(), PairLess);
   return result;
@@ -159,7 +181,7 @@ std::vector<JoinPair> ClosestPairs(const SgTree& a, const SgTree& b,
   if (a.root() == kInvalidPageId || b.root() == kInvalidPageId || k == 0) {
     return best;
   }
-  QueryStats* stats = ctx_a.stats != nullptr ? ctx_a.stats : ctx_b.stats;
+  const QueryContext primary = PrimarySink(ctx_a, ctx_b);
   const Metric metric = a.options().metric;
   const uint32_t fixed_dim = a.options().fixed_dimensionality ==
                                      b.options().fixed_dimensionality
@@ -192,17 +214,28 @@ std::vector<JoinPair> ClosestPairs(const SgTree& a, const SgTree& b,
   std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> queue(
       cmp);
   queue.push({0.0, a.root(), b.root()});
+  bool at_root = true;  // The root pair is enqueued without a test.
 
   while (!queue.empty()) {
     const QueueItem item = queue.top();
     queue.pop();
-    if (item.bound >= tau()) break;
+    if (item.bound >= tau()) {
+      // This pair and everything still queued was tested but never visited.
+      primary.TracePruned(1 + queue.size());
+      break;
+    }
+    if (at_root) {
+      at_root = false;
+    } else {
+      primary.TraceDescended(1);
+    }
     const Node& na = a.GetNode(item.node_a, ctx_a);
     const Node& nb = b.GetNode(item.node_b, ctx_b);
-    CountNode(stats, 2);
+    ctx_a.CountNode(na.IsLeaf());
+    ctx_b.CountNode(nb.IsLeaf());
 
     if (na.IsLeaf() && nb.IsLeaf()) {
-      CountCompared(stats, na.entries.size() * nb.entries.size());
+      primary.CountVerified(na.entries.size() * nb.entries.size());
       for (const Entry& ea : na.entries) {
         for (const Entry& eb : nb.entries) {
           offer({ea.ref, eb.ref, Distance(ea.sig, eb.sig, metric)});
@@ -216,9 +249,12 @@ std::vector<JoinPair> ClosestPairs(const SgTree& a, const SgTree& b,
         for (const Entry& eb : nb.entries) {
           const double bound =
               PairMinDist(ea.sig, false, eb.sig, false, metric, fixed_dim);
+          primary.TraceSignatures(1);
           if (bound < tau()) {
             queue.push({bound, static_cast<PageId>(ea.ref),
                         static_cast<PageId>(eb.ref)});
+          } else {
+            primary.TracePruned(1);
           }
         }
       }
@@ -235,17 +271,21 @@ std::vector<JoinPair> ClosestPairs(const SgTree& a, const SgTree& b,
             min_bound,
             PairMinDist(el.sig, true, ed.sig, false, metric, fixed_dim));
       }
+      primary.TraceSignatures(leaf.entries.size());
       if (min_bound < tau()) {
         if (a_is_leaf) {
           queue.push({min_bound, item.node_a, static_cast<PageId>(ed.ref)});
         } else {
           queue.push({min_bound, static_cast<PageId>(ed.ref), item.node_b});
         }
+      } else {
+        primary.TracePruned(1);
       }
     }
   }
 
   std::sort(best.begin(), best.end(), PairLess);
+  primary.TraceResults(best.size());
   return best;
 }
 

@@ -9,18 +9,6 @@
 namespace sgtree {
 namespace {
 
-void CountNode(QueryStats* stats) {
-  if (stats != nullptr) ++stats->nodes_accessed;
-}
-
-void CountBounds(QueryStats* stats, uint64_t n) {
-  if (stats != nullptr) stats->bounds_computed += n;
-}
-
-void CountCompared(QueryStats* stats, uint64_t n) {
-  if (stats != nullptr) stats->transactions_compared += n;
-}
-
 // Bounded max-heap of the k best neighbors found so far; the heap maximum
 // (lexicographic by distance then tid) is the branch-and-bound threshold.
 class NeighborHeap {
@@ -66,10 +54,11 @@ struct BoundedEntry {
 };
 
 // Entries of a directory node sorted by (lower bound, area) — the visit
-// order of Figure 4, including the minimum-area tie-break.
+// order of Figure 4, including the minimum-area tie-break. Every entry's
+// bound is computed (and counted as a signature test) before sorting.
 std::vector<BoundedEntry> SortedBounds(const SgTree& tree, const Node& node,
                                        const Signature& query,
-                                       QueryStats* stats) {
+                                       const QueryContext& ctx) {
   const Metric metric = tree.options().metric;
   const auto [lo, hi] = tree.TransactionAreaBounds();
   std::vector<BoundedEntry> order;
@@ -79,7 +68,7 @@ std::vector<BoundedEntry> SortedBounds(const SgTree& tree, const Node& node,
                                            metric, lo, hi),
                      node.entries[i].sig.Area(), i});
   }
-  CountBounds(stats, order.size());
+  ctx.CountBounds(order.size());
   std::sort(order.begin(), order.end(),
             [](const BoundedEntry& a, const BoundedEntry& b) {
               return a.bound != b.bound ? a.bound < b.bound
@@ -91,18 +80,25 @@ std::vector<BoundedEntry> SortedBounds(const SgTree& tree, const Node& node,
 void DfsKnnRecurse(const SgTree& tree, PageId node_id, const Signature& query,
                    NeighborHeap* heap, const QueryContext& ctx) {
   const Node& node = tree.GetNode(node_id, ctx);
-  CountNode(ctx.stats);
+  ctx.CountNode(node.IsLeaf());
   const Metric metric = tree.options().metric;
   if (node.IsLeaf()) {
-    CountCompared(ctx.stats, node.entries.size());
+    ctx.CountVerified(node.entries.size());
     for (const Entry& entry : node.entries) {
       heap->Offer({entry.ref, Distance(query, entry.sig, metric)});
     }
     return;
   }
-  for (const BoundedEntry& be : SortedBounds(tree, node, query, ctx.stats)) {
-    if (be.bound >= heap->Tau()) break;  // Later entries bound even higher.
-    DfsKnnRecurse(tree, static_cast<PageId>(node.entries[be.index].ref),
+  const std::vector<BoundedEntry> order = SortedBounds(tree, node, query, ctx);
+  for (size_t oi = 0; oi < order.size(); ++oi) {
+    if (order[oi].bound >= heap->Tau()) {
+      // Later entries bound even higher: this entry and everything after it
+      // is cut by the distance bound.
+      ctx.TracePruned(order.size() - oi);
+      break;
+    }
+    ctx.TraceDescended(1);
+    DfsKnnRecurse(tree, static_cast<PageId>(node.entries[order[oi].index].ref),
                   query, heap, ctx);
   }
 }
@@ -124,7 +120,9 @@ std::vector<Neighbor> DfsKNearest(const SgTree& tree, const Signature& query,
   if (tree.root() != kInvalidPageId && k > 0) {
     DfsKnnRecurse(tree, tree.root(), query, &heap, ctx);
   }
-  return std::move(heap).Sorted();
+  std::vector<Neighbor> result = std::move(heap).Sorted();
+  ctx.TraceResults(result.size());
+  return result;
 }
 
 std::vector<Neighbor> BestFirstKNearest(const SgTree& tree,
@@ -146,30 +144,45 @@ std::vector<Neighbor> BestFirstKNearest(const SgTree& tree,
   std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> queue(
       cmp);
   queue.push({0.0, tree.root()});
+  bool at_root = true;  // The root is enqueued without a signature test.
   while (!queue.empty()) {
     const QueueItem item = queue.top();
     queue.pop();
-    if (item.bound >= heap.Tau()) break;  // Optimal stopping condition.
+    if (item.bound >= heap.Tau()) {
+      // Optimal stopping condition. This item and everything left in the
+      // queue was tested and enqueued but will never be visited.
+      ctx.TracePruned(1 + queue.size());
+      break;
+    }
+    if (at_root) {
+      at_root = false;
+    } else {
+      ctx.TraceDescended(1);
+    }
     const Node& node = tree.GetNode(item.node, ctx);
-    CountNode(ctx.stats);
+    ctx.CountNode(node.IsLeaf());
     if (node.IsLeaf()) {
-      CountCompared(ctx.stats, node.entries.size());
+      ctx.CountVerified(node.entries.size());
       for (const Entry& entry : node.entries) {
         heap.Offer({entry.ref, Distance(query, entry.sig, metric)});
       }
       continue;
     }
-    CountBounds(ctx.stats, node.entries.size());
+    ctx.CountBounds(node.entries.size());
     const auto [lo, hi] = tree.TransactionAreaBounds();
     for (const Entry& entry : node.entries) {
       const double bound =
           MinDistBoundAreaStats(query, entry.sig, metric, lo, hi);
       if (bound < heap.Tau()) {
         queue.push({bound, static_cast<PageId>(entry.ref)});
+      } else {
+        ctx.TracePruned(1);
       }
     }
   }
-  return std::move(heap).Sorted();
+  std::vector<Neighbor> result = std::move(heap).Sorted();
+  ctx.TraceResults(result.size());
+  return result;
 }
 
 namespace {
@@ -178,24 +191,33 @@ void RangeRecurse(const SgTree& tree, PageId node_id, const Signature& query,
                   double epsilon, std::vector<Neighbor>* result,
                   const QueryContext& ctx) {
   const Node& node = tree.GetNode(node_id, ctx);
-  CountNode(ctx.stats);
+  ctx.CountNode(node.IsLeaf());
   const Metric metric = tree.options().metric;
   if (node.IsLeaf()) {
-    CountCompared(ctx.stats, node.entries.size());
+    ctx.CountVerified(node.entries.size());
+    uint64_t matched = 0;
     for (const Entry& entry : node.entries) {
       const double d = Distance(query, entry.sig, metric);
-      if (d <= epsilon) result->push_back({entry.ref, d});
+      if (d <= epsilon) {
+        result->push_back({entry.ref, d});
+        ++matched;
+      }
     }
+    ctx.TraceResults(matched);
+    ctx.TraceFalseDrops(node.entries.size() - matched);
     return;
   }
-  CountBounds(ctx.stats, node.entries.size());
+  ctx.CountBounds(node.entries.size());
   const auto [lo, hi] = tree.TransactionAreaBounds();
   for (const Entry& entry : node.entries) {
     const double bound =
         MinDistBoundAreaStats(query, entry.sig, metric, lo, hi);
     if (bound <= epsilon) {
+      ctx.TraceDescended(1);
       RangeRecurse(tree, static_cast<PageId>(entry.ref), query, epsilon,
                    result, ctx);
+    } else {
+      ctx.TracePruned(1);
     }
   }
 }
@@ -222,22 +244,31 @@ void ContainRecurse(const SgTree& tree, PageId node_id, const Signature& query,
                     bool exact, std::vector<uint64_t>* result,
                     const QueryContext& ctx) {
   const Node& node = tree.GetNode(node_id, ctx);
-  CountNode(ctx.stats);
+  ctx.CountNode(node.IsLeaf());
   if (node.IsLeaf()) {
-    CountCompared(ctx.stats, node.entries.size());
+    ctx.CountVerified(node.entries.size());
+    uint64_t matched = 0;
     for (const Entry& entry : node.entries) {
       const bool match =
           exact ? entry.sig == query : entry.sig.Contains(query);
-      if (match) result->push_back(entry.ref);
+      if (match) {
+        result->push_back(entry.ref);
+        ++matched;
+      }
     }
+    ctx.TraceResults(matched);
+    ctx.TraceFalseDrops(node.entries.size() - matched);
     return;
   }
-  CountBounds(ctx.stats, node.entries.size());
+  ctx.CountBounds(node.entries.size());
   for (const Entry& entry : node.entries) {
     // Only subtrees whose signature covers the query can hold supersets.
     if (entry.sig.Contains(query)) {
+      ctx.TraceDescended(1);
       ContainRecurse(tree, static_cast<PageId>(entry.ref), query, exact,
                      result, ctx);
+    } else {
+      ctx.TracePruned(1);
     }
   }
 }
@@ -270,22 +301,29 @@ namespace {
 void SubsetRecurse(const SgTree& tree, PageId node_id, const Signature& query,
                    std::vector<uint64_t>* result, const QueryContext& ctx) {
   const Node& node = tree.GetNode(node_id, ctx);
-  CountNode(ctx.stats);
+  ctx.CountNode(node.IsLeaf());
   if (node.IsLeaf()) {
-    CountCompared(ctx.stats, node.entries.size());
+    ctx.CountVerified(node.entries.size());
+    uint64_t matched = 0;
     for (const Entry& entry : node.entries) {
       if (!entry.sig.Empty() && query.Contains(entry.sig)) {
         result->push_back(entry.ref);
+        ++matched;
       }
     }
+    ctx.TraceResults(matched);
+    ctx.TraceFalseDrops(node.entries.size() - matched);
     return;
   }
-  CountBounds(ctx.stats, node.entries.size());
+  ctx.CountBounds(node.entries.size());
   for (const Entry& entry : node.entries) {
     // A non-empty subset of the query must share at least one item with
     // the subtree's coverage — the only (weak) pruning available.
     if (Signature::IntersectCount(entry.sig, query) > 0) {
+      ctx.TraceDescended(1);
       SubsetRecurse(tree, static_cast<PageId>(entry.ref), query, result, ctx);
+    } else {
+      ctx.TracePruned(1);
     }
   }
 }

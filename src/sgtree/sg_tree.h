@@ -92,9 +92,11 @@ class SgTree {
   BufferPool& buffer_pool() { return *pool_; }
   const BufferPool& buffer_pool() const { return *pool_; }
 
-  /// Query context charging this tree's own pool (serial use only).
-  QueryContext OwnPoolContext(QueryStats* stats = nullptr) {
-    return QueryContext{pool_.get(), stats};
+  /// Query context charging this tree's own pool (serial use only). The
+  /// optional trace receives the per-query pruning breakdown.
+  QueryContext OwnPoolContext(QueryStats* stats = nullptr,
+                              QueryTrace* trace = nullptr) {
+    return QueryContext{pool_.get(), stats, trace};
   }
 
   const IoStats& io_stats() const { return pool_->stats(); }

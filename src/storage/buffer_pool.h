@@ -2,6 +2,7 @@
 #define SGTREE_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -10,6 +11,11 @@
 #include "storage/page_cache.h"
 
 namespace sgtree {
+
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
 
 /// LRU buffer-pool simulator with exact random-I/O accounting.
 ///
@@ -54,6 +60,14 @@ class BufferPool : public PageCache {
   const IoStats& stats() const { return stats_; }
   IoStats* mutable_stats() { return &stats_; }
 
+  /// Mirrors this pool's counters into `registry` under
+  /// `<prefix>.accesses|hits|misses|writes` — the registry absorbs (and
+  /// extends, with process-wide aggregation across pools) the embedded
+  /// IoStats. Pass nullptr to unbind. The registry must outlive the pool;
+  /// the shared counters are sharded atomics, so several pools (e.g. the
+  /// shards of a ShardedBufferPool) may bind the same prefix concurrently.
+  void BindMetrics(obs::MetricsRegistry* registry, const std::string& prefix);
+
   uint32_t ResidentPages() const {
     return static_cast<uint32_t>(index_.size());
   }
@@ -78,6 +92,11 @@ class BufferPool : public PageCache {
 
   uint32_t capacity_;
   IoStats stats_;
+  // Optional registry mirrors (all four set, or all four null).
+  obs::Counter* ctr_accesses_ = nullptr;
+  obs::Counter* ctr_hits_ = nullptr;
+  obs::Counter* ctr_misses_ = nullptr;
+  obs::Counter* ctr_writes_ = nullptr;
   std::vector<Frame> frames_;  // Flat frame table, size == capacity_.
   uint32_t head_ = kNil;       // MRU frame index.
   uint32_t tail_ = kNil;       // LRU frame index.

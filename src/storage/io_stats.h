@@ -2,6 +2,7 @@
 #define SGTREE_STORAGE_IO_STATS_H_
 
 #include <cstdint>
+#include <limits>
 
 namespace sgtree {
 
@@ -16,9 +17,12 @@ struct IoStats {
 
   void Reset() { *this = IoStats{}; }
 
+  /// NaN when no page was ever accessed: an untouched pool has no hit rate,
+  /// and reporting 0% would read as "everything missed". Exporters render
+  /// the NaN as "n/a" (obs::FormatHitRatio / obs::ToJson).
   double HitRatio() const {
     return page_accesses == 0
-               ? 0.0
+               ? std::numeric_limits<double>::quiet_NaN()
                : static_cast<double>(buffer_hits) /
                      static_cast<double>(page_accesses);
   }

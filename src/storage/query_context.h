@@ -1,7 +1,10 @@
 #ifndef SGTREE_STORAGE_QUERY_CONTEXT_H_
 #define SGTREE_STORAGE_QUERY_CONTEXT_H_
 
+#include <cstdint>
+
 #include "common/stats.h"
+#include "obs/query_trace.h"
 #include "storage/page.h"
 #include "storage/page_cache.h"
 
@@ -14,19 +17,77 @@ namespace sgtree {
 /// their own context (private pool, private stats) or share a thread-safe
 /// PageCache (ShardedBufferPool).
 ///
-/// Both pointers may be null: a null `pool` skips buffering entirely (no
-/// I/O is charged anywhere), a null `stats` skips per-query counting.
+/// All three pointers may be null: a null `pool` skips buffering entirely
+/// (no I/O is charged anywhere), a null `stats` skips the paper's coarse
+/// counters, a null `trace` skips the per-query pruning breakdown. The
+/// Count*/Trace* helpers below are the single place the search code reports
+/// through, so the legacy QueryStats counters and the QueryTrace stay in
+/// lockstep by construction — and a fully-null context makes every one of
+/// them a no-op, which is the "metrics off" mode the differential tests
+/// compare against.
 struct QueryContext {
   PageCache* pool = nullptr;
   QueryStats* stats = nullptr;
+  QueryTrace* trace = nullptr;
 
   /// Charges one page read: touches the pool and, on a buffer miss, adds a
-  /// random I/O to the per-query stats.
+  /// random I/O to the per-query stats. The trace records the hit/miss
+  /// split, so trace->buffer_misses equals this query's random I/Os.
   void ChargeRead(PageId id) const {
     if (pool != nullptr) {
       const bool hit = pool->Touch(id);
-      if (!hit && stats != nullptr) ++stats->random_ios;
+      if (hit) {
+        if (trace != nullptr) ++trace->buffer_hits;
+      } else {
+        if (stats != nullptr) ++stats->random_ios;
+        if (trace != nullptr) ++trace->buffer_misses;
+      }
     }
+  }
+
+  /// Charges `pages` random I/Os without a pool — the simulated multi-page
+  /// bucket/posting-list reads of the table and inverted backends. Every
+  /// page counts as a miss (those backends model no buffer).
+  void ChargeSimulatedIo(uint64_t pages) const {
+    if (stats != nullptr) stats->random_ios += pages;
+    if (trace != nullptr) trace->buffer_misses += pages;
+  }
+
+  /// One node (or bucket / posting list) was read and examined.
+  void CountNode(bool leaf) const {
+    if (stats != nullptr) ++stats->nodes_accessed;
+    if (trace != nullptr) {
+      ++(leaf ? trace->leaf_nodes_visited : trace->dir_nodes_visited);
+    }
+  }
+
+  /// `n` entry signatures had a descend-or-prune bound/predicate computed.
+  void CountBounds(uint64_t n) const {
+    if (stats != nullptr) stats->bounds_computed += n;
+    if (trace != nullptr) trace->signatures_tested += n;
+  }
+
+  /// `n` leaf candidates had their exact distance/predicate evaluated.
+  void CountVerified(uint64_t n) const {
+    if (stats != nullptr) stats->transactions_compared += n;
+    if (trace != nullptr) trace->candidates_verified += n;
+  }
+
+  // Trace-only outcomes (no QueryStats analogue).
+  void TraceSignatures(uint64_t n) const {
+    if (trace != nullptr) trace->signatures_tested += n;
+  }
+  void TraceDescended(uint64_t n) const {
+    if (trace != nullptr) trace->subtrees_descended += n;
+  }
+  void TracePruned(uint64_t n) const {
+    if (trace != nullptr) trace->subtrees_pruned += n;
+  }
+  void TraceFalseDrops(uint64_t n) const {
+    if (trace != nullptr) trace->false_drops += n;
+  }
+  void TraceResults(uint64_t n) const {
+    if (trace != nullptr) trace->results += n;
   }
 };
 

@@ -63,6 +63,14 @@ IoStats ShardedBufferPool::StatsSnapshot() const {
   return total;
 }
 
+void ShardedBufferPool::BindMetrics(obs::MetricsRegistry* registry,
+                                    const std::string& prefix) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->pool.BindMetrics(registry, prefix);
+  }
+}
+
 void ShardedBufferPool::ResetStats() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

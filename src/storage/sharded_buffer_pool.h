@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -51,6 +52,11 @@ class ShardedBufferPool : public PageCache {
 
   /// Resets the per-shard counters (keeps resident pages).
   void ResetStats();
+
+  /// Binds every shard's counters to `registry` under one shared `prefix`
+  /// (the registry counters are thread-safe, so the shards simply share
+  /// them). Pass nullptr to unbind. See BufferPool::BindMetrics.
+  void BindMetrics(obs::MetricsRegistry* registry, const std::string& prefix);
 
   uint32_t ResidentPages() const;
 

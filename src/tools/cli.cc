@@ -1,6 +1,7 @@
 #include "tools/cli.h"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -9,6 +10,9 @@
 #include "data/census_generator.h"
 #include "data/dataset_io.h"
 #include "data/quest_generator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
 #include "sgtree/bulk_load.h"
 #include "sgtree/invariant_auditor.h"
 #include "sgtree/paged_reader.h"
@@ -47,6 +51,17 @@ bool ParseMetric(const std::string& name, Metric* metric) {
     return false;
   }
   return true;
+}
+
+// Writes the registry's JSON export to `path` (the --metrics-json sink).
+int WriteMetricsJson(const obs::MetricsRegistry& registry,
+                     const std::string& path, std::ostream& out,
+                     std::ostream& err) {
+  std::ofstream file(path);
+  if (!file) return Fail(err, "cannot write metrics " + path);
+  file << obs::ToJson(registry) << "\n";
+  out << "wrote metrics " << path << "\n";
+  return 0;
 }
 
 // Parses "3 17 256" into a sorted unique item list.
@@ -173,11 +188,13 @@ int CmdBuild(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
 int CmdStats(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   const auto index_path = cmd.GetString("index");
   if (!index_path.has_value()) return Fail(err, "stats requires --index");
+  const auto metrics_path = cmd.GetString("metrics-json");
   if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
   SgTreeOptions options;
   auto tree = LoadTree(*index_path, options);
   if (tree == nullptr) return Fail(err, "cannot load " + *index_path);
   const TreeReport report = CheckTree(*tree);
+  const IoStats& io = tree->io_stats();
   out << "transactions: " << tree->size() << "\n"
       << "signature bits: " << tree->num_bits() << "\n"
       << "height: " << tree->height() << "\n"
@@ -185,10 +202,24 @@ int CmdStats(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
       << "node capacity: " << tree->max_entries() << " (min "
       << tree->min_entries() << ")\n"
       << "utilization: " << report.avg_utilization << "\n"
-      << "invariants: " << (report.ok ? "OK" : report.message) << "\n";
+      << "invariants: " << (report.ok ? "OK" : report.message) << "\n"
+      << "buffer: " << io.page_accesses << " accesses, " << io.buffer_hits
+      << " hits, " << io.random_ios << " random I/Os, " << io.page_writes
+      << " writes, hit ratio " << obs::FormatHitRatio(io) << "\n";
   for (size_t level = 0; level < report.avg_entry_area.size(); ++level) {
     out << "avg entry area, level " << level << ": "
         << report.avg_entry_area[level] << "\n";
+  }
+  if (metrics_path.has_value()) {
+    obs::MetricsRegistry registry;
+    registry.GetCounter("tree.transactions")->Increment(tree->size());
+    registry.GetCounter("tree.nodes")->Increment(tree->node_count());
+    registry.GetCounter("tree.height")->Increment(tree->height());
+    registry.GetCounter("buffer.accesses")->Increment(io.page_accesses);
+    registry.GetCounter("buffer.hits")->Increment(io.buffer_hits);
+    registry.GetCounter("buffer.misses")->Increment(io.random_ios);
+    registry.GetCounter("buffer.writes")->Increment(io.page_writes);
+    return WriteMetricsJson(registry, *metrics_path, out, err);
   }
   return 0;
 }
@@ -264,33 +295,70 @@ int CmdQuery(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
 
   const auto k = static_cast<uint32_t>(cmd.IntOr("k", 1));
   const double epsilon = cmd.DoubleOr("eps", 0);
+  const bool print_trace = cmd.IntOr("trace", 0) != 0;
+  const auto metrics_path = cmd.GetString("metrics-json");
   if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
 
   QueryStats stats;
+  QueryTrace total_trace;
+  obs::MetricsRegistry registry;
+  obs::Histogram* latency = registry.GetHistogram("query.latency_us");
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const Signature sig =
         Signature::FromItems(queries[qi], tree->num_bits());
+    QueryTrace trace;
+    const QueryContext ctx = tree->OwnPoolContext(&stats, &trace);
+    Timer timer;
     out << "query " << qi << ":";
     if (kind == "nn") {
-      for (const Neighbor& n : DfsKNearest(*tree, sig, k, &stats)) {
+      for (const Neighbor& n : DfsKNearest(*tree, sig, k, ctx)) {
         out << " " << n.tid << "(d=" << n.distance << ")";
       }
     } else if (kind == "range") {
-      for (const Neighbor& n : RangeSearch(*tree, sig, epsilon, &stats)) {
+      for (const Neighbor& n : RangeSearch(*tree, sig, epsilon, ctx)) {
         out << " " << n.tid << "(d=" << n.distance << ")";
       }
     } else if (kind == "contain") {
-      for (uint64_t tid : ContainmentSearch(*tree, sig, &stats)) {
+      for (uint64_t tid : ContainmentSearch(*tree, sig, ctx)) {
         out << " " << tid;
       }
     } else {
       return Fail(err, "unknown query kind '" + kind + "'");
     }
     out << "\n";
+    latency->Observe(timer.ElapsedMs() * 1000.0);
+    if (print_trace) {
+      out << "  trace: nodes=" << trace.nodes_visited()
+          << " tested=" << trace.signatures_tested
+          << " descended=" << trace.subtrees_descended
+          << " pruned=" << trace.subtrees_pruned
+          << " verified=" << trace.candidates_verified
+          << " results=" << trace.results
+          << " hits=" << trace.buffer_hits
+          << " misses=" << trace.buffer_misses << "\n";
+    }
+    total_trace += trace;
   }
   out << "# compared " << stats.transactions_compared << " transactions, "
       << stats.nodes_accessed << " node accesses, " << stats.random_ios
       << " random I/Os\n";
+  if (metrics_path.has_value()) {
+    registry.GetCounter("query.queries")->Increment(queries.size());
+    registry.GetCounter("query.nodes_visited")
+        ->Increment(total_trace.nodes_visited());
+    registry.GetCounter("query.signatures_tested")
+        ->Increment(total_trace.signatures_tested);
+    registry.GetCounter("query.subtrees_pruned")
+        ->Increment(total_trace.subtrees_pruned);
+    registry.GetCounter("query.candidates_verified")
+        ->Increment(total_trace.candidates_verified);
+    registry.GetCounter("query.results")->Increment(total_trace.results);
+    registry.GetCounter("query.buffer_hits")
+        ->Increment(total_trace.buffer_hits);
+    registry.GetCounter("query.random_ios")
+        ->Increment(total_trace.buffer_misses);
+    return WriteMetricsJson(registry, *metrics_path, out, err);
+  }
   return 0;
 }
 

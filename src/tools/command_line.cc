@@ -15,6 +15,13 @@ CommandLine::CommandLine(std::vector<std::string> args) {
       error_ = "expected a --flag, got '" + args[i] + "'";
       return;
     }
+    // `--name=value` carries its value inline; `--name value` spans two
+    // tokens.
+    if (const size_t eq = args[i].find('='); eq != std::string::npos) {
+      flags_.emplace_back(args[i].substr(2, eq - 2), args[i].substr(eq + 1));
+      ++i;
+      continue;
+    }
     if (i + 1 >= args.size()) {
       error_ = "flag '" + args[i] + "' is missing a value";
       return;

@@ -9,8 +9,8 @@
 namespace sgtree {
 
 /// Minimal flag parser for the sgtree_cli tool: positional words followed
-/// by `--name value` pairs. Unknown flags are reported so typos fail loudly
-/// instead of silently using defaults.
+/// by `--name value` pairs (`--name=value` also accepted). Unknown flags are
+/// reported so typos fail loudly instead of silently using defaults.
 class CommandLine {
  public:
   explicit CommandLine(std::vector<std::string> args);

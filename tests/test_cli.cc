@@ -198,6 +198,78 @@ TEST(CliTest, QueriesFromFile) {
   std::remove(queries.c_str());
 }
 
+TEST(CommandLineTest, InlineEqualsSyntax) {
+  CommandLine cmd({"query", "nn", "--index=x.idx", "--k=5", "--eps", "2.5"});
+  ASSERT_TRUE(cmd.error().empty());
+  EXPECT_EQ(cmd.positional(), (std::vector<std::string>{"query", "nn"}));
+  EXPECT_EQ(cmd.StringOr("index", ""), "x.idx");
+  EXPECT_EQ(cmd.IntOr("k", 1), 5);
+  EXPECT_DOUBLE_EQ(cmd.DoubleOr("eps", 0), 2.5);
+  EXPECT_TRUE(cmd.UnusedFlags().empty());
+
+  // "--flag=" carries an explicit empty value.
+  CommandLine empty_value({"stats", "--index="});
+  ASSERT_TRUE(empty_value.error().empty());
+  EXPECT_EQ(empty_value.StringOr("index", "fallback"), "");
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+TEST(CliTest, StatsAndQueryExportMetrics) {
+  const std::string data = TempPath("cli_obs_data.txt");
+  const std::string index = TempPath("cli_obs.bin");
+  const std::string stats_json = TempPath("cli_obs_stats.json");
+  const std::string query_json = TempPath("cli_obs_query.json");
+  ASSERT_EQ(RunArgs({"gen", "quest", "--out", data, "--d", "800", "--items",
+                 "150", "--patterns", "40"})
+                .code,
+            0);
+  ASSERT_EQ(RunArgs({"build", "--data", data, "--out", index}).code, 0);
+
+  // stats prints the pool counters and exports them as registry JSON.
+  CliResult r = RunArgs({"stats", "--index", index, "--metrics-json",
+                         stats_json});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("buffer:"), std::string::npos);
+  EXPECT_NE(r.out.find("hit ratio"), std::string::npos);
+  EXPECT_NE(r.out.find("wrote metrics " + stats_json), std::string::npos);
+  const std::string stats_export = ReadFile(stats_json);
+  EXPECT_NE(stats_export.find("\"counters\""), std::string::npos);
+  EXPECT_NE(stats_export.find("\"tree.transactions\":800"),
+            std::string::npos);
+  EXPECT_NE(stats_export.find("\"buffer.accesses\""), std::string::npos);
+  EXPECT_NE(stats_export.find("\"histograms\""), std::string::npos);
+
+  // query with --trace=1 prints the per-query pruning breakdown (and the
+  // inline --flag=value syntax reaches the parser end to end).
+  r = RunArgs({"query", "nn", "--index", index, "--q", "1 2 3", "--k=3",
+               "--trace=1", "--metrics-json=" + query_json});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("  trace: nodes="), std::string::npos);
+  EXPECT_NE(r.out.find(" misses="), std::string::npos);
+  EXPECT_NE(r.out.find("wrote metrics " + query_json), std::string::npos);
+  const std::string query_export = ReadFile(query_json);
+  EXPECT_NE(query_export.find("\"query.queries\":1"), std::string::npos);
+  EXPECT_NE(query_export.find("\"query.random_ios\""), std::string::npos);
+  EXPECT_NE(query_export.find("\"query.latency_us\""), std::string::npos);
+  EXPECT_NE(query_export.find("\"p50\""), std::string::npos);
+
+  // Without --trace the breakdown stays off.
+  r = RunArgs({"query", "nn", "--index", index, "--q", "1 2 3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.find("  trace:"), std::string::npos);
+
+  std::remove(data.c_str());
+  std::remove(index.c_str());
+  std::remove(stats_json.c_str());
+  std::remove(query_json.c_str());
+}
+
 TEST(CliTest, ErrorPaths) {
   EXPECT_EQ(RunArgs({"gen", "quest"}).code, 1);                    // No --out.
   EXPECT_EQ(RunArgs({"gen", "warehouse", "--out", "/tmp/x"}).code, 1);

@@ -256,6 +256,7 @@ void ExpectBatchesIdentical(const std::vector<QueryResult>& a,
         << "query " << i;
     EXPECT_EQ(a[i].stats.bounds_computed, b[i].stats.bounds_computed)
         << "query " << i;
+    EXPECT_EQ(a[i].trace, b[i].trace) << "query " << i;
   }
 }
 
@@ -339,6 +340,82 @@ TEST(ExecutorTest, BatchStatsEqualSumOfPerQueryStats) {
   EXPECT_EQ(executor.batch_stats().transactions_compared,
             sum.transactions_compared);
   EXPECT_EQ(executor.batch_stats().bounds_computed, sum.bounds_computed);
+}
+
+TEST(ExecutorTest, BatchReportAggregatesPerQueryTraces) {
+  const ExecFixture f = MakeExecFixture(16, Metric::kHamming);
+  QueryExecutor executor({.num_threads = 4, .buffer_pages = 16});
+  const auto results = executor.Run(*f.tree, f.batch);
+
+  QueryTrace sum;
+  for (const QueryResult& r : results) sum += r.trace;
+  const BatchReport& report = executor.last_batch_report();
+  EXPECT_EQ(report.queries, f.batch.size());
+  EXPECT_EQ(report.trace, sum);
+  EXPECT_EQ(report.stats.nodes_accessed,
+            executor.batch_stats().nodes_accessed);
+  EXPECT_EQ(report.stats.random_ios, executor.batch_stats().random_ios);
+  EXPECT_GT(report.wall_ms, 0.0);
+  EXPECT_LE(report.p50_us, report.p95_us);
+  EXPECT_LE(report.p95_us, report.p99_us);
+  EXPECT_GT(report.p99_us, 0.0);
+
+  // Every per-query trace is self-consistent and in lockstep with its
+  // QueryStats, serial or parallel alike.
+  for (size_t i = 0; i < results.size(); ++i) {
+    TraceCheckOptions opts;
+    const QueryType type = f.batch[i].type;
+    opts.predicate = type != QueryType::kKnn &&
+                     type != QueryType::kBestFirstKnn;
+    EXPECT_EQ(CheckTraceInvariants(results[i].trace, opts), "")
+        << "query " << i;
+    EXPECT_EQ(results[i].trace.buffer_misses, results[i].stats.random_ios)
+        << "query " << i;
+    EXPECT_EQ(results[i].trace.nodes_visited(),
+              results[i].stats.nodes_accessed)
+        << "query " << i;
+  }
+
+  // The serial oracle produces the identical aggregate trace.
+  const auto serial = QueryExecutor::RunSerial(*f.tree, f.batch, 16);
+  QueryTrace serial_sum;
+  for (const QueryResult& r : serial) serial_sum += r.trace;
+  EXPECT_EQ(serial_sum, sum);
+}
+
+TEST(ExecutorTest, MetricsRegistryIsFedByEachBatch) {
+  const ExecFixture f = MakeExecFixture(17, Metric::kHamming);
+  obs::MetricsRegistry registry;
+  QueryExecutorOptions options;
+  options.num_threads = 4;
+  options.buffer_pages = 16;
+  options.metrics = &registry;
+  QueryExecutor executor(options);
+  executor.Run(*f.tree, f.batch);
+
+  const BatchReport& report = executor.last_batch_report();
+  EXPECT_EQ(registry.GetCounter("exec.queries")->Value(), f.batch.size());
+  EXPECT_EQ(registry.GetCounter("exec.nodes_visited")->Value(),
+            report.trace.nodes_visited());
+  EXPECT_EQ(registry.GetCounter("exec.random_ios")->Value(),
+            report.stats.random_ios);
+  EXPECT_EQ(registry.GetCounter("exec.signatures_tested")->Value(),
+            report.trace.signatures_tested);
+  EXPECT_EQ(registry.GetCounter("exec.subtrees_pruned")->Value(),
+            report.trace.subtrees_pruned);
+  EXPECT_EQ(registry.GetCounter("exec.candidates_verified")->Value(),
+            report.trace.candidates_verified);
+  EXPECT_EQ(registry.GetCounter("exec.results")->Value(),
+            report.trace.results);
+  EXPECT_EQ(registry.GetHistogram("exec.query_latency_us")->Count(),
+            f.batch.size());
+
+  // Counters are monotonic: a second batch doubles them.
+  executor.Run(*f.tree, f.batch);
+  EXPECT_EQ(registry.GetCounter("exec.queries")->Value(),
+            2 * f.batch.size());
+  EXPECT_EQ(registry.GetHistogram("exec.query_latency_us")->Count(),
+            2 * f.batch.size());
 }
 
 TEST(ExecutorTest, EmptyBatchAndEmptyTree) {

@@ -1,0 +1,302 @@
+// Unit tests for the observability primitives: sharded counters and
+// histograms, percentile math, registry semantics, and the JSON/Prometheus
+// exporters (golden-output tests). The concurrent stress tests at the
+// bottom are ThreadSanitizer targets (see the tsan CI job).
+
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+
+namespace sgtree {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter.
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter("test.counter");
+  EXPECT_EQ(counter.name(), "test.counter");
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, MergesAcrossThreadShards) {
+  // Each thread lands in some shard; Value() must see the union no matter
+  // how the threads were distributed over the shard slots.
+  Counter counter("shard.merge");
+  constexpr int kThreads = 2 * static_cast<int>(kMetricShards);
+  constexpr uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, ThisThreadShardIsStableAndInRange) {
+  const uint32_t shard = ThisThreadShard();
+  EXPECT_LT(shard, kMetricShards);
+  EXPECT_EQ(ThisThreadShard(), shard);  // Stable within one thread.
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h("bounds", {1.0, 2.0, 5.0});
+  h.Observe(-3.0);  // Below everything -> first bucket.
+  h.Observe(0.0);
+  h.Observe(1.0);   // le="1" is inclusive.
+  h.Observe(1.5);
+  h.Observe(2.0);
+  h.Observe(5.0);
+  h.Observe(5.1);   // Above the last bound -> overflow.
+  h.Observe(1e12);
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 finite bounds + overflow.
+  EXPECT_EQ(counts[0], 3u);      // -3, 0, 1
+  EXPECT_EQ(counts[1], 2u);      // 1.5, 2
+  EXPECT_EQ(counts[2], 1u);      // 5
+  EXPECT_EQ(counts[3], 2u);      // 5.1, 1e12
+  EXPECT_EQ(h.Count(), 8u);
+}
+
+TEST(HistogramTest, SumAccumulatesObservedValues) {
+  Histogram h("sum", {10.0});
+  h.Observe(1.5);
+  h.Observe(2.5);
+  h.Observe(100.0);  // Overflow observations still count into the sum.
+  EXPECT_DOUBLE_EQ(h.Sum(), 104.0);
+  h.Reset();
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(HistogramTest, ExactPercentilesOnKnownDistribution) {
+  // Bounds at every integer 1..10 and one observation per integer: bucket
+  // edges coincide with the data, so nearest-rank percentiles are exact.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 10; ++i) bounds.push_back(i);
+  Histogram h("exact", bounds);
+  for (int i = 1; i <= 10; ++i) h.Observe(i);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);   // rank ceil(5.0) = 5.
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 10.0);  // rank ceil(9.5) = 10.
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 10.0);  // rank ceil(9.9) = 10.
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);    // Rank clamps to 1.
+  EXPECT_DOUBLE_EQ(h.Percentile(10), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(25), 3.0);   // rank ceil(2.5) = 3.
+}
+
+TEST(HistogramTest, PercentileOfSkewedDistribution) {
+  Histogram h("skew", {1.0, 2.0, 5.0, 10.0});
+  for (int i = 0; i < 98; ++i) h.Observe(1.0);
+  h.Observe(4.0);
+  h.Observe(9.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(98), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 5.0);   // The 99th sample sits in (2,5].
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 10.0);
+}
+
+TEST(HistogramTest, PercentileIsNanWhenEmptyAndInfOnOverflow) {
+  Histogram h("edges", {1.0});
+  EXPECT_TRUE(std::isnan(h.Percentile(50)));
+  h.Observe(99.0);  // Only observation lands in the overflow bucket.
+  EXPECT_TRUE(std::isinf(h.Percentile(50)));
+}
+
+TEST(HistogramTest, DefaultLatencyBucketsAreSortedFinite) {
+  const std::vector<double> bounds = LatencyBucketsUs();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(bounds[i]));
+    if (i > 0) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);  // 1 us floor.
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = registry.GetHistogram("h", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("h", {99.0});  // Bounds ignored.
+  EXPECT_EQ(h1, h2);
+  ASSERT_EQ(h1->bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(h1->bounds()[0], 1.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotsAreSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta");
+  registry.GetCounter("alpha");
+  registry.GetCounter("mid");
+  const std::vector<const Counter*> counters = registry.Counters();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0]->name(), "alpha");
+  EXPECT_EQ(counters[1]->name(), "mid");
+  EXPECT_EQ(counters[2]->name(), "zeta");
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(7);
+  registry.GetHistogram("h", {1.0})->Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("c")->Value(), 0u);
+  EXPECT_EQ(registry.GetHistogram("h")->Count(), 0u);
+  EXPECT_EQ(registry.Counters().size(), 1u);
+  EXPECT_EQ(registry.Histograms().size(), 1u);
+}
+
+TEST(MetricsRegistryTest, DefaultHistogramGetsLatencyBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  EXPECT_EQ(h->bounds(), LatencyBucketsUs());
+}
+
+// ---------------------------------------------------------------------------
+// Exporters: golden output.
+// ---------------------------------------------------------------------------
+
+MetricsRegistry* GoldenRegistry() {
+  auto* registry = new MetricsRegistry;
+  registry->GetCounter("cache.hits")->Increment(3);
+  Histogram* h = registry->GetHistogram("lat", {1.0, 2.0});
+  h->Observe(1.0);
+  h->Observe(3.0);
+  return registry;
+}
+
+TEST(ExportTest, JsonGolden) {
+  std::unique_ptr<MetricsRegistry> registry(GoldenRegistry());
+  // p50 lands on the first bucket edge (1); p95/p99 land in the overflow
+  // bucket, whose "bound" is +Inf and therefore exported as null.
+  EXPECT_EQ(ToJson(*registry),
+            "{\"counters\":{\"cache.hits\":3},"
+            "\"histograms\":{\"lat\":{\"bounds\":[1,2],\"counts\":[1,0,1],"
+            "\"count\":2,\"sum\":4,\"p50\":1,\"p95\":null,\"p99\":null}}}");
+}
+
+TEST(ExportTest, PrometheusGolden) {
+  std::unique_ptr<MetricsRegistry> registry(GoldenRegistry());
+  // Dots are sanitized to underscores; buckets are cumulative and include
+  // the le="+Inf" catch-all, per the text exposition format.
+  EXPECT_EQ(ToPrometheus(*registry),
+            "# TYPE cache_hits counter\n"
+            "cache_hits 3\n"
+            "# TYPE lat histogram\n"
+            "lat_bucket{le=\"1\"} 1\n"
+            "lat_bucket{le=\"2\"} 1\n"
+            "lat_bucket{le=\"+Inf\"} 2\n"
+            "lat_sum 4\n"
+            "lat_count 2\n");
+}
+
+TEST(ExportTest, EmptyRegistryExports) {
+  MetricsRegistry registry;
+  EXPECT_EQ(ToJson(registry), "{\"counters\":{},\"histograms\":{}}");
+  EXPECT_EQ(ToPrometheus(registry), "");
+}
+
+TEST(ExportTest, EmptyHistogramExportsNullPercentiles) {
+  MetricsRegistry registry;
+  registry.GetHistogram("empty", {1.0});
+  EXPECT_EQ(ToJson(registry),
+            "{\"counters\":{},\"histograms\":{\"empty\":{\"bounds\":[1],"
+            "\"counts\":[0,0],\"count\":0,\"sum\":0,\"p50\":null,"
+            "\"p95\":null,\"p99\":null}}}");
+}
+
+TEST(ExportTest, PrometheusNameSanitization) {
+  MetricsRegistry registry;
+  registry.GetCounter("sgtree.pool/hits-total")->Increment(1);
+  const std::string text = ToPrometheus(registry);
+  EXPECT_NE(text.find("sgtree_pool_hits_total 1"), std::string::npos);
+  EXPECT_EQ(text.find('/'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress (ThreadSanitizer targets).
+// ---------------------------------------------------------------------------
+
+TEST(MetricsStressTest, ConcurrentCounterAndHistogramLoseNothing) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("stress.counter");
+  Histogram* histogram = registry.GetHistogram("stress.hist", {2.0, 5.0});
+  constexpr int kThreads = 8;
+  constexpr int kOps = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter, histogram] {
+      for (int i = 0; i < kOps; ++i) {
+        counter->Increment();
+        histogram->Observe(static_cast<double>(i % 10));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->Value(), static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(histogram->Count(), static_cast<uint64_t>(kThreads) * kOps);
+  // Per thread: 5000 repetitions of 0+1+...+9 = 45 -> 225000 each.
+  EXPECT_DOUBLE_EQ(histogram->Sum(), kThreads * (kOps / 10) * 45.0);
+  // Values 0,1,2 -> bucket le=2; 3,4,5 -> le=5; 6..9 -> overflow.
+  const std::vector<uint64_t> counts = histogram->BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], static_cast<uint64_t>(kThreads) * kOps * 3 / 10);
+  EXPECT_EQ(counts[1], static_cast<uint64_t>(kThreads) * kOps * 3 / 10);
+  EXPECT_EQ(counts[2], static_cast<uint64_t>(kThreads) * kOps * 4 / 10);
+}
+
+TEST(MetricsStressTest, ConcurrentRegistryLookupsReturnOnePointer) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Counter* c = registry.GetCounter("contended");
+      c->Increment();
+      seen[static_cast<size_t>(t)] = c;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[t]);
+  EXPECT_EQ(registry.GetCounter("contended")->Value(),
+            static_cast<uint64_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sgtree

@@ -1,3 +1,4 @@
+#include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -340,6 +341,15 @@ TEST(BufferPoolTest, HitRatio) {
   pool.Touch(1);
   pool.Touch(2);
   EXPECT_DOUBLE_EQ(pool.stats().HitRatio(), 0.5);
+}
+
+TEST(BufferPoolTest, HitRatioOfUntouchedPoolIsNan) {
+  // An untouched pool has no hit rate; 0.0 would read as "everything
+  // missed". The exporters render the NaN as "n/a".
+  BufferPool pool(8);
+  EXPECT_TRUE(std::isnan(pool.stats().HitRatio()));
+  pool.Touch(1);
+  EXPECT_DOUBLE_EQ(pool.stats().HitRatio(), 0.0);  // One genuine miss.
 }
 
 TEST(BufferPoolTest, WriteMakesResident) {
