@@ -13,8 +13,11 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/signature.h"
 #include "data/dataset_io.h"
+#include "durability/byte_io.h"
+#include "durability/wal.h"
 #include "storage/codec.h"
 #include "storage/node_format.h"
 
@@ -152,6 +155,60 @@ void EmitDatasetSeeds(const std::filesystem::path& dir) {
             std::vector<uint8_t>(empty_text.begin(), empty_text.end()));
 }
 
+// WAL seeds: byte 0 is the harness mode byte, the rest a framed record
+// stream exactly as Wal::Append lays it out.
+void EmitWalSeeds(const std::filesystem::path& dir) {
+  auto frame = [](const sgtree::WalRecord& record,
+                  std::vector<uint8_t>* out) {
+    std::vector<uint8_t> payload;
+    sgtree::EncodeWalRecord(record, &payload);
+    sgtree::AppendU32(static_cast<uint32_t>(payload.size()), out);
+    sgtree::AppendU32(sgtree::Crc32c(payload), out);
+    out->insert(out->end(), payload.begin(), payload.end());
+  };
+
+  sgtree::WalRecord checkpoint;
+  checkpoint.type = sgtree::WalRecordType::kCheckpoint;
+  checkpoint.checkpoint_seq = 3;
+  sgtree::WalRecord alloc;
+  alloc.type = sgtree::WalRecordType::kAlloc;
+  alloc.page = 7;
+  sgtree::WalRecord image;
+  image.type = sgtree::WalRecordType::kPageImage;
+  image.page = 7;
+  for (uint32_t i = 0; i < 96; ++i) {
+    image.image.push_back(static_cast<uint8_t>(i * 5));
+  }
+  sgtree::WalRecord free_rec;
+  free_rec.type = sgtree::WalRecordType::kFree;
+  free_rec.page = 2;
+  sgtree::WalRecord marker;
+  marker.type = sgtree::WalRecordType::kTreeMeta;
+  marker.meta.op_seq = 12;
+  marker.meta.root = 7;
+  marker.meta.height = 1;
+  marker.meta.size = 40;
+  marker.meta.area_lo = 2;
+  marker.meta.area_hi = 55;
+  marker.meta.node_count = 3;
+
+  std::vector<uint8_t> op = {0};
+  frame(checkpoint, &op);
+  frame(alloc, &op);
+  frame(image, &op);
+  frame(free_rec, &op);
+  frame(marker, &op);
+  WriteFile(dir / "committed_op.bin", op);
+
+  // The same stream torn mid-record: the scanner's bread and butter.
+  std::vector<uint8_t> torn(op.begin(), op.begin() + ptrdiff_t(op.size() - 9));
+  WriteFile(dir / "torn_tail.bin", torn);
+
+  std::vector<uint8_t> single = {0};
+  frame(checkpoint, &single);
+  WriteFile(dir / "checkpoint_only.bin", single);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,12 +217,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::filesystem::path root = argv[1];
-  for (const char* target : {"codec", "node_format", "dataset_io"}) {
+  for (const char* target : {"codec", "node_format", "dataset_io", "wal"}) {
     std::filesystem::create_directories(root / target);
   }
   EmitCodecSeeds(root / "codec");
   EmitNodeSeeds(root / "node_format");
   EmitDatasetSeeds(root / "dataset_io");
+  EmitWalSeeds(root / "wal");
   std::cout << "seed corpora written under " << root << "\n";
   return 0;
 }

@@ -1,0 +1,26 @@
+#ifndef SGTREE_COMMON_CRC32_H_
+#define SGTREE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sgtree {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected). Used to checksum
+/// durable bytes: WAL record payloads, page-file slots, and the page-file
+/// header. Castagnoli has better error-detection properties than the zlib
+/// polynomial for the short records a log produces, and is what modern
+/// storage engines checksum with.
+///
+/// `seed` chains computations: Crc32c(b, n2, Crc32c(a, n1)) equals the CRC
+/// of the concatenation a|b.
+uint32_t Crc32c(const uint8_t* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32c(const std::vector<uint8_t>& data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace sgtree
+
+#endif  // SGTREE_COMMON_CRC32_H_

@@ -1,0 +1,74 @@
+#include "common/file_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace sgtree {
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message + ": " + std::strerror(errno);
+  return false;
+}
+
+bool WriteFully(int fd, const uint8_t* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool SyncDirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return true;  // Directory not openable here: best effort.
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool AtomicWriteFile(const std::string& path,
+                     const std::vector<uint8_t>& data, std::string* error) {
+  if (error != nullptr) error->clear();
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return Fail(error, "cannot create " + tmp);
+  if (!WriteFully(fd, data.data(), data.size())) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Fail(error, "cannot write " + tmp);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Fail(error, "cannot sync " + tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Fail(error, "cannot close " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Fail(error, "cannot rename " + tmp + " over " + path);
+  }
+  if (!SyncDirOf(path)) return Fail(error, "cannot sync directory of " + path);
+  return true;
+}
+
+}  // namespace sgtree

@@ -1,0 +1,21 @@
+#ifndef SGTREE_COMMON_FILE_UTIL_H_
+#define SGTREE_COMMON_FILE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sgtree {
+
+/// Crash-atomically replaces the contents of `path` with `data`: the bytes
+/// are written to a sibling temporary file, fsynced, renamed over `path`,
+/// and the directory entry is fsynced. A crash at any point leaves either
+/// the old file or the complete new one — never a truncated hybrid.
+/// Returns false with `*error` set (when non-null) on failure.
+bool AtomicWriteFile(const std::string& path,
+                     const std::vector<uint8_t>& data,
+                     std::string* error = nullptr);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_COMMON_FILE_UTIL_H_

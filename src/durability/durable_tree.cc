@@ -1,0 +1,328 @@
+#include "durability/durable_tree.h"
+
+#include <utility>
+
+#include "common/stats.h"
+#include "storage/node_format.h"
+
+namespace sgtree {
+
+/// Collects the page-level footprint of the operation in flight. The sets
+/// stay disjoint: a page freed after being dirtied needs no image, a page
+/// reallocated after being freed is just an alloc again.
+class DurableTree::Tracker final : public PageChangeListener {
+ public:
+  void OnAlloc(PageId id) override {
+    freed.erase(id);
+    alloc.insert(id);
+  }
+  void OnDirty(PageId id) override {
+    if (alloc.find(id) == alloc.end()) dirty.insert(id);
+  }
+  void OnFree(PageId id) override {
+    alloc.erase(id);
+    dirty.erase(id);
+    freed.insert(id);
+  }
+  void Clear() {
+    alloc.clear();
+    dirty.clear();
+    freed.clear();
+  }
+
+  std::set<PageId> alloc;
+  std::set<PageId> dirty;
+  std::set<PageId> freed;
+};
+
+DurableTree::DurableTree(const Options& options, Env* env)
+    : options_(options),
+      env_(env),
+      tracker_(std::make_unique<Tracker>()) {}
+
+DurableTree::~DurableTree() {
+  if (tree_ != nullptr) tree_->SetChangeListener(nullptr);
+}
+
+std::string DurableTree::PagePathFor(const std::string& dir) {
+  return dir + "/pages.sgp";
+}
+
+std::string DurableTree::WalPathFor(const std::string& dir) {
+  return dir + "/wal.sgw";
+}
+
+std::unique_ptr<DurableTree> DurableTree::Open(Env* env,
+                                               const std::string& dir,
+                                               const Options& options,
+                                               std::string* error) {
+  auto fail = [error](const std::string& message)
+      -> std::unique_ptr<DurableTree> {
+    if (error != nullptr) *error = message;
+    return nullptr;
+  };
+  if (!env->CreateDir(dir)) {
+    return fail("cannot create directory " + dir);
+  }
+
+  std::unique_ptr<DurableTree> dt(new DurableTree(options, env));
+  dt->page_path_ = PagePathFor(dir);
+  dt->wal_path_ = WalPathFor(dir);
+
+  if (env->FileExists(dt->page_path_)) {
+    // num_bits == 0 means "take the tree shape from the stored meta" (the
+    // CLI's mode); otherwise the caller's options must match the files.
+    const SgTreeOptions* hint =
+        options.tree.num_bits == 0 ? nullptr : &options.tree;
+    auto recovered = RecoverTree(env, dt->page_path_, dt->wal_path_, error,
+                                 hint, options.metrics);
+    if (recovered == nullptr) return nullptr;
+    dt->options_.tree = recovered->tree->options();
+    dt->tree_ = std::move(recovered->tree);
+    dt->store_ = std::move(recovered->pages);
+    dt->recovery_report_ = recovered->report;
+    dt->op_seq_ = recovered->report.op_seq;
+    dt->checkpoint_seq_ = recovered->meta.checkpoint_seq;
+    dt->ckpt_dirty_ = std::move(recovered->replay_written);
+    dt->ckpt_freed_ = std::move(recovered->replay_freed);
+    if (recovered->report.wal_records_scanned > 0) {
+      // Keep the log (replayed records stay until the next checkpoint);
+      // truncate the torn/uncommitted tail and append after it.
+      dt->wal_ = Wal::OpenForAppend(env, dt->wal_path_,
+                                    recovered->report.wal_valid_end, error);
+      if (dt->wal_ == nullptr) return nullptr;
+    } else {
+      // Missing log, or one that tore before its first record: rebuild it
+      // as a fresh post-checkpoint log. Safe only because zero records
+      // were replayed (there is nothing to keep).
+      dt->wal_ = Wal::Create(env, dt->wal_path_, error);
+      if (dt->wal_ == nullptr) return nullptr;
+      if (!dt->wal_->Reset(dt->checkpoint_seq_)) {
+        return fail("cannot initialize wal " + dt->wal_path_);
+      }
+    }
+  } else {
+    if (options.tree.num_bits == 0) {
+      return fail("a fresh durable tree needs options.tree.num_bits");
+    }
+    dt->tree_ = std::make_unique<SgTree>(options.tree);
+    dt->store_ = FilePageStore::Create(env, dt->page_path_,
+                                       options.tree.page_size, error);
+    if (dt->store_ == nullptr) return nullptr;
+    dt->checkpoint_seq_ = 1;
+    DurableTreeMeta meta;
+    meta.num_bits = options.tree.num_bits;
+    meta.max_entries = options.tree.ResolvedMaxEntries();
+    meta.compress = options.tree.compress ? 1 : 0;
+    meta.checkpoint_seq = dt->checkpoint_seq_;
+    meta.tree = dt->CurrentTreeMeta();
+    std::vector<uint8_t> blob;
+    EncodeDurableTreeMeta(meta, &blob);
+    if (!dt->store_->WriteMeta(blob) || !dt->store_->Sync() ||
+        !env->SyncDir(dt->page_path_)) {
+      return fail("cannot seal fresh page file " + dt->page_path_);
+    }
+    dt->wal_ = Wal::Create(env, dt->wal_path_, error);
+    if (dt->wal_ == nullptr) return nullptr;
+    if (!dt->wal_->Reset(dt->checkpoint_seq_) ||
+        !env->SyncDir(dt->wal_path_)) {
+      return fail("cannot initialize wal " + dt->wal_path_);
+    }
+  }
+
+  dt->wal_->BindMetrics(options.metrics);
+  if (options.metrics != nullptr) {
+    dt->checkpoint_latency_us_ =
+        options.metrics->GetHistogram("checkpoint.latency_us");
+    dt->checkpoint_count_ = options.metrics->GetCounter("checkpoint.count");
+  }
+  dt->tree_->SetChangeListener(dt->tracker_.get());
+  return dt;
+}
+
+TreeMeta DurableTree::CurrentTreeMeta() const {
+  TreeMeta meta;
+  meta.op_seq = op_seq_;
+  meta.root = tree_ != nullptr ? tree_->root() : kInvalidPageId;
+  if (tree_ == nullptr) return meta;
+  meta.height = tree_->height();
+  meta.size = tree_->size();
+  meta.node_count = tree_->node_count();
+  if (tree_->size() > 0) {
+    const auto [lo, hi] = tree_->TransactionAreaBounds();
+    meta.area_lo = lo;
+    meta.area_hi = hi;
+  }
+  return meta;
+}
+
+bool DurableTree::EncodeLivePage(PageId id, std::vector<uint8_t>* out) const {
+  const Node& node = tree_->GetNodeNoCharge(id);
+  NodeRecord record;
+  record.level = node.level;
+  record.entries.reserve(node.entries.size());
+  for (const Entry& entry : node.entries) {
+    record.entries.emplace_back(entry.ref, entry.sig);
+  }
+  out->clear();
+  EncodeNode(record, options_.tree.compress, out);
+  return out->size() <= options_.tree.page_size;
+}
+
+bool DurableTree::LogOp(bool sync) {
+  ++op_seq_;
+  bool ok = true;
+  WalRecord record;
+  for (const PageId id : tracker_->alloc) {
+    record = WalRecord{};
+    record.type = WalRecordType::kAlloc;
+    record.page = id;
+    ok = ok && wal_->Append(record);
+  }
+  std::set<PageId> images = tracker_->alloc;
+  images.insert(tracker_->dirty.begin(), tracker_->dirty.end());
+  for (const PageId id : images) {
+    record = WalRecord{};
+    record.type = WalRecordType::kPageImage;
+    record.page = id;
+    ok = ok && EncodeLivePage(id, &record.image) && wal_->Append(record);
+  }
+  for (const PageId id : tracker_->freed) {
+    record = WalRecord{};
+    record.type = WalRecordType::kFree;
+    record.page = id;
+    ok = ok && wal_->Append(record);
+  }
+  record = WalRecord{};
+  record.type = WalRecordType::kTreeMeta;
+  record.meta = CurrentTreeMeta();
+  ok = ok && wal_->Append(record);
+
+  for (const PageId id : tracker_->freed) {
+    ckpt_dirty_.erase(id);
+    ckpt_freed_.insert(id);
+  }
+  for (const PageId id : images) {
+    ckpt_freed_.erase(id);
+    ckpt_dirty_.insert(id);
+  }
+  tracker_->Clear();
+  if (ok && sync) ok = wal_->Commit();
+  return ok;
+}
+
+bool DurableTree::Insert(const Transaction& txn) {
+  return Insert(Signature::FromItems(txn.items, options_.tree.num_bits),
+                txn.tid);
+}
+
+bool DurableTree::Insert(const Signature& sig, uint64_t tid) {
+  tree_->Insert(sig, tid);
+  return LogOp(options_.sync_each_op);
+}
+
+bool DurableTree::Erase(const Transaction& txn) {
+  return Erase(Signature::FromItems(txn.items, options_.tree.num_bits),
+               txn.tid);
+}
+
+bool DurableTree::Erase(const Signature& sig, uint64_t tid) {
+  if (!tree_->Erase(sig, tid)) {
+    // Nothing changed (the descent dirtied no entry); log nothing.
+    tracker_->Clear();
+    return false;
+  }
+  return LogOp(options_.sync_each_op);
+}
+
+size_t DurableTree::InsertBatch(const std::vector<Transaction>& txns) {
+  size_t logged = 0;
+  for (const Transaction& txn : txns) {
+    tree_->Insert(Signature::FromItems(txn.items, options_.tree.num_bits),
+                  txn.tid);
+    if (!LogOp(/*sync=*/false)) return logged;
+    ++logged;
+  }
+  if (!wal_->Commit()) return logged > 0 ? logged - 1 : 0;
+  return logged;
+}
+
+bool DurableTree::AdoptBulkLoaded(std::unique_ptr<SgTree> loaded,
+                                  std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (loaded == nullptr) return fail("no tree to adopt");
+  if (!tree_->empty() || tree_->node_count() != 0) {
+    return fail("bulk adoption requires an empty durable tree");
+  }
+  if (loaded->num_bits() != options_.tree.num_bits ||
+      loaded->max_entries() != options_.tree.ResolvedMaxEntries()) {
+    return fail("bulk-loaded tree was built with different options");
+  }
+  tree_->SetChangeListener(nullptr);
+  tree_ = std::move(loaded);
+  tree_->SetChangeListener(tracker_.get());
+  tracker_->Clear();
+  // Log the whole content as one committed operation, then fold it. Every
+  // adopted page gains a redo record before it is ever written in place.
+  for (const PageId id : tree_->LiveNodes()) {
+    tracker_->alloc.insert(id);
+  }
+  if (!LogOp(/*sync=*/true)) return fail("cannot log bulk-loaded tree");
+  return Checkpoint(error);
+}
+
+bool DurableTree::Sync() { return wal_->Commit(); }
+
+bool DurableTree::Checkpoint(std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  Timer timer;
+  // Make everything the fold depends on replayable first: a crash anywhere
+  // below recovers from the old checkpoint plus this (complete) log.
+  if (!wal_->Commit()) return fail("wal sync failed");
+
+  for (const PageId id : ckpt_freed_) {
+    if (ckpt_dirty_.find(id) == ckpt_dirty_.end()) store_->Free(id);
+  }
+  for (const PageId id : ckpt_dirty_) {
+    std::vector<uint8_t> image;
+    if (!EncodeLivePage(id, &image)) {
+      return fail("page " + std::to_string(id) + " exceeds the page size");
+    }
+    if (!store_->Put(id, std::move(image))) {
+      return fail(store_->last_error());
+    }
+  }
+
+  const uint64_t next_seq = checkpoint_seq_ + 1;
+  DurableTreeMeta meta;
+  meta.num_bits = options_.tree.num_bits;
+  meta.max_entries = options_.tree.ResolvedMaxEntries();
+  meta.compress = options_.tree.compress ? 1 : 0;
+  meta.checkpoint_seq = next_seq;
+  meta.tree = CurrentTreeMeta();
+  std::vector<uint8_t> blob;
+  EncodeDurableTreeMeta(meta, &blob);
+  if (!store_->WriteMeta(blob)) return fail(store_->last_error());
+  if (!store_->Sync()) return fail("page file sync failed");
+  // The page file is sealed; folding the log is now safe. A crash before
+  // Reset completes leaves the old log paired with the new checkpoint,
+  // which recovery accepts (replay converges to the same state).
+  if (!wal_->Reset(next_seq)) return fail("wal reset failed");
+
+  checkpoint_seq_ = next_seq;
+  ckpt_dirty_.clear();
+  ckpt_freed_.clear();
+  if (checkpoint_count_ != nullptr) checkpoint_count_->Increment();
+  if (checkpoint_latency_us_ != nullptr) {
+    checkpoint_latency_us_->Observe(timer.ElapsedMs() * 1000.0);
+  }
+  return true;
+}
+
+}  // namespace sgtree

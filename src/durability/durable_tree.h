@@ -1,0 +1,147 @@
+#ifndef SGTREE_DURABILITY_DURABLE_TREE_H_
+#define SGTREE_DURABILITY_DURABLE_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/transaction.h"
+#include "durability/env.h"
+#include "durability/file_page_store.h"
+#include "durability/meta.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
+#include "obs/metrics.h"
+#include "sgtree/sg_tree.h"
+
+namespace sgtree {
+
+/// Crash-safe SG-tree: an in-memory SgTree whose every update is logged to
+/// a write-ahead log before it is acknowledged, with a file-backed page
+/// store as the checkpoint target.
+///
+/// Write path (log-before-acknowledge): the tree mutates in memory while a
+/// PageChangeListener collects the touched pages; the operation's redo set
+/// — alloc records, full post-images of every dirtied page, free records —
+/// is appended to the WAL followed by a TreeMeta commit marker, then
+/// (sync_each_op) fsynced. A crash at any point loses at most the
+/// operations whose markers never reached the disk, never a prefix-torn
+/// half-operation: recovery replays whole committed operations only.
+///
+/// Checkpoint() folds the accumulated dirty pages into the page file,
+/// seals it (meta + fsync), and truncates the log — bounding both the log
+/// size and recovery time. Directory layout: `<dir>/pages.sgp` (page file)
+/// and `<dir>/wal.sgw` (log).
+class DurableTree {
+ public:
+  struct Options {
+    SgTreeOptions tree;
+    /// Fsync the log after every operation (full durability). When false,
+    /// operations are durable only at the next Sync()/Checkpoint() — the
+    /// group-commit mode batch loads want.
+    bool sync_each_op = true;
+    /// Optional registry for wal.* / checkpoint.* / recovery.* metrics.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Opens (or creates) the durable tree in `dir`. An existing index is
+  /// crash-recovered first — including truncating a torn log tail — and
+  /// `recovery_report()` tells what replay did. Returns nullptr with
+  /// `*error` set on failure (I/O trouble, corrupt files, failed audit, or
+  /// options that contradict the stored meta).
+  static std::unique_ptr<DurableTree> Open(Env* env, const std::string& dir,
+                                           const Options& options,
+                                           std::string* error);
+
+  DurableTree(const DurableTree&) = delete;
+  DurableTree& operator=(const DurableTree&) = delete;
+  ~DurableTree();
+
+  /// Logged updates. Return false when the operation could not be made
+  /// durable (the in-memory tree may have advanced; treat the instance as
+  /// crashed). Erase of an absent key returns false without logging.
+  bool Insert(const Transaction& txn);
+  bool Insert(const Signature& sig, uint64_t tid);
+  bool Erase(const Transaction& txn);
+  bool Erase(const Signature& sig, uint64_t tid);
+
+  /// Inserts a batch under one group commit (one fsync for the whole batch
+  /// regardless of sync_each_op). Returns the number of inserts logged.
+  size_t InsertBatch(const std::vector<Transaction>& txns);
+
+  /// Replaces the (required-empty) tree with `loaded` (a BulkLoad /
+  /// BulkLoadEntries result built with the same options), logging the
+  /// entire content as one committed operation and then checkpointing, so
+  /// the load is crash-safe from the moment this returns true.
+  bool AdoptBulkLoaded(std::unique_ptr<SgTree> loaded,
+                       std::string* error = nullptr);
+
+  /// Fsyncs any unsynced log records (the group-commit point when
+  /// sync_each_op is off).
+  bool Sync();
+
+  /// Folds dirty pages into the page file, seals the checkpoint, and
+  /// truncates the log. Returns false with `*error` set on failure.
+  bool Checkpoint(std::string* error = nullptr);
+
+  /// The underlying tree. Reads are free to use it directly (queries touch
+  /// nothing durable); mutate only through DurableTree.
+  SgTree& tree() { return *tree_; }
+  const SgTree& tree() const { return *tree_; }
+
+  /// Number of committed (logged) operations over the index lifetime.
+  uint64_t op_seq() const { return op_seq_; }
+  uint64_t checkpoint_seq() const { return checkpoint_seq_; }
+
+  /// What recovery did at Open (all-zero for a fresh index).
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+
+  const std::string& page_path() const { return page_path_; }
+  const std::string& wal_path() const { return wal_path_; }
+
+  /// Builds the durable file names for `dir`.
+  static std::string PagePathFor(const std::string& dir);
+  static std::string WalPathFor(const std::string& dir);
+
+ private:
+  class Tracker;
+
+  DurableTree(const Options& options, Env* env);
+
+  /// Appends the current operation's redo set + commit marker; clears the
+  /// tracker. `sync` forces/suppresses the per-op fsync.
+  bool LogOp(bool sync);
+  /// TreeMeta snapshot of the current in-memory state at `op_seq`.
+  TreeMeta CurrentTreeMeta() const;
+  bool EncodeLivePage(PageId id, std::vector<uint8_t>* out) const;
+
+  Options options_;
+  Env* env_;
+  std::string page_path_;
+  std::string wal_path_;
+
+  std::unique_ptr<SgTree> tree_;
+  std::unique_ptr<FilePageStore> store_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<Tracker> tracker_;
+
+  uint64_t op_seq_ = 0;
+  uint64_t checkpoint_seq_ = 0;
+  RecoveryReport recovery_report_;
+
+  // Pages to fold at the next checkpoint, accumulated across ops (and
+  // seeded from the replay delta after recovery). Invariant: every id in
+  // ckpt_dirty_ has a redo image in the current log, so a torn fold write
+  // is always repairable by replay.
+  std::set<PageId> ckpt_dirty_;
+  std::set<PageId> ckpt_freed_;
+
+  obs::Histogram* checkpoint_latency_us_ = nullptr;
+  obs::Counter* checkpoint_count_ = nullptr;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_DURABILITY_DURABLE_TREE_H_

@@ -1,0 +1,132 @@
+#include "durability/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <limits>
+
+namespace sgtree {
+namespace {
+
+class PosixFile final : public File {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  ~PosixFile() override { ::close(fd_); }
+
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+
+  bool ReadAt(uint64_t offset, size_t n,
+              std::vector<uint8_t>* out) const override {
+    out->resize(n);
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t got =
+          ::pread(fd_, out->data() + done, n - done,
+                  static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        out->clear();
+        return false;
+      }
+      if (got == 0) break;  // End of file: short read.
+      done += static_cast<size_t>(got);
+    }
+    out->resize(done);
+    return true;
+  }
+
+  bool WriteAt(uint64_t offset, const uint8_t* data, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t put = ::pwrite(fd_, data + done, n - done,
+                                   static_cast<off_t>(offset + done));
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      done += static_cast<size_t>(put);
+    }
+    return true;
+  }
+
+  bool Append(const uint8_t* data, size_t n) override {
+    const uint64_t size = Size();
+    if (size == std::numeric_limits<uint64_t>::max()) return false;
+    return WriteAt(size, data, n);
+  }
+
+  bool Sync() override { return ::fsync(fd_) == 0; }
+
+  bool Truncate(uint64_t size) override {
+    return ::ftruncate(fd_, static_cast<off_t>(size)) == 0;
+  }
+
+  uint64_t Size() const override {
+    struct stat st {};
+    if (::fstat(fd_, &st) != 0) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  std::unique_ptr<File> Open(const std::string& path, bool create) override {
+    const int flags = O_RDWR | O_CLOEXEC | (create ? O_CREAT : 0);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return nullptr;
+    return std::make_unique<PosixFile>(fd);
+  }
+
+  bool FileExists(const std::string& path) const override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  bool Delete(const std::string& path) override {
+    return ::unlink(path.c_str()) == 0;
+  }
+
+  bool Rename(const std::string& from, const std::string& to) override {
+    return ::rename(from.c_str(), to.c_str()) == 0;
+  }
+
+  bool CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) == 0) return true;
+    return errno == EEXIST;
+  }
+
+  bool SyncDir(const std::string& path) override {
+    const size_t slash = path.find_last_of('/');
+    std::string dir;
+    if (slash == std::string::npos) {
+      dir = ".";
+    } else if (slash == 0) {
+      dir = "/";
+    } else {
+      dir.assign(path, 0, slash);
+    }
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+  }
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv env;
+  return &env;
+}
+
+}  // namespace sgtree

@@ -1,0 +1,76 @@
+#ifndef SGTREE_DURABILITY_ENV_H_
+#define SGTREE_DURABILITY_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sgtree {
+
+/// Random-access file handle used by the durability layer (page file and
+/// write-ahead log). All offsets are absolute; there is no seek state, so a
+/// store and a log can interleave operations on their handles freely.
+///
+/// Durability contract: WriteAt/Append affect the OS view of the file
+/// immediately but are only guaranteed to survive a crash after Sync()
+/// returns true. Every method returns false on I/O failure.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Reads up to `n` bytes at `offset` into `*out` (resized to the bytes
+  /// actually read — short reads at end-of-file are not an error).
+  virtual bool ReadAt(uint64_t offset, size_t n,
+                      std::vector<uint8_t>* out) const = 0;
+
+  /// Writes exactly `data[0, n)` at `offset`, extending the file if needed.
+  virtual bool WriteAt(uint64_t offset, const uint8_t* data, size_t n) = 0;
+
+  /// Appends exactly `data[0, n)` at the current end of file.
+  virtual bool Append(const uint8_t* data, size_t n) = 0;
+
+  /// Flushes written data to durable media (fsync).
+  virtual bool Sync() = 0;
+
+  /// Truncates or extends the file to `size` bytes.
+  virtual bool Truncate(uint64_t size) = 0;
+
+  /// Current size in bytes, or UINT64_MAX on failure.
+  virtual uint64_t Size() const = 0;
+};
+
+/// Filesystem abstraction the durability layer runs over. The production
+/// implementation (Env::Posix()) maps straight onto POSIX calls; the
+/// FaultInjectingEnv wrapper (fault_injection.h) threads deterministic
+/// crash/corruption hooks under every durable component at once.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for read/write, creating it when `create` is true.
+  /// Returns nullptr on failure.
+  virtual std::unique_ptr<File> Open(const std::string& path,
+                                     bool create) = 0;
+
+  virtual bool FileExists(const std::string& path) const = 0;
+  virtual bool Delete(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual bool Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Creates `path` (one level) if it does not exist.
+  virtual bool CreateDir(const std::string& path) = 0;
+
+  /// Fsyncs the directory containing `path`, making renames/creates in it
+  /// durable. A no-op success on platforms where directories cannot be
+  /// opened.
+  virtual bool SyncDir(const std::string& path) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Posix();
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_DURABILITY_ENV_H_

@@ -1,0 +1,139 @@
+#ifndef SGTREE_DURABILITY_FAULT_INJECTION_H_
+#define SGTREE_DURABILITY_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "durability/env.h"
+#include "storage/page_store.h"
+
+namespace sgtree {
+
+/// Deterministic fault schedule shared by FaultInjectingEnv and
+/// FaultInjectingPageStore. A "write" below is any mutating file operation
+/// (WriteAt/Append/Truncate at the env level; Write at the store level),
+/// counted 1-based across every file opened through the env, so a crash
+/// point sweeps the interleaved page-file + WAL write sequence exactly as
+/// a real kill would.
+struct FaultPlan {
+  /// The Nth write is the crash point: it fails (after optionally applying
+  /// a torn prefix) and every later mutating operation fails too — the
+  /// process is "dead" and only what already reached the file survives,
+  /// which is precisely the on-disk state recovery must cope with.
+  /// 0 disables write faults.
+  uint64_t kill_at_write = 0;
+
+  /// Bytes of the fatal write that still reach the file before the crash
+  /// (a torn / partial sector write). The prefix is clamped to the write's
+  /// size; UINT64_MAX means "no tearing" (the fatal write is dropped
+  /// whole).
+  uint64_t torn_prefix_bytes = UINT64_MAX;
+
+  /// Bit-flip read fault: the Nth read (1-based) has one bit inverted in
+  /// its returned buffer, modeling media or bus corruption that checksums
+  /// must catch. 0 disables read faults.
+  uint64_t flip_at_read = 0;
+
+  /// Which bit of the faulty read's buffer to invert (taken modulo the
+  /// buffer's bit length).
+  uint64_t flip_bit = 0;
+};
+
+/// Mutable fault state: the plan plus the operation counters. Shared by an
+/// env/store wrapper and the test driving it, so the test can read how many
+/// writes a clean run issues and then sweep kill_at_write over that range.
+class FaultState {
+ public:
+  explicit FaultState(const FaultPlan& plan = {}) : plan_(plan) {}
+
+  const FaultPlan& plan() const { return plan_; }
+  void set_plan(const FaultPlan& plan) { plan_ = plan; }
+
+  uint64_t writes_issued() const { return writes_; }
+  uint64_t reads_issued() const { return reads_; }
+  bool dead() const { return dead_; }
+
+  /// Resets counters and the dead flag (keeps the plan).
+  void Reset() {
+    writes_ = 0;
+    reads_ = 0;
+    dead_ = false;
+  }
+
+  /// Counts one mutating operation. Returns the number of payload bytes to
+  /// apply: `n` when the operation proceeds, a torn prefix < n at the crash
+  /// point, with *fail set when the operation must report failure.
+  size_t OnWrite(size_t n, bool* fail);
+
+  /// Counts one read; flips a bit of `data` when this read is the faulty
+  /// one.
+  void OnRead(std::vector<uint8_t>* data);
+
+ private:
+  FaultPlan plan_;
+  uint64_t writes_ = 0;
+  uint64_t reads_ = 0;
+  bool dead_ = false;
+};
+
+/// Env wrapper threading the fault schedule under every file the durability
+/// layer opens — the page file and the WAL see one interleaved write
+/// numbering. After the crash point, reads still work (recovery re-opens
+/// with a clean env anyway; these reads only serve debugging).
+class FaultInjectingEnv final : public Env {
+ public:
+  FaultInjectingEnv(Env* base, FaultState* state)
+      : base_(base), state_(state) {}
+
+  std::unique_ptr<File> Open(const std::string& path, bool create) override;
+  bool FileExists(const std::string& path) const override {
+    return base_->FileExists(path);
+  }
+  bool Delete(const std::string& path) override {
+    return base_->Delete(path);
+  }
+  bool Rename(const std::string& from, const std::string& to) override;
+  bool CreateDir(const std::string& path) override {
+    return base_->CreateDir(path);
+  }
+  bool SyncDir(const std::string& path) override;
+
+ private:
+  Env* base_;
+  FaultState* state_;
+};
+
+/// PageStoreInterface wrapper with the same deterministic faults at page
+/// granularity: Write is the counted mutating operation (a torn prefix
+/// truncates the payload), Read the counted flip target. Lets store-level
+/// clients (an SgTree running directly over an injected store, the
+/// invariant auditor) be crash-tested without files.
+class FaultInjectingPageStore final : public PageStoreInterface {
+ public:
+  FaultInjectingPageStore(PageStoreInterface* base, FaultState* state)
+      : base_(base), state_(state) {}
+
+  uint32_t page_size() const override { return base_->page_size(); }
+  PageId Allocate() override { return base_->Allocate(); }
+  bool Reserve(PageId id) override { return base_->Reserve(id); }
+  void Free(PageId id) override {
+    bool fail = false;
+    state_->OnWrite(0, &fail);
+    if (!fail) base_->Free(id);
+  }
+  bool Write(PageId id, std::vector<uint8_t> payload) override;
+  bool Read(PageId id, std::vector<uint8_t>* payload) const override;
+  uint32_t LivePages() const override { return base_->LivePages(); }
+  uint32_t TotalPages() const override { return base_->TotalPages(); }
+
+ private:
+  PageStoreInterface* base_;
+  FaultState* state_;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_DURABILITY_FAULT_INJECTION_H_

@@ -1,0 +1,288 @@
+#include "durability/file_page_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "durability/byte_io.h"
+
+namespace sgtree {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'G', 'P', 'F', '0', '0', '0', '1'};
+constexpr uint64_t kHeaderCopySize = 2048;
+constexpr uint64_t kHeaderSpan = 2 * kHeaderCopySize;
+constexpr uint64_t kSlotHeaderSize = 16;
+// magic + page_size + slot_count + meta_seq + meta_len + trailing crc.
+constexpr size_t kHeaderFixedSize = 8 + 4 + 4 + 8 + 4 + 4;
+
+struct ParsedHeader {
+  uint32_t page_size = 0;
+  uint32_t slot_count = 0;
+  uint64_t meta_seq = 0;
+  std::vector<uint8_t> meta;
+};
+
+// Parses one header copy; returns false when the copy is torn/invalid.
+bool ParseHeaderCopy(const std::vector<uint8_t>& bytes, ParsedHeader* out) {
+  if (bytes.size() < kHeaderFixedSize) return false;
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) return false;
+  size_t offset = sizeof(kMagic);
+  uint32_t meta_len = 0;
+  if (!ReadU32(bytes, &offset, &out->page_size) ||
+      !ReadU32(bytes, &offset, &out->slot_count) ||
+      !ReadU64(bytes, &offset, &out->meta_seq) ||
+      !ReadU32(bytes, &offset, &meta_len)) {
+    return false;
+  }
+  if (meta_len > kHeaderCopySize - kHeaderFixedSize) return false;
+  if (offset + meta_len + 4 > bytes.size()) return false;
+  uint32_t stored_crc = 0;
+  size_t crc_offset = offset + meta_len;
+  const uint32_t computed = Crc32c(bytes.data(), crc_offset);
+  if (!ReadU32(bytes, &crc_offset, &stored_crc) || stored_crc != computed) {
+    return false;
+  }
+  out->meta.assign(bytes.begin() + static_cast<ptrdiff_t>(offset),
+                   bytes.begin() + static_cast<ptrdiff_t>(offset + meta_len));
+  return true;
+}
+
+}  // namespace
+
+bool FilePageStore::Fail(const std::string& message) const {
+  last_error_ = message;
+  return false;
+}
+
+uint64_t FilePageStore::SlotOffset(PageId id) const {
+  return kHeaderSpan + static_cast<uint64_t>(id) *
+                           (kSlotHeaderSize + page_size_);
+}
+
+std::unique_ptr<FilePageStore> FilePageStore::Create(Env* env,
+                                                     const std::string& path,
+                                                     uint32_t page_size,
+                                                     std::string* error) {
+  auto file = env->Open(path, /*create=*/true);
+  if (file == nullptr || !file->Truncate(0)) {
+    if (error != nullptr) *error = "cannot create page file " + path;
+    return nullptr;
+  }
+  std::unique_ptr<FilePageStore> store(
+      new FilePageStore(std::move(file), page_size));
+  if (!store->WriteMeta({})) {
+    if (error != nullptr) *error = store->last_error();
+    return nullptr;
+  }
+  return store;
+}
+
+std::unique_ptr<FilePageStore> FilePageStore::Open(Env* env,
+                                                   const std::string& path,
+                                                   std::string* error) {
+  auto file = env->Open(path, /*create=*/false);
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open page file " + path;
+    return nullptr;
+  }
+
+  ParsedHeader best;
+  bool found = false;
+  for (int copy = 0; copy < 2; ++copy) {
+    std::vector<uint8_t> bytes;
+    if (!file->ReadAt(static_cast<uint64_t>(copy) * kHeaderCopySize,
+                      kHeaderCopySize, &bytes)) {
+      continue;
+    }
+    ParsedHeader parsed;
+    if (ParseHeaderCopy(bytes, &parsed) &&
+        (!found || parsed.meta_seq > best.meta_seq)) {
+      best = std::move(parsed);
+      found = true;
+    }
+  }
+  if (!found) {
+    if (error != nullptr) {
+      *error = "page file " + path + ": no valid header copy";
+    }
+    return nullptr;
+  }
+  if (best.page_size == 0) {
+    if (error != nullptr) *error = "page file " + path + ": zero page size";
+    return nullptr;
+  }
+
+  std::unique_ptr<FilePageStore> store(
+      new FilePageStore(std::move(file), best.page_size));
+  store->meta_ = std::move(best.meta);
+  store->meta_seq_ = best.meta_seq;
+
+  // The header's slot_count can be stale-low after a crash between slot
+  // writes and the next meta write; trust the file size when it says more.
+  const uint64_t stride = kSlotHeaderSize + store->page_size_;
+  const uint64_t file_size = store->file_->Size();
+  uint64_t derived = 0;
+  if (file_size != UINT64_MAX && file_size > kHeaderSpan) {
+    derived = (file_size - kHeaderSpan + stride - 1) / stride;
+  }
+  const uint64_t slot_count = std::max<uint64_t>(best.slot_count, derived);
+
+  store->slots_.resize(slot_count, false);
+  for (uint64_t id = 0; id < slot_count; ++id) {
+    std::vector<uint8_t> header;
+    if (!store->file_->ReadAt(store->SlotOffset(static_cast<PageId>(id)),
+                              kSlotHeaderSize, &header)) {
+      continue;
+    }
+    size_t offset = 0;
+    uint32_t live = 0;
+    if (!ReadU32(header, &offset, &live)) live = 0;
+    store->slots_[id] = live == 1;
+    if (live != 1) {
+      store->free_list_.push_back(static_cast<PageId>(id));
+    }
+  }
+  return store;
+}
+
+bool FilePageStore::WriteSlotHeader(PageId id, bool live,
+                                    uint32_t payload_len, uint32_t crc) {
+  std::vector<uint8_t> header;
+  header.reserve(kSlotHeaderSize);
+  AppendU32(live ? 1 : 0, &header);
+  AppendU32(payload_len, &header);
+  AppendU32(crc, &header);
+  AppendU32(0, &header);
+  if (!file_->WriteAt(SlotOffset(id), header.data(), header.size())) {
+    return Fail("slot header write failed");
+  }
+  return true;
+}
+
+PageId FilePageStore::Allocate() {
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    slots_[id] = true;
+    WriteSlotHeader(id, /*live=*/true, 0, Crc32c(nullptr, 0));
+    return id;
+  }
+  const auto id = static_cast<PageId>(slots_.size());
+  slots_.push_back(true);
+  WriteSlotHeader(id, /*live=*/true, 0, Crc32c(nullptr, 0));
+  return id;
+}
+
+bool FilePageStore::Reserve(PageId id) {
+  if (id < slots_.size()) {
+    if (slots_[id]) return false;
+    free_list_.erase(std::remove(free_list_.begin(), free_list_.end(), id),
+                     free_list_.end());
+  } else {
+    for (PageId hole = static_cast<PageId>(slots_.size()); hole < id;
+         ++hole) {
+      free_list_.push_back(hole);
+    }
+    slots_.resize(static_cast<size_t>(id) + 1, false);
+  }
+  slots_[id] = true;
+  return WriteSlotHeader(id, /*live=*/true, 0, Crc32c(nullptr, 0));
+}
+
+void FilePageStore::Free(PageId id) {
+  if (id >= slots_.size() || !slots_[id]) return;
+  slots_[id] = false;
+  free_list_.push_back(id);
+  WriteSlotHeader(id, /*live=*/false, 0, 0);
+}
+
+bool FilePageStore::Write(PageId id, std::vector<uint8_t> payload) {
+  if (id >= slots_.size() || !slots_[id]) {
+    return Fail("write to invalid/freed page");
+  }
+  if (payload.size() > page_size_) return Fail("payload exceeds page size");
+  // One contiguous header+payload write per slot update: either the
+  // checksum covers the payload that landed, or the tear is detected.
+  std::vector<uint8_t> image;
+  image.reserve(kSlotHeaderSize + payload.size());
+  AppendU32(1, &image);
+  AppendU32(static_cast<uint32_t>(payload.size()), &image);
+  AppendU32(Crc32c(payload), &image);
+  AppendU32(0, &image);
+  image.insert(image.end(), payload.begin(), payload.end());
+  if (!file_->WriteAt(SlotOffset(id), image.data(), image.size())) {
+    return Fail("page write failed");
+  }
+  return true;
+}
+
+bool FilePageStore::Read(PageId id, std::vector<uint8_t>* payload) const {
+  if (id >= slots_.size() || !slots_[id]) {
+    return Fail("read of invalid/freed page");
+  }
+  std::vector<uint8_t> header;
+  if (!file_->ReadAt(SlotOffset(id), kSlotHeaderSize, &header)) {
+    return Fail("slot header read failed");
+  }
+  size_t offset = 0;
+  uint32_t live = 0;
+  uint32_t payload_len = 0;
+  uint32_t stored_crc = 0;
+  if (!ReadU32(header, &offset, &live) ||
+      !ReadU32(header, &offset, &payload_len) ||
+      !ReadU32(header, &offset, &stored_crc) || live != 1 ||
+      payload_len > page_size_) {
+    ++crc_failures_;
+    return Fail("page " + std::to_string(id) + ": corrupt slot header");
+  }
+  if (!file_->ReadAt(SlotOffset(id) + kSlotHeaderSize, payload_len,
+                     payload)) {
+    return Fail("page payload read failed");
+  }
+  if (payload->size() != payload_len || Crc32c(*payload) != stored_crc) {
+    ++crc_failures_;
+    return Fail("page " + std::to_string(id) + ": checksum mismatch");
+  }
+  return true;
+}
+
+uint32_t FilePageStore::LivePages() const {
+  uint32_t live = 0;
+  for (const bool flag : slots_) {
+    if (flag) ++live;
+  }
+  return live;
+}
+
+bool FilePageStore::Put(PageId id, std::vector<uint8_t> payload) {
+  if (id >= slots_.size() || !slots_[id]) {
+    if (!Reserve(id)) return Fail("cannot reserve page for Put");
+  }
+  return Write(id, std::move(payload));
+}
+
+bool FilePageStore::WriteMeta(const std::vector<uint8_t>& blob) {
+  if (blob.size() > kHeaderCopySize - kHeaderFixedSize) {
+    return Fail("meta blob too large");
+  }
+  const uint64_t seq = meta_seq_ + 1;
+  std::vector<uint8_t> bytes;
+  bytes.reserve(kHeaderFixedSize + blob.size());
+  bytes.insert(bytes.end(), kMagic, kMagic + sizeof(kMagic));
+  AppendU32(page_size_, &bytes);
+  AppendU32(static_cast<uint32_t>(slots_.size()), &bytes);
+  AppendU64(seq, &bytes);
+  AppendU32(static_cast<uint32_t>(blob.size()), &bytes);
+  bytes.insert(bytes.end(), blob.begin(), blob.end());
+  AppendU32(Crc32c(bytes), &bytes);
+  const uint64_t offset = (seq % 2) * kHeaderCopySize;
+  if (!file_->WriteAt(offset, bytes.data(), bytes.size())) {
+    return Fail("header write failed");
+  }
+  meta_seq_ = seq;
+  meta_ = blob;
+  return true;
+}
+
+}  // namespace sgtree

@@ -1,0 +1,112 @@
+#ifndef SGTREE_DURABILITY_FILE_PAGE_STORE_H_
+#define SGTREE_DURABILITY_FILE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durability/env.h"
+#include "storage/page_store.h"
+
+namespace sgtree {
+
+/// File-backed page store: the checkpoint target of the durable SG-tree
+/// and a drop-in PageStoreInterface for disk-resident deployments.
+///
+/// File layout (all integers little-endian):
+///
+///   [0, 2048)      header copy A \  ping-pong pair; the valid copy with
+///   [2048, 4096)   header copy B /  the highest meta_seq wins at open
+///   [4096, ...)    page slots, slot i at 4096 + i * (16 + page_size)
+///
+/// Header copy: magic "SGPF0001" | u32 page_size | u32 slot_count |
+///   u64 meta_seq | u32 meta_len | meta blob | u32 crc32c(preceding).
+/// Meta updates alternate between the two copies, so a crash mid-header
+/// write leaves the previous copy intact — the header write is atomic in
+/// the only sense that matters for recovery.
+///
+/// Page slot: u32 live | u32 payload_len | u32 crc32c(payload) |
+///   u32 reserved | payload. A slot rewrite is a single contiguous write;
+/// a torn one leaves a checksum mismatch that Read reports instead of
+/// returning corrupt bytes.
+///
+/// Free-list persistence is the live flag itself: Open rescans the slot
+/// headers and rebuilds the free list, so freed ids survive restarts
+/// without a separate on-disk structure.
+class FilePageStore final : public PageStoreInterface {
+ public:
+  /// Creates a fresh page file at `path` (truncating any existing file).
+  /// The file is not synced yet — call WriteMeta + Sync to seal it.
+  static std::unique_ptr<FilePageStore> Create(Env* env,
+                                               const std::string& path,
+                                               uint32_t page_size,
+                                               std::string* error);
+
+  /// Opens an existing page file, validating the header pair and
+  /// rebuilding the free list from the slot headers.
+  static std::unique_ptr<FilePageStore> Open(Env* env,
+                                             const std::string& path,
+                                             std::string* error);
+
+  FilePageStore(const FilePageStore&) = delete;
+  FilePageStore& operator=(const FilePageStore&) = delete;
+
+  // -- PageStoreInterface ----------------------------------------------
+
+  uint32_t page_size() const override { return page_size_; }
+  PageId Allocate() override;
+  bool Reserve(PageId id) override;
+  void Free(PageId id) override;
+  bool Write(PageId id, std::vector<uint8_t> payload) override;
+  bool Read(PageId id, std::vector<uint8_t>* payload) const override;
+  uint32_t LivePages() const override;
+  uint32_t TotalPages() const override {
+    return static_cast<uint32_t>(slots_.size());
+  }
+
+  // -- Durable extensions ----------------------------------------------
+
+  /// Reserve + Write in one step: the checkpointer's "fold this page image
+  /// in at exactly this id" primitive.
+  bool Put(PageId id, std::vector<uint8_t> payload);
+
+  /// Writes `blob` (opaque to the store) into the inactive header copy
+  /// with the next meta_seq. Durable only after Sync().
+  bool WriteMeta(const std::vector<uint8_t>& blob);
+
+  /// Meta blob of the winning header at open / the last WriteMeta.
+  const std::vector<uint8_t>& meta() const { return meta_; }
+  uint64_t meta_seq() const { return meta_seq_; }
+
+  /// Fsyncs the page file.
+  bool Sync() { return file_->Sync(); }
+
+  /// Checksum mismatches Read has reported (media corruption detector).
+  uint64_t crc_failures() const { return crc_failures_; }
+
+  /// Human-readable reason for the most recent failure.
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  FilePageStore(std::unique_ptr<File> file, uint32_t page_size)
+      : file_(std::move(file)), page_size_(page_size) {}
+
+  uint64_t SlotOffset(PageId id) const;
+  bool WriteSlotHeader(PageId id, bool live, uint32_t payload_len,
+                       uint32_t crc);
+  bool Fail(const std::string& message) const;
+
+  std::unique_ptr<File> file_;
+  uint32_t page_size_;
+  std::vector<bool> slots_;  // live flag per slot (in-memory mirror)
+  std::vector<PageId> free_list_;
+  std::vector<uint8_t> meta_;
+  uint64_t meta_seq_ = 0;
+  mutable uint64_t crc_failures_ = 0;
+  mutable std::string last_error_;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_DURABILITY_FILE_PAGE_STORE_H_

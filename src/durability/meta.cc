@@ -1,0 +1,56 @@
+#include "durability/meta.h"
+
+#include "durability/byte_io.h"
+
+namespace sgtree {
+
+namespace {
+constexpr uint32_t kMetaVersion = 1;
+}  // namespace
+
+void EncodeTreeMeta(const TreeMeta& meta, std::vector<uint8_t>* out) {
+  AppendU64(meta.op_seq, out);
+  AppendU32(meta.root, out);
+  AppendU32(meta.height, out);
+  AppendU64(meta.size, out);
+  AppendU32(meta.area_lo, out);
+  AppendU32(meta.area_hi, out);
+  AppendU64(meta.node_count, out);
+}
+
+bool DecodeTreeMeta(const std::vector<uint8_t>& data, size_t* offset,
+                    TreeMeta* meta) {
+  return ReadU64(data, offset, &meta->op_seq) &&
+         ReadU32(data, offset, &meta->root) &&
+         ReadU32(data, offset, &meta->height) &&
+         ReadU64(data, offset, &meta->size) &&
+         ReadU32(data, offset, &meta->area_lo) &&
+         ReadU32(data, offset, &meta->area_hi) &&
+         ReadU64(data, offset, &meta->node_count);
+}
+
+void EncodeDurableTreeMeta(const DurableTreeMeta& meta,
+                           std::vector<uint8_t>* out) {
+  AppendU32(kMetaVersion, out);
+  AppendU32(meta.num_bits, out);
+  AppendU32(meta.max_entries, out);
+  AppendU8(meta.compress, out);
+  AppendU64(meta.checkpoint_seq, out);
+  EncodeTreeMeta(meta.tree, out);
+}
+
+bool DecodeDurableTreeMeta(const std::vector<uint8_t>& data,
+                           DurableTreeMeta* meta) {
+  size_t offset = 0;
+  uint32_t version = 0;
+  if (!ReadU32(data, &offset, &version) || version != kMetaVersion) {
+    return false;
+  }
+  return ReadU32(data, &offset, &meta->num_bits) &&
+         ReadU32(data, &offset, &meta->max_entries) &&
+         ReadU8(data, &offset, &meta->compress) &&
+         ReadU64(data, &offset, &meta->checkpoint_seq) &&
+         DecodeTreeMeta(data, &offset, &meta->tree);
+}
+
+}  // namespace sgtree

@@ -1,0 +1,55 @@
+#ifndef SGTREE_DURABILITY_META_H_
+#define SGTREE_DURABILITY_META_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace sgtree {
+
+/// Shape of the tree after one committed operation. A TreeMeta record is
+/// the WAL's commit marker: recovery applies an operation's staged page
+/// images/frees only when it reads the trailing TreeMeta, so a crash
+/// mid-operation rolls the whole operation back (ARIES-lite, redo-only).
+struct TreeMeta {
+  /// Monotonic operation number; op_seq of the recovered state tells the
+  /// caller exactly how many committed operations survived.
+  uint64_t op_seq = 0;
+  PageId root = kInvalidPageId;
+  uint32_t height = 0;
+  uint64_t size = 0;
+  /// Observed transaction-area window; lo > hi (the defaults) = no data
+  /// seen, so recovery leaves the rebuilt tree's statistics unset.
+  uint32_t area_lo = 0xFFFFFFFFu;
+  uint32_t area_hi = 0;
+  uint64_t node_count = 0;
+
+  bool operator==(const TreeMeta&) const = default;
+};
+
+/// Page-file header blob: the structural parameters that never change for
+/// the life of the index plus the TreeMeta as of the last checkpoint.
+/// checkpoint_seq pairs the page file with its WAL (the WAL's leading
+/// checkpoint record names the checkpoint it follows).
+struct DurableTreeMeta {
+  uint32_t num_bits = 0;
+  uint32_t max_entries = 0;
+  uint8_t compress = 0;
+  uint64_t checkpoint_seq = 0;
+  TreeMeta tree;
+};
+
+void EncodeTreeMeta(const TreeMeta& meta, std::vector<uint8_t>* out);
+bool DecodeTreeMeta(const std::vector<uint8_t>& data, size_t* offset,
+                    TreeMeta* meta);
+
+void EncodeDurableTreeMeta(const DurableTreeMeta& meta,
+                           std::vector<uint8_t>* out);
+bool DecodeDurableTreeMeta(const std::vector<uint8_t>& data,
+                           DurableTreeMeta* meta);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_DURABILITY_META_H_

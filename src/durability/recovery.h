@@ -1,0 +1,95 @@
+#ifndef SGTREE_DURABILITY_RECOVERY_H_
+#define SGTREE_DURABILITY_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "durability/env.h"
+#include "durability/file_page_store.h"
+#include "durability/meta.h"
+#include "obs/metrics.h"
+#include "sgtree/invariant_auditor.h"
+#include "sgtree/sg_tree.h"
+
+namespace sgtree {
+
+/// What crash recovery did: how much of the log was clean, how many
+/// committed operations it replayed, and what it threw away.
+struct RecoveryReport {
+  /// Checkpoint the page file and the WAL agreed on.
+  uint64_t checkpoint_seq = 0;
+  /// Complete, well-formed records the scanner accepted (incl. the marker).
+  uint64_t wal_records_scanned = 0;
+  /// Records belonging to committed operations that were applied.
+  uint64_t records_replayed = 0;
+  /// Committed operations (TreeMeta markers) replayed from the log.
+  uint64_t ops_committed = 0;
+  /// Records of the trailing uncommitted operation, discarded.
+  uint64_t records_discarded = 0;
+  /// True when bytes past the clean prefix existed (torn tail / corruption).
+  bool torn_tail = false;
+  /// Bytes of the WAL record region accepted (the append point for the
+  /// continuing log; everything past it is truncated away).
+  uint64_t wal_valid_end = 0;
+  /// op_seq of the recovered state (number of operations that survived).
+  uint64_t op_seq = 0;
+
+  /// One-line human-readable summary.
+  std::string Summary() const;
+};
+
+/// A recovered index: the rebuilt in-memory tree (page ids identical to the
+/// ones the log and page file record), the opened page file, the durable
+/// meta as of the recovered state, and the post-recovery audit.
+struct RecoveredTree {
+  std::unique_ptr<SgTree> tree;
+  std::unique_ptr<FilePageStore> pages;
+  DurableTreeMeta meta;  // meta.tree reflects the recovered state
+  RecoveryReport report;
+  AuditReport audit;
+
+  /// Pages whose content/liveness the replay changed relative to the
+  /// checkpoint base. These seed the next checkpoint's fold sets: the
+  /// page file is still at the old checkpoint, and only log-covered pages
+  /// may ever be rewritten in place (a torn fold write on a page with no
+  /// redo record in the log would be unrepairable).
+  std::set<PageId> replay_written;
+  std::set<PageId> replay_freed;
+};
+
+/// ARIES-lite redo-only crash recovery:
+///
+///   1. open the page file, pick the winning header, load every live page
+///      (checksum-verified) as the checkpoint state;
+///   2. scan the WAL: the leading checkpoint marker must name the page
+///      file's checkpoint (or the one before it — the crash window between
+///      sealing a checkpoint and folding the log is benign because page
+///      images are absolute and replay converges);
+///   3. replay committed operations: records are staged and applied only
+///      when the operation's TreeMeta commit marker is read, so a crash
+///      mid-operation rolls the whole operation back;
+///   4. stop cleanly at the first torn/corrupt frame, discarding the
+///      uncommitted tail;
+///   5. rebuild the SgTree with its original page ids (AdoptNode) and gate
+///      the result through the InvariantAuditor — a tree that recovers but
+///      fails the audit is reported as an error, not returned as good.
+///
+/// A checkpoint-state page whose checksum fails is an error unless the log
+/// overwrites or frees it (the store can detect, not repair, bit rot that
+/// predates the log window).
+///
+/// `options_hint`, when non-null, supplies the full tree options (its
+/// structural fields must match the stored meta); otherwise options are
+/// reconstructed from the stored meta with defaults for tuning knobs.
+/// `metrics`, when non-null, receives recovery.records_replayed.
+/// Returns nullptr with `*error` set on any failure.
+std::unique_ptr<RecoveredTree> RecoverTree(
+    Env* env, const std::string& page_path, const std::string& wal_path,
+    std::string* error, const SgTreeOptions* options_hint = nullptr,
+    obs::MetricsRegistry* metrics = nullptr);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_DURABILITY_RECOVERY_H_

@@ -1,0 +1,195 @@
+#include "durability/wal.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "durability/byte_io.h"
+
+namespace sgtree {
+namespace {
+
+constexpr char kWalMagic[8] = {'S', 'G', 'W', 'L', '0', '0', '0', '1'};
+
+}  // namespace
+
+uint64_t Wal::RecordRegionStart() { return sizeof(kWalMagic); }
+
+void EncodeWalRecord(const WalRecord& record, std::vector<uint8_t>* out) {
+  AppendU8(static_cast<uint8_t>(record.type), out);
+  switch (record.type) {
+    case WalRecordType::kCheckpoint:
+      AppendU64(record.checkpoint_seq, out);
+      break;
+    case WalRecordType::kAlloc:
+    case WalRecordType::kFree:
+      AppendU32(record.page, out);
+      break;
+    case WalRecordType::kPageImage:
+      AppendU32(record.page, out);
+      out->insert(out->end(), record.image.begin(), record.image.end());
+      break;
+    case WalRecordType::kTreeMeta:
+      EncodeTreeMeta(record.meta, out);
+      break;
+  }
+}
+
+bool DecodeWalRecord(const std::vector<uint8_t>& payload,
+                     WalRecord* record) {
+  *record = WalRecord{};  // no stale fields when the caller reuses records
+  size_t offset = 0;
+  uint8_t type = 0;
+  if (!ReadU8(payload, &offset, &type)) return false;
+  switch (static_cast<WalRecordType>(type)) {
+    case WalRecordType::kCheckpoint:
+      record->type = WalRecordType::kCheckpoint;
+      return ReadU64(payload, &offset, &record->checkpoint_seq) &&
+             offset == payload.size();
+    case WalRecordType::kAlloc:
+    case WalRecordType::kFree:
+      record->type = static_cast<WalRecordType>(type);
+      return ReadU32(payload, &offset, &record->page) &&
+             offset == payload.size();
+    case WalRecordType::kPageImage:
+      record->type = WalRecordType::kPageImage;
+      if (!ReadU32(payload, &offset, &record->page)) return false;
+      record->image.assign(payload.begin() + static_cast<ptrdiff_t>(offset),
+                           payload.end());
+      return true;
+    case WalRecordType::kTreeMeta:
+      record->type = WalRecordType::kTreeMeta;
+      return DecodeTreeMeta(payload, &offset, &record->meta) &&
+             offset == payload.size();
+  }
+  return false;
+}
+
+bool WalScanner::Next(WalRecord* record) {
+  if (done_) return false;
+  // Frame header.
+  if (offset_ + 8 > size_) {
+    done_ = true;
+    return false;
+  }
+  std::vector<uint8_t> header(data_ + offset_, data_ + offset_ + 8);
+  size_t hoff = 0;
+  uint32_t length = 0;
+  uint32_t stored_crc = 0;
+  ReadU32(header, &hoff, &length);
+  ReadU32(header, &hoff, &stored_crc);
+  if (length == 0 || length > kMaxWalRecordSize ||
+      offset_ + 8 + length > size_) {
+    done_ = true;
+    return false;
+  }
+  std::vector<uint8_t> payload(data_ + offset_ + 8,
+                               data_ + offset_ + 8 + length);
+  if (Crc32c(payload) != stored_crc || !DecodeWalRecord(payload, record)) {
+    done_ = true;
+    return false;
+  }
+  offset_ += 8 + length;
+  valid_end_ = offset_;
+  ++records_;
+  return true;
+}
+
+std::unique_ptr<Wal> Wal::Create(Env* env, const std::string& path,
+                                 std::string* error) {
+  auto file = env->Open(path, /*create=*/true);
+  if (file == nullptr || !file->Truncate(0) ||
+      !file->Append(reinterpret_cast<const uint8_t*>(kWalMagic),
+                    sizeof(kWalMagic))) {
+    if (error != nullptr) *error = "cannot create wal " + path;
+    return nullptr;
+  }
+  return std::unique_ptr<Wal>(
+      new Wal(env, path, std::move(file), sizeof(kWalMagic)));
+}
+
+std::unique_ptr<Wal> Wal::OpenForAppend(Env* env, const std::string& path,
+                                        uint64_t append_offset,
+                                        std::string* error) {
+  auto file = env->Open(path, /*create=*/false);
+  const uint64_t end = sizeof(kWalMagic) + append_offset;
+  if (file == nullptr || !file->Truncate(end)) {
+    if (error != nullptr) *error = "cannot open wal " + path;
+    return nullptr;
+  }
+  return std::unique_ptr<Wal>(new Wal(env, path, std::move(file), end));
+}
+
+bool Wal::ReadRecordRegion(Env* env, const std::string& path,
+                           std::vector<uint8_t>* records_region,
+                           std::string* error) {
+  records_region->clear();
+  if (!env->FileExists(path)) return true;
+  auto file = env->Open(path, /*create=*/false);
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open wal " + path;
+    return false;
+  }
+  const uint64_t size = file->Size();
+  if (size == UINT64_MAX) {
+    if (error != nullptr) *error = "cannot stat wal " + path;
+    return false;
+  }
+  if (size < sizeof(kWalMagic)) return true;  // Torn creation: empty log.
+  std::vector<uint8_t> magic;
+  if (!file->ReadAt(0, sizeof(kWalMagic), &magic) ||
+      std::memcmp(magic.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    if (error != nullptr) *error = path + " is not a wal file";
+    return false;
+  }
+  if (!file->ReadAt(sizeof(kWalMagic),
+                    static_cast<size_t>(size - sizeof(kWalMagic)),
+                    records_region)) {
+    if (error != nullptr) *error = "cannot read wal " + path;
+    return false;
+  }
+  return true;
+}
+
+bool Wal::Append(const WalRecord& record) {
+  std::vector<uint8_t> payload;
+  EncodeWalRecord(record, &payload);
+  std::vector<uint8_t> frame;
+  frame.reserve(8 + payload.size());
+  AppendU32(static_cast<uint32_t>(payload.size()), &frame);
+  AppendU32(Crc32c(payload), &frame);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  if (!file_->Append(frame.data(), frame.size())) return false;
+  size_ += frame.size();
+  ++records_appended_;
+  ++dirty_appends_;
+  if (appends_counter_ != nullptr) appends_counter_->Increment();
+  if (bytes_counter_ != nullptr) bytes_counter_->Increment(frame.size());
+  return true;
+}
+
+bool Wal::Commit() {
+  if (dirty_appends_ == 0) return true;
+  if (!file_->Sync()) return false;
+  dirty_appends_ = 0;
+  if (fsyncs_counter_ != nullptr) fsyncs_counter_->Increment();
+  return true;
+}
+
+bool Wal::Reset(uint64_t checkpoint_seq) {
+  if (!file_->Truncate(sizeof(kWalMagic))) return false;
+  size_ = sizeof(kWalMagic);
+  WalRecord marker;
+  marker.type = WalRecordType::kCheckpoint;
+  marker.checkpoint_seq = checkpoint_seq;
+  if (!Append(marker)) return false;
+  return Commit();
+}
+
+void Wal::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  appends_counter_ = registry->GetCounter("wal.appends");
+  fsyncs_counter_ = registry->GetCounter("wal.fsyncs");
+  bytes_counter_ = registry->GetCounter("wal.bytes");
+}
+
+}  // namespace sgtree

@@ -1,0 +1,145 @@
+#ifndef SGTREE_DURABILITY_WAL_H_
+#define SGTREE_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durability/env.h"
+#include "durability/meta.h"
+#include "obs/metrics.h"
+#include "storage/page.h"
+
+namespace sgtree {
+
+/// WAL record types. One committed tree operation is the record run
+///   [kAlloc | kPageImage | kFree]*  kTreeMeta
+/// where the trailing kTreeMeta is the commit marker; recovery discards a
+/// trailing run with no marker. A fresh (or just-checkpointed) log starts
+/// with kCheckpoint naming the page-file checkpoint it follows.
+enum class WalRecordType : uint8_t {
+  kCheckpoint = 1,  // checkpoint_seq
+  kAlloc = 2,       // page
+  kPageImage = 3,   // page + full post-image of the page (redo record)
+  kFree = 4,        // page
+  kTreeMeta = 5,    // meta (commit marker)
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kCheckpoint;
+  PageId page = kInvalidPageId;
+  uint64_t checkpoint_seq = 0;
+  std::vector<uint8_t> image;
+  TreeMeta meta;
+};
+
+/// Serializes the record payload (without framing).
+void EncodeWalRecord(const WalRecord& record, std::vector<uint8_t>* out);
+
+/// Decodes a record payload. Returns false on malformed input without
+/// crashing or over-reading — fuzzed directly by fuzz/fuzz_wal.cc.
+bool DecodeWalRecord(const std::vector<uint8_t>& payload, WalRecord* record);
+
+/// Upper bound on a sane framed record; anything larger is treated as
+/// corruption by the scanner (a page image plus small headers fits well
+/// under this for any supported page size).
+inline constexpr uint32_t kMaxWalRecordSize = 1u << 20;
+
+/// Forward scan over the record region of a WAL (the bytes after the file
+/// magic). Framing per record: u32 payload_len | u32 crc32c(payload) |
+/// payload. The scan stops cleanly at the first torn, truncated, or
+/// checksum-failing frame — the defining property of a log tail — and
+/// reports how many bytes of clean prefix it accepted.
+class WalScanner {
+ public:
+  WalScanner(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  /// Advances to the next record. Returns false at the clean end or tear.
+  bool Next(WalRecord* record);
+
+  /// Offset just past the last complete, well-formed record.
+  uint64_t valid_end() const { return valid_end_; }
+  /// True when bytes exist past valid_end (torn tail or corruption).
+  bool torn() const { return done_ && valid_end_ < size_; }
+  uint64_t records() const { return records_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  uint64_t offset_ = 0;
+  uint64_t valid_end_ = 0;
+  uint64_t records_ = 0;
+  bool done_ = false;
+};
+
+/// Append-only write-ahead log. Appends buffer nothing: every record hits
+/// the OS immediately; Commit() issues the (group) fsync that makes all
+/// records appended since the previous Commit durable at once — one fsync
+/// per logical operation or per batch, not per record.
+class Wal {
+ public:
+  /// Creates a fresh, empty log (truncates an existing file), writing the
+  /// file magic. Not yet synced.
+  static std::unique_ptr<Wal> Create(Env* env, const std::string& path,
+                                     std::string* error);
+
+  /// Opens an existing log for appending at `append_offset` (a valid_end
+  /// from a recovery scan; any torn tail past it is truncated away).
+  static std::unique_ptr<Wal> OpenForAppend(Env* env,
+                                            const std::string& path,
+                                            uint64_t append_offset,
+                                            std::string* error);
+
+  /// Reads the record region (bytes after the magic) of the log at `path`
+  /// into `*records_region`. A missing or shorter-than-magic file yields
+  /// an empty region (a log that never finished being created is an empty
+  /// log); a wrong magic is an error.
+  static bool ReadRecordRegion(Env* env, const std::string& path,
+                               std::vector<uint8_t>* records_region,
+                               std::string* error);
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one framed record. Returns false on I/O failure.
+  bool Append(const WalRecord& record);
+
+  /// Fsyncs appended records (no-op when nothing was appended since the
+  /// last Commit). The group-commit point.
+  bool Commit();
+
+  /// Folds the log: truncates to the magic, appends a kCheckpoint record
+  /// naming `checkpoint_seq`, and syncs. The page file must be durable
+  /// before this is called.
+  bool Reset(uint64_t checkpoint_seq);
+
+  /// Bytes of the log file, including magic.
+  uint64_t size_bytes() const { return size_; }
+  uint64_t records_appended() const { return records_appended_; }
+
+  /// Binds wal.appends / wal.fsyncs / wal.bytes counters (may be null).
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+  /// Offset of the first record in a WAL file (the magic length).
+  static uint64_t RecordRegionStart();
+
+ private:
+  Wal(Env* env, std::string path, std::unique_ptr<File> file, uint64_t size)
+      : env_(env), path_(std::move(path)), file_(std::move(file)),
+        size_(size) {}
+
+  Env* env_;
+  std::string path_;
+  std::unique_ptr<File> file_;
+  uint64_t size_;
+  uint64_t records_appended_ = 0;
+  uint64_t dirty_appends_ = 0;
+  obs::Counter* appends_counter_ = nullptr;
+  obs::Counter* fsyncs_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_DURABILITY_WAL_H_

@@ -264,7 +264,7 @@ struct PagedVisit {
   Signature union_sig;
 };
 
-PagedVisit VisitPaged(const PageStore& pages, PageId id, bool is_root,
+PagedVisit VisitPaged(const PageStoreInterface& pages, PageId id, bool is_root,
                       Auditor* a) {
   PagedVisit result;
   result.union_sig = Signature(a->num_bits);
@@ -384,7 +384,7 @@ AuditReport AuditPagedImage(const PagedTreeImage& image,
     a.Finalize();
     return a.report;
   }
-  const PageStore& pages = *image.pages;
+  const PageStoreInterface& pages = *image.pages;
 
   if (image.root == kInvalidPageId) {
     if (image.size != 0) {

@@ -11,7 +11,7 @@ namespace sgtree {
 
 PagedTreeImage FlushTreeToPages(const SgTree& tree, bool compress) {
   PagedTreeImage image;
-  auto pages = std::make_unique<PageStore>(tree.options().page_size);
+  auto pages = std::make_unique<MemPageStore>(tree.options().page_size);
 
   // Allocate pages in live-node order, remembering the id remapping, then
   // encode with child references rewritten.

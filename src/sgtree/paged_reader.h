@@ -16,10 +16,10 @@
 namespace sgtree {
 
 /// A read-only SG-tree image on "disk": every node serialized into one
-/// PageStore page (sparse-signature compression per Section 3.2 when
+/// MemPageStore page (sparse-signature compression per Section 3.2 when
 /// requested). Produced by FlushTreeToPages below.
 struct PagedTreeImage {
-  std::unique_ptr<PageStore> pages;
+  std::unique_ptr<MemPageStore> pages;
   PageId root = kInvalidPageId;
   uint32_t num_bits = 0;
   uint32_t height = 0;
@@ -35,7 +35,7 @@ struct PagedTreeImage {
   uint32_t min_entries = 0;
 };
 
-/// Serializes a tree into a fresh PageStore. Returns an empty image
+/// Serializes a tree into a fresh MemPageStore. Returns an empty image
 /// (pages == nullptr) if some node does not fit in a page — cannot happen
 /// for trees whose capacity was derived from the page size with
 /// compression at least as dense as the derivation assumed.

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/file_util.h"
 #include "storage/node_format.h"
 
 namespace sgtree {
@@ -13,8 +14,9 @@ namespace {
 constexpr char kMagic[8] = {'S', 'G', 'T', 'R', 'E', 'E', '0', '1'};
 
 template <typename T>
-void WritePod(std::ofstream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void WritePod(std::vector<uint8_t>* out, T value) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
+  out->insert(out->end(), bytes, bytes + sizeof(T));
 }
 
 template <typename T>
@@ -23,24 +25,31 @@ bool ReadPod(std::ifstream& in, T* value) {
   return static_cast<bool>(in);
 }
 
+std::unique_ptr<SgTree> LoadFail(std::string* error,
+                                 const std::string& message) {
+  if (error != nullptr) *error = message;
+  return nullptr;
+}
+
 }  // namespace
 
-bool SaveTree(const SgTree& tree, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-
-  out.write(kMagic, sizeof(kMagic));
-  WritePod<uint32_t>(out, tree.num_bits());
-  WritePod<uint32_t>(out, tree.max_entries());
-  WritePod<uint8_t>(out, tree.options().compress ? 1 : 0);
+bool SaveTree(const SgTree& tree, const std::string& path,
+              std::string* error) {
+  std::vector<uint8_t> out;
+  out.reserve(256);
+  const auto* magic = reinterpret_cast<const uint8_t*>(kMagic);
+  out.insert(out.end(), magic, magic + sizeof(kMagic));
+  WritePod<uint32_t>(&out, tree.num_bits());
+  WritePod<uint32_t>(&out, tree.max_entries());
+  WritePod<uint8_t>(&out, tree.options().compress ? 1 : 0);
   const std::vector<PageId> live = tree.LiveNodes();
-  WritePod<uint32_t>(out, static_cast<uint32_t>(live.size()));
-  WritePod<uint32_t>(out, tree.root());
-  WritePod<uint32_t>(out, tree.height());
-  WritePod<uint64_t>(out, static_cast<uint64_t>(tree.size()));
+  WritePod<uint32_t>(&out, static_cast<uint32_t>(live.size()));
+  WritePod<uint32_t>(&out, tree.root());
+  WritePod<uint32_t>(&out, tree.height());
+  WritePod<uint64_t>(&out, static_cast<uint64_t>(tree.size()));
   const auto [area_lo, area_hi] = tree.TransactionAreaBounds();
-  WritePod<uint32_t>(out, area_lo);
-  WritePod<uint32_t>(out, area_hi);
+  WritePod<uint32_t>(&out, area_lo);
+  WritePod<uint32_t>(&out, area_hi);
 
   std::vector<uint8_t> payload;
   for (PageId id : live) {
@@ -53,22 +62,25 @@ bool SaveTree(const SgTree& tree, const std::string& path) {
     }
     payload.clear();
     EncodeNode(record, tree.options().compress, &payload);
-    WritePod<uint32_t>(out, id);
-    WritePod<uint32_t>(out, static_cast<uint32_t>(payload.size()));
-    out.write(reinterpret_cast<const char*>(payload.data()),
-              static_cast<std::streamsize>(payload.size()));
+    WritePod<uint32_t>(&out, id);
+    WritePod<uint32_t>(&out, static_cast<uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
   }
-  return static_cast<bool>(out);
+  return AtomicWriteFile(path, out, error);
 }
 
 std::unique_ptr<SgTree> LoadTree(const std::string& path,
-                                 const SgTreeOptions& runtime_options) {
+                                 const SgTreeOptions& runtime_options,
+                                 std::string* error) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return nullptr;
+  if (!in) return LoadFail(error, "cannot open " + path);
 
   char magic[8];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return nullptr;
+  if (!in) return LoadFail(error, path + ": truncated file (no header)");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return LoadFail(error, path + ": not a saved SG-tree (bad magic)");
+  }
 
   uint32_t num_bits = 0;
   uint32_t max_entries = 0;
@@ -83,21 +95,29 @@ std::unique_ptr<SgTree> LoadTree(const std::string& path,
       !ReadPod(in, &compress) || !ReadPod(in, &node_count) ||
       !ReadPod(in, &root) || !ReadPod(in, &height) || !ReadPod(in, &size) ||
       !ReadPod(in, &area_lo) || !ReadPod(in, &area_hi)) {
-    return nullptr;
+    return LoadFail(error, path + ": truncated file (incomplete header)");
   }
 
   SgTreeOptions options = runtime_options;
   if (options.num_bits == 0) options.num_bits = num_bits;
-  if (options.num_bits != num_bits) return nullptr;
+  if (options.num_bits != num_bits) {
+    return LoadFail(error, path + ": signature width mismatch (file has " +
+                               std::to_string(num_bits) + " bits)");
+  }
   options.max_entries = max_entries;
-  if (options.ResolvedMaxEntries() != max_entries) return nullptr;
+  if (options.ResolvedMaxEntries() != max_entries) {
+    return LoadFail(error, path + ": node capacity mismatch");
+  }
 
   auto tree = std::make_unique<SgTree>(options);
   if (area_lo <= area_hi && area_hi <= num_bits && size > 0) {
     tree->NoteTransactionArea(area_lo);
     tree->NoteTransactionArea(area_hi);
   }
-  if (node_count == 0) return tree;
+  if (node_count == 0) {
+    if (error != nullptr) error->clear();
+    return tree;
+  }
 
   // First pass: materialize nodes and the original-id -> new-id map.
   std::unordered_map<PageId, PageId> remap;
@@ -106,19 +126,33 @@ std::unique_ptr<SgTree> LoadTree(const std::string& path,
   records.reserve(node_count);
   std::vector<uint8_t> payload;
   for (uint32_t i = 0; i < node_count; ++i) {
+    const std::string where = "node " + std::to_string(i + 1) + " of " +
+                              std::to_string(node_count);
     uint32_t orig_id = 0;
     uint32_t length = 0;
-    if (!ReadPod(in, &orig_id) || !ReadPod(in, &length)) return nullptr;
+    if (!ReadPod(in, &orig_id) || !ReadPod(in, &length)) {
+      return LoadFail(error, path + ": truncated file (" + where + ")");
+    }
     payload.resize(length);
     in.read(reinterpret_cast<char*>(payload.data()), length);
-    if (!in) return nullptr;
+    if (!in) {
+      return LoadFail(error, path + ": truncated file (" + where + ")");
+    }
     NodeRecord record;
-    if (!DecodeNode(payload, num_bits, &record)) return nullptr;
-    if (remap.count(orig_id) != 0) return nullptr;
+    if (!DecodeNode(payload, num_bits, &record)) {
+      return LoadFail(error, path + ": " + where + " does not decode");
+    }
+    if (remap.count(orig_id) != 0) {
+      return LoadFail(error, path + ": duplicate page id " +
+                                 std::to_string(orig_id));
+    }
     remap[orig_id] = tree->AllocateNode(record.level);
     records[orig_id] = std::move(record);
   }
-  if (remap.count(root) == 0) return nullptr;
+  if (remap.count(root) == 0) {
+    return LoadFail(error, path + ": root page " + std::to_string(root) +
+                               " missing from the file");
+  }
 
   // Second pass: fill entries, remapping child references.
   for (auto& [orig_id, record] : records) {
@@ -128,7 +162,10 @@ std::unique_ptr<SgTree> LoadTree(const std::string& path,
       uint64_t new_ref = ref;
       if (record.level > 0) {
         auto it = remap.find(static_cast<PageId>(ref));
-        if (it == remap.end()) return nullptr;
+        if (it == remap.end()) {
+          return LoadFail(error, path + ": dangling child reference " +
+                                     std::to_string(ref));
+        }
         new_ref = it->second;
       }
       node->entries.push_back(Entry{std::move(sig), new_ref});
@@ -136,6 +173,7 @@ std::unique_ptr<SgTree> LoadTree(const std::string& path,
   }
   tree->SetRoot(remap[root], height, size);
   tree->ResetIo();
+  if (error != nullptr) error->clear();
   return tree;
 }
 

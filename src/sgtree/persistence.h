@@ -11,16 +11,24 @@ namespace sgtree {
 /// Saves the tree to `path`: a header (magic, signature width, capacity
 /// parameters, root id, height, size) followed by one length-prefixed
 /// EncodeNode page image per node. Compression of sparse signatures
-/// (Section 3.2) is applied when the tree's options request it. Returns
-/// false on I/O failure.
-bool SaveTree(const SgTree& tree, const std::string& path);
+/// (Section 3.2) is applied when the tree's options request it.
+///
+/// The write is crash-atomic: the image lands in a temporary sibling file
+/// that is fsynced and renamed over `path`, so a crash mid-save leaves the
+/// previous file (or nothing), never a truncated tree. Returns false with
+/// `*error` set (when non-null) on I/O failure.
+bool SaveTree(const SgTree& tree, const std::string& path,
+              std::string* error = nullptr);
 
 /// Rebuilds a tree saved by SaveTree. Returns nullptr on I/O failure or a
-/// malformed file. Query/buffer options (metric, buffer pages, policies)
-/// come from `runtime_options`; structural fields (num_bits, capacity) are
-/// validated against the file header.
+/// malformed file, with `*error` (when non-null) naming the problem — a
+/// truncated file is reported as such, not as a generic failure.
+/// Query/buffer options (metric, buffer pages, policies) come from
+/// `runtime_options`; structural fields (num_bits, capacity) are validated
+/// against the file header.
 std::unique_ptr<SgTree> LoadTree(const std::string& path,
-                                 const SgTreeOptions& runtime_options);
+                                 const SgTreeOptions& runtime_options,
+                                 std::string* error = nullptr);
 
 }  // namespace sgtree
 

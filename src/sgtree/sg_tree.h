@@ -18,6 +18,20 @@
 
 namespace sgtree {
 
+/// Observer of page-level changes made by the tree's update paths. The
+/// durability layer registers one to learn which pages an operation
+/// touched: the union of allocated + dirtied pages (minus freed ones) is
+/// exactly the redo set the write-ahead log must carry for that operation.
+/// Callbacks fire synchronously inside the mutation; implementations must
+/// not reenter the tree.
+class PageChangeListener {
+ public:
+  virtual ~PageChangeListener() = default;
+  virtual void OnAlloc(PageId id) = 0;
+  virtual void OnDirty(PageId id) = 0;
+  virtual void OnFree(PageId id) = 0;
+};
+
 /// The signature tree (Section 3): a dynamic height-balanced paginated tree
 /// over fixed-length bit signatures, structured like an R-tree with bitmap
 /// containment/union taking the role of MBR containment/enlargement.
@@ -33,6 +47,10 @@ namespace sgtree {
 class SgTree {
  public:
   explicit SgTree(const SgTreeOptions& options);
+  /// Runs the tree over an injected page store (file-backed or
+  /// fault-injecting). The store's page size must match the options'.
+  SgTree(const SgTreeOptions& options,
+         std::unique_ptr<PageStoreInterface> pages);
 
   SgTree(const SgTree&) = delete;
   SgTree& operator=(const SgTree&) = delete;
@@ -107,6 +125,10 @@ class SgTree {
 
   /// Allocates an empty node at `level` and returns its id.
   PageId AllocateNode(uint16_t level);
+  /// Materializes an empty node at a specific page id (crash recovery —
+  /// the rebuilt tree must keep the page ids its log records). The id must
+  /// not be live.
+  Node* AdoptNode(PageId id, uint16_t level);
   /// Mutable access; charges a read and a write against the buffer pool.
   Node* MutableNode(PageId id);
   /// Frees a node page.
@@ -119,6 +141,17 @@ class SgTree {
 
   /// Ids of all live nodes (persistence, checker).
   std::vector<PageId> LiveNodes() const;
+
+  /// Registers (or clears, with nullptr) the page-change observer. At most
+  /// one listener; the durability layer owns it.
+  void SetChangeListener(PageChangeListener* listener) {
+    listener_ = listener;
+  }
+  PageChangeListener* change_listener() const { return listener_; }
+
+  /// The tree's page-id allocator / persistence target.
+  PageStoreInterface& page_store() { return *pages_; }
+  const PageStoreInterface& page_store() const { return *pages_; }
 
  private:
   /// Inserts `entry` into a node at exactly `target_level` in the subtree
@@ -145,8 +178,9 @@ class SgTree {
   uint32_t min_entries_ = 0;
 
   std::unordered_map<PageId, std::unique_ptr<Node>> nodes_;
-  std::unique_ptr<PageStore> pages_;      // Page-id allocator / free list.
+  std::unique_ptr<PageStoreInterface> pages_;  // Page-id allocator.
   std::unique_ptr<BufferPool> pool_;
+  PageChangeListener* listener_ = nullptr;
 
   PageId root_ = kInvalidPageId;
   uint32_t height_ = 0;

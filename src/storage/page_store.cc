@@ -1,10 +1,11 @@
 #include "storage/page_store.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace sgtree {
 
-PageId PageStore::Allocate() {
+PageId MemPageStore::Allocate() {
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
     free_list_.pop_back();
@@ -16,7 +17,25 @@ PageId PageStore::Allocate() {
   return static_cast<PageId>(pages_.size() - 1);
 }
 
-void PageStore::Free(PageId id) {
+bool MemPageStore::Reserve(PageId id) {
+  if (id < pages_.size()) {
+    if (pages_[id].live) return false;
+    free_list_.erase(std::remove(free_list_.begin(), free_list_.end(), id),
+                     free_list_.end());
+  } else {
+    // Grow to cover `id`; the skipped slots join the free list.
+    for (PageId hole = static_cast<PageId>(pages_.size()); hole < id;
+         ++hole) {
+      free_list_.push_back(hole);
+    }
+    pages_.resize(static_cast<size_t>(id) + 1);
+  }
+  pages_[id].live = true;
+  pages_[id].payload.clear();
+  return true;
+}
+
+void MemPageStore::Free(PageId id) {
   if (id >= pages_.size() || !pages_[id].live) return;
   pages_[id].live = false;
   pages_[id].payload.clear();
@@ -24,20 +43,20 @@ void PageStore::Free(PageId id) {
   free_list_.push_back(id);
 }
 
-bool PageStore::Write(PageId id, std::vector<uint8_t> payload) {
+bool MemPageStore::Write(PageId id, std::vector<uint8_t> payload) {
   if (id >= pages_.size() || !pages_[id].live) return false;
   if (payload.size() > page_size_) return false;
   pages_[id].payload = std::move(payload);
   return true;
 }
 
-bool PageStore::Read(PageId id, std::vector<uint8_t>* payload) const {
+bool MemPageStore::Read(PageId id, std::vector<uint8_t>* payload) const {
   if (id >= pages_.size() || !pages_[id].live) return false;
   *payload = pages_[id].payload;
   return true;
 }
 
-uint32_t PageStore::LivePages() const {
+uint32_t MemPageStore::LivePages() const {
   uint32_t live = 0;
   for (const Slot& slot : pages_) {
     if (slot.live) ++live;

@@ -10,6 +10,9 @@
 #include "data/census_generator.h"
 #include "data/dataset_io.h"
 #include "data/quest_generator.h"
+#include "durability/durable_tree.h"
+#include "durability/env.h"
+#include "durability/recovery.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/query_trace.h"
@@ -122,8 +125,10 @@ int CmdGen(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
 int CmdBuild(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   const auto data_path = cmd.GetString("data");
   const auto out_path = cmd.GetString("out");
-  if (!data_path.has_value() || !out_path.has_value()) {
-    return Fail(err, "build requires --data and --out");
+  const auto durable_dir = cmd.GetString("durable");
+  if (!data_path.has_value()) return Fail(err, "build requires --data");
+  if (!out_path.has_value() && !durable_dir.has_value()) {
+    return Fail(err, "build requires --out (or --durable DIR)");
   }
   Dataset dataset;
   if (!LoadDataset(*data_path, &dataset)) {
@@ -151,13 +156,8 @@ int CmdBuild(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   const std::string bulk = cmd.StringOr("bulk", "none");
   if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
 
-  std::unique_ptr<SgTree> tree;
-  Timer timer;
-  if (bulk == "none") {
-    tree = std::make_unique<SgTree>(options);
-    for (const Transaction& txn : dataset.transactions) tree->Insert(txn);
-  } else {
-    BulkLoadOptions bulk_options;
+  BulkLoadOptions bulk_options;
+  if (bulk != "none") {
     if (bulk == "gray") {
       bulk_options.order = BulkLoadOrder::kGrayCode;
     } else if (bulk == "bisect") {
@@ -167,6 +167,51 @@ int CmdBuild(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
     } else {
       return Fail(err, "unknown bulk order '" + bulk + "'");
     }
+  }
+
+  // Durable build: every insert goes through the write-ahead log; a bulk
+  // order is logged wholesale and checkpointed, plain inserts are left in
+  // the log (run wal-checkpoint to fold them).
+  if (durable_dir.has_value()) {
+    DurableTree::Options dt_options;
+    dt_options.tree = options;
+    std::string derror;
+    auto durable =
+        DurableTree::Open(Env::Posix(), *durable_dir, dt_options, &derror);
+    if (durable == nullptr) return Fail(err, derror);
+    if (!durable->tree().empty()) {
+      return Fail(err, *durable_dir + " already holds an index");
+    }
+    Timer timer;
+    if (bulk == "none") {
+      const size_t logged = durable->InsertBatch(dataset.transactions);
+      if (logged != dataset.transactions.size()) {
+        return Fail(err, "wal append failed after " +
+                             std::to_string(logged) + " inserts");
+      }
+    } else {
+      auto loaded = BulkLoad(dataset, options, bulk_options);
+      if (!durable->AdoptBulkLoaded(std::move(loaded), &derror)) {
+        return Fail(err, derror);
+      }
+    }
+    const double build_ms = timer.ElapsedMs();
+    const SgTree& tree = durable->tree();
+    out << "indexed " << tree.size() << " transactions durably in "
+        << build_ms << " ms; height " << tree.height() << ", "
+        << tree.node_count() << " nodes, " << durable->op_seq()
+        << " logged ops, checkpoint " << durable->checkpoint_seq() << "\n"
+        << "wrote " << durable->page_path() << " + "
+        << durable->wal_path() << "\n";
+    return 0;
+  }
+
+  std::unique_ptr<SgTree> tree;
+  Timer timer;
+  if (bulk == "none") {
+    tree = std::make_unique<SgTree>(options);
+    for (const Transaction& txn : dataset.transactions) tree->Insert(txn);
+  } else {
     tree = BulkLoad(dataset, options, bulk_options);
   }
   const double build_ms = timer.ElapsedMs();
@@ -175,13 +220,78 @@ int CmdBuild(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   if (!report.ok) {
     return Fail(err, "built tree failed validation: " + report.message);
   }
-  if (!SaveTree(*tree, *out_path)) {
-    return Fail(err, "cannot write index " + *out_path);
+  std::string save_error;
+  if (!SaveTree(*tree, *out_path, &save_error)) {
+    return Fail(err, "cannot write index " + *out_path + ": " + save_error);
   }
   out << "indexed " << tree->size() << " transactions in " << build_ms
       << " ms; height " << tree->height() << ", " << tree->node_count()
       << " nodes, utilization " << report.avg_utilization << "\n"
       << "wrote " << *out_path << "\n";
+  return 0;
+}
+
+int CmdRecover(const CommandLine& cmd, std::ostream& out,
+               std::ostream& err) {
+  const auto dir = cmd.GetString("durable");
+  if (!dir.has_value()) return Fail(err, "recover requires --durable");
+  const auto out_path = cmd.GetString("out");
+  const auto metrics_path = cmd.GetString("metrics-json");
+  if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
+
+  obs::MetricsRegistry registry;
+  std::string error;
+  auto recovered = RecoverTree(Env::Posix(), DurableTree::PagePathFor(*dir),
+                               DurableTree::WalPathFor(*dir), &error,
+                               /*options_hint=*/nullptr, &registry);
+  if (recovered == nullptr) {
+    err << "error: " << error << "\n";
+    // An index that recovers structurally but flunks the deep audit is a
+    // distinct, scriptable outcome.
+    return error.find("invariant audit") != std::string::npos ? 2 : 1;
+  }
+  out << "recovery: " << recovered->report.Summary() << "\n"
+      << "audit: " << recovered->audit.Summary()
+      << "tree: " << recovered->tree->size() << " transactions, height "
+      << recovered->tree->height() << ", " << recovered->tree->node_count()
+      << " nodes\n";
+  if (out_path.has_value()) {
+    std::string save_error;
+    if (!SaveTree(*recovered->tree, *out_path, &save_error)) {
+      return Fail(err, "cannot export " + *out_path + ": " + save_error);
+    }
+    out << "exported " << *out_path << "\n";
+  }
+  if (metrics_path.has_value()) {
+    return WriteMetricsJson(registry, *metrics_path, out, err);
+  }
+  return 0;
+}
+
+int CmdWalCheckpoint(const CommandLine& cmd, std::ostream& out,
+                     std::ostream& err) {
+  const auto dir = cmd.GetString("durable");
+  if (!dir.has_value())
+    return Fail(err, "wal-checkpoint requires --durable");
+  const auto metrics_path = cmd.GetString("metrics-json");
+  if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
+
+  obs::MetricsRegistry registry;
+  DurableTree::Options options;
+  options.metrics = &registry;
+  std::string error;
+  auto durable = DurableTree::Open(Env::Posix(), *dir, options, &error);
+  if (durable == nullptr) return Fail(err, error);
+  out << "recovery: " << durable->recovery_report().Summary() << "\n";
+  if (!durable->Checkpoint(&error)) {
+    return Fail(err, "checkpoint failed: " + error);
+  }
+  out << "checkpoint " << durable->checkpoint_seq() << " sealed: "
+      << durable->tree().size() << " transactions, "
+      << durable->tree().node_count() << " nodes folded; log truncated\n";
+  if (metrics_path.has_value()) {
+    return WriteMetricsJson(registry, *metrics_path, out, err);
+  }
   return 0;
 }
 
@@ -191,8 +301,11 @@ int CmdStats(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   const auto metrics_path = cmd.GetString("metrics-json");
   if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
   SgTreeOptions options;
-  auto tree = LoadTree(*index_path, options);
-  if (tree == nullptr) return Fail(err, "cannot load " + *index_path);
+  std::string load_error;
+  auto tree = LoadTree(*index_path, options, &load_error);
+  if (tree == nullptr) {
+    return Fail(err, "cannot load " + *index_path + ": " + load_error);
+  }
   const TreeReport report = CheckTree(*tree);
   const IoStats& io = tree->io_stats();
   out << "transactions: " << tree->size() << "\n"
@@ -234,8 +347,11 @@ int CmdCheck(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
 
   SgTreeOptions options;
-  auto tree = LoadTree(*index_path, options);
-  if (tree == nullptr) return Fail(err, "cannot load " + *index_path);
+  std::string load_error;
+  auto tree = LoadTree(*index_path, options, &load_error);
+  if (tree == nullptr) {
+    return Fail(err, "cannot load " + *index_path + ": " + load_error);
+  }
 
   const AuditReport report = AuditTree(*tree, audit_options);
   out << "in-memory audit: " << report.Summary();
@@ -270,8 +386,11 @@ int CmdQuery(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
     return Fail(err, "unknown metric");
   }
   options.metric = metric;
-  auto tree = LoadTree(*index_path, options);
-  if (tree == nullptr) return Fail(err, "cannot load " + *index_path);
+  std::string load_error;
+  auto tree = LoadTree(*index_path, options, &load_error);
+  if (tree == nullptr) {
+    return Fail(err, "cannot load " + *index_path + ": " + load_error);
+  }
 
   // Collect query item lists from --q and/or --queries.
   std::vector<std::vector<ItemId>> queries;
@@ -369,8 +488,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   CommandLine cmd(args);
   if (!cmd.error().empty()) return Fail(err, cmd.error());
   if (cmd.positional().empty()) {
-    err << "usage: sgtree_cli gen|build|stats|check|query ... "
-           "(see tools/cli.h)\n";
+    err << "usage: sgtree_cli gen|build|stats|check|query|recover|"
+           "wal-checkpoint ... (see tools/cli.h)\n";
     return 1;
   }
   const std::string& verb = cmd.positional()[0];
@@ -379,6 +498,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (verb == "stats") return CmdStats(cmd, out, err);
   if (verb == "check") return CmdCheck(cmd, out, err);
   if (verb == "query") return CmdQuery(cmd, out, err);
+  if (verb == "recover") return CmdRecover(cmd, out, err);
+  if (verb == "wal-checkpoint") return CmdWalCheckpoint(cmd, out, err);
   return Fail(err, "unknown command '" + verb + "'");
 }
 

@@ -13,9 +13,13 @@ namespace sgtree {
 ///   gen quest   --out F [--d N] [--t X] [--i X] [--items N] [--patterns N]
 ///               [--seed N]
 ///   gen census  --out F [--tuples N] [--seed N]
-///   build       --data F --out F [--split avg|min|quadratic]
+///   build       --data F (--out F | --durable DIR) [--split avg|min|quadratic]
 ///               [--bulk gray|bisect|minhash|none] [--compress 0|1]
-///               [--page N]
+///               [--page N] [--durable DIR]
+///               With --durable, builds a crash-safe index in DIR (page
+///               file + write-ahead log) instead of a plain snapshot:
+///               plain inserts are logged (fold them with wal-checkpoint),
+///               bulk loads are logged wholesale and checkpointed.
 ///   stats       --index F
 ///   check       --index F [--paged 0|1] [--max-violations N]
 ///               Runs the full InvariantAuditor (coverage, levels, fill
@@ -26,6 +30,16 @@ namespace sgtree {
 ///               [--metric hamming|jaccard|dice|cosine]
 ///   query range --index F (--q ... | --queries F) --eps X [--metric M]
 ///   query contain --index F (--q ... | --queries F)
+///   recover     --durable D [--out F] [--metrics-json F]
+///               Replays the write-ahead log over the page file, gates the
+///               result through the InvariantAuditor, and prints the
+///               recovery report. --out exports the recovered tree as a
+///               plain snapshot. Exit 0 = recovered clean, 2 = recovered
+///               structurally but failed the audit, 1 = unrecoverable.
+///   wal-checkpoint --durable D [--metrics-json F]
+///               Opens (recovering if needed) the durable index in D,
+///               folds the logged operations into the page file, and
+///               truncates the log.
 ///
 /// Datasets use the text format of data/dataset_io.h; indexes the binary
 /// format of sgtree/persistence.h.

@@ -224,7 +224,7 @@ TEST(NodeFormatTest, UncompressedEntrySizeMatchesEncoding) {
 // ---------------------------------------------------------------------------
 
 TEST(PageStoreTest, AllocateWriteRead) {
-  PageStore store(64);
+  MemPageStore store(64);
   const PageId id = store.Allocate();
   ASSERT_TRUE(store.Write(id, {1, 2, 3}));
   std::vector<uint8_t> payload;
@@ -233,14 +233,14 @@ TEST(PageStoreTest, AllocateWriteRead) {
 }
 
 TEST(PageStoreTest, RejectsOversizedPayload) {
-  PageStore store(4);
+  MemPageStore store(4);
   const PageId id = store.Allocate();
   EXPECT_FALSE(store.Write(id, {1, 2, 3, 4, 5}));
   EXPECT_TRUE(store.Write(id, {1, 2, 3, 4}));
 }
 
 TEST(PageStoreTest, FreeListReusesIds) {
-  PageStore store;
+  MemPageStore store;
   const PageId a = store.Allocate();
   const PageId b = store.Allocate();
   EXPECT_NE(a, b);
@@ -252,7 +252,7 @@ TEST(PageStoreTest, FreeListReusesIds) {
 }
 
 TEST(PageStoreTest, ReadOfFreedPageFails) {
-  PageStore store;
+  MemPageStore store;
   const PageId id = store.Allocate();
   ASSERT_TRUE(store.Write(id, {9}));
   store.Free(id);
@@ -262,7 +262,7 @@ TEST(PageStoreTest, ReadOfFreedPageFails) {
 }
 
 TEST(PageStoreTest, InvalidIdRejected) {
-  PageStore store;
+  MemPageStore store;
   std::vector<uint8_t> payload;
   EXPECT_FALSE(store.Read(123, &payload));
 }
