@@ -1,0 +1,138 @@
+// Shard-scaling benchmark: the Figure-5 NN workload (Quest T=20, I=6,
+// D=200K) answered through the scatter-gather QueryRouter at 1, 2, 4 and 8
+// shards. Two throughput numbers are reported:
+//
+//  - modeled QPS: 1e6 / mean(merged elapsed_us). A merged query's
+//    elapsed_us is the MAX over its per-shard task times — the
+//    scatter-gather service time with one core per shard — so this is the
+//    headline scaling curve and must rise monotonically with the shard
+//    count regardless of how many cores the host actually has.
+//  - measured QPS: batch wall-clock throughput on this machine's worker
+//    pool. On a single-core CI runner this stays roughly flat (the fan-out
+//    is serialized); with real cores it tracks the modeled curve.
+//
+// Results are printed as a table and written as JSON to $BENCH_SHARD_JSON
+// (default BENCH_shard.json) for the CI artifact.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+#include "data/quest_generator.h"
+#include "exec/query_api.h"
+#include "exec/query_executor.h"
+#include "shard/query_router.h"
+#include "shard/sharded_index.h"
+
+namespace sgtree::bench {
+namespace {
+
+struct ShardRow {
+  uint32_t shards = 0;
+  double build_ms = 0;
+  double wall_ms = 0;
+  double measured_qps = 0;
+  double modeled_qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+void Run() {
+  QuestOptions qopt = PaperQuest(20, 6, 200'000);
+  QuestGenerator gen(qopt);
+  const Dataset dataset = gen.Generate();
+  const uint32_t batch_n = NumQueries() * 4;
+  const auto query_sigs =
+      ToSignatures(gen.GenerateQueries(batch_n), dataset.num_items);
+  std::vector<QueryRequest> batch;
+  batch.reserve(query_sigs.size());
+  for (const Signature& sig : query_sigs) {
+    QueryRequest request;
+    request.type = QueryType::kKnn;
+    request.query = sig;
+    request.k = 1;
+    batch.push_back(std::move(request));
+  }
+
+  std::printf("\n=== Shard scaling: NN search (Quest T=20, I=6, D=200K) ===\n");
+  std::printf("(scale factor %.2f, %zu transactions, %u-query batch)\n",
+              ScaleFactor(), dataset.size(), batch_n);
+  std::printf("%-8s %10s %10s %14s %14s %10s %10s\n", "shards", "build_ms",
+              "wall_ms", "measured_qps", "modeled_qps", "p50_us", "p99_us");
+
+  std::vector<ShardRow> rows;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    ShardedIndexOptions options;
+    options.num_shards = shards;
+    options.tree = DefaultTreeOptions(dataset);
+    ShardedIndex index(options);
+    Timer build_timer;
+    index.InsertBatch(dataset.transactions);
+    ShardRow row;
+    row.shards = shards;
+    row.build_ms = build_timer.ElapsedMs();
+
+    QueryExecutor executor;
+    QueryRouter router(index, &executor);
+    router.Run(batch);  // Warm-up pass (thread pool, allocator).
+    const std::vector<QueryResult> results = router.Run(batch);
+
+    double sum_elapsed_us = 0;
+    for (const QueryResult& result : results) {
+      sum_elapsed_us += result.elapsed_us;
+    }
+    const BatchReport& report = router.last_batch_report();
+    row.wall_ms = report.wall_ms;
+    row.measured_qps =
+        1000.0 * static_cast<double>(batch.size()) / report.wall_ms;
+    row.modeled_qps =
+        1e6 * static_cast<double>(results.size()) / sum_elapsed_us;
+    row.p50_us = report.p50_us;
+    row.p99_us = report.p99_us;
+    rows.push_back(row);
+
+    std::printf("%-8u %10.1f %10.1f %14.1f %14.1f %10.1f %10.1f\n",
+                row.shards, row.build_ms, row.wall_ms, row.measured_qps,
+                row.modeled_qps, row.p50_us, row.p99_us);
+  }
+  std::printf("\nExpected shape: modeled_qps rises monotonically 1->8 shards\n"
+              "(each shard task touches ~1/N of the data; the merged service\n"
+              "time is the slowest shard). measured_qps needs real cores.\n");
+
+  const char* env = std::getenv("BENCH_SHARD_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_shard.json";
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  file << "{\"experiment\": \"shard_scaling_nn_t20_i6_d200k\""
+       << ", \"scale_factor\": " << ScaleFactor()
+       << ", \"batch_queries\": " << batch_n << ", \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ShardRow& row = rows[i];
+    file << "  {\"shards\": " << row.shards
+         << ", \"build_ms\": " << row.build_ms
+         << ", \"wall_ms\": " << row.wall_ms
+         << ", \"measured_qps\": " << row.measured_qps
+         << ", \"modeled_qps\": " << row.modeled_qps
+         << ", \"p50_us\": " << row.p50_us << ", \"p99_us\": " << row.p99_us
+         << "}" << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  file << "]}\n";
+  std::printf("wrote %zu shard-scaling rows to %s\n", rows.size(),
+              path.c_str());
+}
+
+}  // namespace
+}  // namespace sgtree::bench
+
+int main() {
+  sgtree::bench::Run();
+  return 0;
+}

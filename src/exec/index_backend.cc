@@ -1,0 +1,98 @@
+#include "exec/index_backend.h"
+
+#include <vector>
+
+namespace sgtree {
+
+void SgTreeBackend::Run(const QueryRequest& request, const QueryContext& ctx,
+                        QueryResult* result) const {
+  switch (request.type) {
+    case QueryType::kKnn:
+      result->neighbors =
+          DfsKNearest(*tree_, request.query, request.k, ctx, shared_bound_);
+      break;
+    case QueryType::kBestFirstKnn:
+      result->neighbors = BestFirstKNearest(*tree_, request.query, request.k,
+                                            ctx, shared_bound_);
+      break;
+    case QueryType::kRange:
+      result->neighbors =
+          RangeSearch(*tree_, request.query, request.epsilon, ctx);
+      break;
+    case QueryType::kContainment:
+      result->ids = ContainmentSearch(*tree_, request.query, ctx);
+      break;
+    case QueryType::kExact:
+      result->ids = ExactSearch(*tree_, request.query, ctx);
+      break;
+    case QueryType::kSubset:
+      result->ids = SubsetSearch(*tree_, request.query, ctx);
+      break;
+  }
+}
+
+void SgTableBackend::Run(const QueryRequest& request, const QueryContext& ctx,
+                         QueryResult* result) const {
+  switch (request.type) {
+    case QueryType::kKnn:
+    case QueryType::kBestFirstKnn:
+      result->neighbors = table_->KNearest(request.query, request.k, ctx);
+      break;
+    case QueryType::kRange:
+      result->neighbors = table_->Range(request.query, request.epsilon, ctx);
+      break;
+    case QueryType::kContainment:
+    case QueryType::kExact:
+    case QueryType::kSubset:
+      break;  // The SG-table does not index set predicates.
+  }
+}
+
+void InvertedIndexBackend::Run(const QueryRequest& request,
+                               const QueryContext& ctx,
+                               QueryResult* result) const {
+  const std::vector<ItemId> items = request.query.ToItems();
+  switch (request.type) {
+    case QueryType::kKnn:
+    case QueryType::kBestFirstKnn:
+      result->neighbors = index_->KNearest(items, request.k, ctx);
+      break;
+    case QueryType::kRange:
+      result->neighbors = index_->Range(items, request.epsilon, ctx);
+      break;
+    case QueryType::kContainment:
+      result->ids = index_->Containing(items, ctx);
+      break;
+    case QueryType::kSubset:
+      result->ids = index_->ContainedIn(items, ctx);
+      break;
+    case QueryType::kExact:
+      break;  // Exact match needs signatures, not posting lists.
+  }
+}
+
+void LinearScanBackend::Run(const QueryRequest& request,
+                            const QueryContext& ctx,
+                            QueryResult* result) const {
+  switch (request.type) {
+    case QueryType::kKnn:
+    case QueryType::kBestFirstKnn:
+      result->neighbors =
+          scan_->KNearest(request.query, request.k, metric_, ctx);
+      break;
+    case QueryType::kRange:
+      result->neighbors =
+          scan_->Range(request.query, request.epsilon, metric_, ctx);
+      break;
+    case QueryType::kContainment:
+      result->ids = scan_->Containing(request.query, ctx);
+      break;
+    case QueryType::kSubset:
+      result->ids = scan_->ContainedIn(request.query, ctx);
+      break;
+    case QueryType::kExact:
+      break;  // The scan exposes no signature-equality entry point.
+  }
+}
+
+}  // namespace sgtree

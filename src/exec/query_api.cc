@@ -1,0 +1,38 @@
+#include "exec/query_api.h"
+
+#include <cmath>
+
+namespace sgtree {
+
+std::string ValidateRequest(const QueryRequest& request) {
+  switch (request.type) {
+    case QueryType::kKnn:
+    case QueryType::kBestFirstKnn:
+      if (request.k == 0) return "k must be positive for k-NN queries";
+      break;
+    case QueryType::kRange:
+      if (std::isnan(request.epsilon) || request.epsilon < 0.0) {
+        return "epsilon must be non-negative for range queries";
+      }
+      break;
+    case QueryType::kContainment:
+    case QueryType::kExact:
+    case QueryType::kSubset:
+      break;  // Signature-only queries: nothing to validate.
+  }
+  return std::string();
+}
+
+QueryResult Execute(const IndexBackend& backend, const QueryRequest& request,
+                    PageCache* pool) {
+  QueryResult result;
+  result.error = ValidateRequest(request);
+  if (!result.ok()) return result;
+  const QueryContext ctx{pool, &result.stats, &result.trace};
+  Timer timer;
+  backend.Run(request, ctx, &result);
+  result.elapsed_us = timer.ElapsedMs() * 1000.0;
+  return result;
+}
+
+}  // namespace sgtree

@@ -4,86 +4,22 @@
 #include <cmath>
 #include <utility>
 
-#include "sgtree/search.h"
-#include "storage/query_context.h"
+#include "exec/query_api.h"
 
 namespace sgtree {
 
 QueryResult ExecuteTreeQuery(const SgTree& tree, const BatchQuery& query,
                              PageCache* pool) {
-  QueryResult result;
-  const QueryContext ctx{pool, &result.stats, &result.trace};
-  Timer timer;
-  switch (query.type) {
-    case QueryType::kKnn:
-      result.neighbors = DfsKNearest(tree, query.query, query.k, ctx);
-      break;
-    case QueryType::kBestFirstKnn:
-      result.neighbors = BestFirstKNearest(tree, query.query, query.k, ctx);
-      break;
-    case QueryType::kRange:
-      result.neighbors = RangeSearch(tree, query.query, query.epsilon, ctx);
-      break;
-    case QueryType::kContainment:
-      result.ids = ContainmentSearch(tree, query.query, ctx);
-      break;
-    case QueryType::kExact:
-      result.ids = ExactSearch(tree, query.query, ctx);
-      break;
-    case QueryType::kSubset:
-      result.ids = SubsetSearch(tree, query.query, ctx);
-      break;
-  }
-  result.elapsed_us = timer.ElapsedMs() * 1000.0;
-  return result;
+  return Execute(SgTreeBackend(tree), query, pool);
 }
 
 QueryResult ExecuteTableQuery(const SgTable& table, const BatchQuery& query) {
-  QueryResult result;
-  const QueryContext ctx{nullptr, &result.stats, &result.trace};
-  Timer timer;
-  switch (query.type) {
-    case QueryType::kKnn:
-    case QueryType::kBestFirstKnn:
-      result.neighbors = table.KNearest(query.query, query.k, ctx);
-      break;
-    case QueryType::kRange:
-      result.neighbors = table.Range(query.query, query.epsilon, ctx);
-      break;
-    case QueryType::kContainment:
-    case QueryType::kExact:
-    case QueryType::kSubset:
-      break;  // The SG-table does not index set predicates.
-  }
-  result.elapsed_us = timer.ElapsedMs() * 1000.0;
-  return result;
+  return Execute(SgTableBackend(table), query);
 }
 
 QueryResult ExecuteInvertedQuery(const InvertedIndex& index,
                                  const BatchQuery& query) {
-  QueryResult result;
-  const QueryContext ctx{nullptr, &result.stats, &result.trace};
-  Timer timer;
-  const std::vector<ItemId> items = query.query.ToItems();
-  switch (query.type) {
-    case QueryType::kKnn:
-    case QueryType::kBestFirstKnn:
-      result.neighbors = index.KNearest(items, query.k, ctx);
-      break;
-    case QueryType::kRange:
-      result.neighbors = index.Range(items, query.epsilon, ctx);
-      break;
-    case QueryType::kContainment:
-      result.ids = index.Containing(items, ctx);
-      break;
-    case QueryType::kSubset:
-      result.ids = index.ContainedIn(items, ctx);
-      break;
-    case QueryType::kExact:
-      break;  // Exact match needs signatures, not posting lists.
-  }
-  result.elapsed_us = timer.ElapsedMs() * 1000.0;
-  return result;
+  return Execute(InvertedIndexBackend(index), query);
 }
 
 QueryExecutor::QueryExecutor(const QueryExecutorOptions& options)
@@ -232,29 +168,31 @@ std::vector<QueryResult> QueryExecutor::RunBatch(size_t n,
 }
 
 std::vector<QueryResult> QueryExecutor::Run(
-    const SgTree& tree, const std::vector<BatchQuery>& batch) {
+    const IndexBackend& backend, const std::vector<QueryRequest>& batch) {
   return RunBatch(batch.size(), [&](size_t i, uint32_t worker_id) {
     PageCache* pool = PoolFor(worker_id);
     // Private-pool mode starts every query cold, exactly like RunSerial and
     // the paper's per-query I/O measurements; the shared sharded pool stays
-    // warm across the whole batch instead.
+    // warm across the whole batch instead. Backends that do no paged I/O
+    // (table / inverted / scan) simply never touch the pool.
     if (shared_pool_ == nullptr) pool->Clear();
-    return ExecuteTreeQuery(tree, batch[i], pool);
+    return Execute(backend, batch[i], pool);
   });
+}
+
+std::vector<QueryResult> QueryExecutor::Run(
+    const SgTree& tree, const std::vector<BatchQuery>& batch) {
+  return Run(SgTreeBackend(tree), batch);
 }
 
 std::vector<QueryResult> QueryExecutor::Run(
     const SgTable& table, const std::vector<BatchQuery>& batch) {
-  return RunBatch(batch.size(), [&](size_t i, uint32_t /*worker_id*/) {
-    return ExecuteTableQuery(table, batch[i]);
-  });
+  return Run(SgTableBackend(table), batch);
 }
 
 std::vector<QueryResult> QueryExecutor::Run(
     const InvertedIndex& index, const std::vector<BatchQuery>& batch) {
-  return RunBatch(batch.size(), [&](size_t i, uint32_t /*worker_id*/) {
-    return ExecuteInvertedQuery(index, batch[i]);
-  });
+  return Run(InvertedIndexBackend(index), batch);
 }
 
 std::vector<QueryResult> QueryExecutor::RunSerial(

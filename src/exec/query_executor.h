@@ -13,6 +13,8 @@
 #include "baseline/linear_scan.h"
 #include "common/signature.h"
 #include "common/stats.h"
+#include "exec/index_backend.h"
+#include "exec/query_api.h"
 #include "inverted/inverted_index.h"
 #include "obs/metrics.h"
 #include "obs/query_trace.h"
@@ -23,46 +25,9 @@
 
 namespace sgtree {
 
-/// Query types a batch may mix freely. kKnn / kBestFirstKnn / kRange fill
-/// QueryResult::neighbors; the set-predicate types fill QueryResult::ids.
-enum class QueryType {
-  kKnn,           // Depth-first branch-and-bound k-NN (Figure 4).
-  kBestFirstKnn,  // Optimal best-first k-NN (Hjaltason & Samet).
-  kRange,         // All transactions within distance epsilon.
-  kContainment,   // Supersets of the query item set.
-  kExact,         // Exact signature matches.
-  kSubset,        // Subsets of the query item set.
-};
-
-/// One query of a batch. `k` is used by the k-NN types, `epsilon` by kRange;
-/// the others need only the signature.
-struct BatchQuery {
-  QueryType type = QueryType::kKnn;
-  Signature query;
-  uint32_t k = 1;
-  double epsilon = 0.0;
-};
-
-/// Result slot for one query, in batch order.
-struct QueryResult {
-  std::vector<Neighbor> neighbors;  // kKnn / kBestFirstKnn / kRange.
-  std::vector<uint64_t> ids;        // kContainment / kExact / kSubset.
-  QueryStats stats;                 // Per-query counters (deterministic in
-                                    // private-pool mode).
-  QueryTrace trace;                 // Per-query pruning trace; lockstep with
-                                    // `stats` by construction (QueryContext).
-  double elapsed_us = 0;            // Wall time of this query (not compared
-                                    // by the determinism tests).
-
-  friend bool operator==(const QueryResult& a, const QueryResult& b) {
-    return a.neighbors == b.neighbors && a.ids == b.ids &&
-           a.stats.nodes_accessed == b.stats.nodes_accessed &&
-           a.stats.random_ios == b.stats.random_ios &&
-           a.stats.transactions_compared == b.stats.transactions_compared &&
-           a.stats.bounds_computed == b.stats.bounds_computed &&
-           a.trace == b.trace;
-  }
-};
+// QueryType / QueryRequest (aka BatchQuery) / QueryResult moved to
+// exec/query_api.h — the executor is now one consumer of the unified query
+// API among several (router, CLI, benches).
 
 /// Aggregate view of the last batch: counter totals reduced from the
 /// per-worker accumulators plus exact latency percentiles over the batch's
@@ -129,19 +94,26 @@ class QueryExecutor {
     return static_cast<uint32_t>(workers_.size());
   }
 
+  /// Runs a batch against any backend of the unified query API. Each query
+  /// goes through Execute() (validation included) with the worker's pool;
+  /// in private-pool mode the pool is cleared before every query, so
+  /// results are byte-identical to the serial path. This is THE fan-out
+  /// entry point; the typed overloads below are thin adapter wrappers.
+  std::vector<QueryResult> Run(const IndexBackend& backend,
+                               const std::vector<QueryRequest>& batch);
+
   /// Runs a batch against the SG-tree; all query types are supported.
+  /// Wrapper over Run(SgTreeBackend(tree), batch).
   std::vector<QueryResult> Run(const SgTree& tree,
                                const std::vector<BatchQuery>& batch);
 
-  /// Runs a batch against the SG-table baseline (Hamming only; kKnn /
-  /// kBestFirstKnn answered by KNearest, kRange by Range; set-predicate
-  /// types yield empty results — the SG-table does not index containment).
+  /// Runs a batch against the SG-table baseline (Hamming only; see
+  /// SgTableBackend). Wrapper over the generic Run.
   std::vector<QueryResult> Run(const SgTable& table,
                                const std::vector<BatchQuery>& batch);
 
-  /// Runs a batch against the inverted-file baseline (kKnn / kBestFirstKnn
-  /// -> KNearest, kRange -> Range, kContainment -> Containing, kSubset ->
-  /// ContainedIn; kExact yields empty results).
+  /// Runs a batch against the inverted-file baseline (see
+  /// InvertedIndexBackend). Wrapper over the generic Run.
   std::vector<QueryResult> Run(const InvertedIndex& index,
                                const std::vector<BatchQuery>& batch);
 
@@ -213,9 +185,9 @@ class QueryExecutor {
   BatchReport batch_report_;
 };
 
-/// Executes one query against the tree with an explicit pool — the shared
-/// single-query kernel of QueryExecutor::Run/RunSerial (exposed for tests
-/// and custom harnesses).
+/// LEGACY single-query kernels, now thin wrappers over Execute() with the
+/// matching exec/index_backend.h adapter. Kept for old tests and harnesses;
+/// new code should construct the adapter and call Execute() directly.
 QueryResult ExecuteTreeQuery(const SgTree& tree, const BatchQuery& query,
                              PageCache* pool);
 QueryResult ExecuteTableQuery(const SgTable& table, const BatchQuery& query);

@@ -77,8 +77,18 @@ std::vector<BoundedEntry> SortedBounds(const SgTree& tree, const Node& node,
   return order;
 }
 
+// Pruning threshold: the local k-th-best distance, tightened by the
+// cross-partition bound when one is attached. Subtrees are pruned only when
+// their bound STRICTLY exceeds this — boundary-tied subtrees are descended
+// so ties at the k-th distance resolve canonically by (distance, tid).
+double PruneTau(const NeighborHeap& heap, const SharedPruneBound* shared) {
+  const double tau = heap.Tau();
+  return shared != nullptr ? std::min(tau, shared->Load()) : tau;
+}
+
 void DfsKnnRecurse(const SgTree& tree, PageId node_id, const Signature& query,
-                   NeighborHeap* heap, const QueryContext& ctx) {
+                   NeighborHeap* heap, const QueryContext& ctx,
+                   SharedPruneBound* shared) {
   const Node& node = tree.GetNode(node_id, ctx);
   ctx.CountNode(node.IsLeaf());
   const Metric metric = tree.options().metric;
@@ -87,11 +97,13 @@ void DfsKnnRecurse(const SgTree& tree, PageId node_id, const Signature& query,
     for (const Entry& entry : node.entries) {
       heap->Offer({entry.ref, Distance(query, entry.sig, metric)});
     }
+    // Publishing inf (heap not yet full) is a no-op inside PublishMin.
+    if (shared != nullptr) shared->PublishMin(heap->Tau());
     return;
   }
   const std::vector<BoundedEntry> order = SortedBounds(tree, node, query, ctx);
   for (size_t oi = 0; oi < order.size(); ++oi) {
-    if (order[oi].bound >= heap->Tau()) {
+    if (order[oi].bound > PruneTau(*heap, shared)) {
       // Later entries bound even higher: this entry and everything after it
       // is cut by the distance bound.
       ctx.TracePruned(order.size() - oi);
@@ -99,7 +111,7 @@ void DfsKnnRecurse(const SgTree& tree, PageId node_id, const Signature& query,
     }
     ctx.TraceDescended(1);
     DfsKnnRecurse(tree, static_cast<PageId>(node.entries[order[oi].index].ref),
-                  query, heap, ctx);
+                  query, heap, ctx, shared);
   }
 }
 
@@ -115,10 +127,11 @@ Neighbor DfsNearest(const SgTree& tree, const Signature& query,
 }
 
 std::vector<Neighbor> DfsKNearest(const SgTree& tree, const Signature& query,
-                                  uint32_t k, const QueryContext& ctx) {
+                                  uint32_t k, const QueryContext& ctx,
+                                  SharedPruneBound* shared) {
   NeighborHeap heap(k);
   if (tree.root() != kInvalidPageId && k > 0) {
-    DfsKnnRecurse(tree, tree.root(), query, &heap, ctx);
+    DfsKnnRecurse(tree, tree.root(), query, &heap, ctx, shared);
   }
   std::vector<Neighbor> result = std::move(heap).Sorted();
   ctx.TraceResults(result.size());
@@ -127,7 +140,8 @@ std::vector<Neighbor> DfsKNearest(const SgTree& tree, const Signature& query,
 
 std::vector<Neighbor> BestFirstKNearest(const SgTree& tree,
                                         const Signature& query, uint32_t k,
-                                        const QueryContext& ctx) {
+                                        const QueryContext& ctx,
+                                        SharedPruneBound* shared) {
   NeighborHeap heap(k);
   if (tree.root() == kInvalidPageId || k == 0) {
     return std::move(heap).Sorted();
@@ -148,8 +162,9 @@ std::vector<Neighbor> BestFirstKNearest(const SgTree& tree,
   while (!queue.empty()) {
     const QueueItem item = queue.top();
     queue.pop();
-    if (item.bound >= heap.Tau()) {
-      // Optimal stopping condition. This item and everything left in the
+    if (item.bound > PruneTau(heap, shared)) {
+      // Optimal stopping condition (boundary-tied nodes are still visited
+      // for canonical tie resolution). This item and everything left in the
       // queue was tested and enqueued but will never be visited.
       ctx.TracePruned(1 + queue.size());
       break;
@@ -166,6 +181,7 @@ std::vector<Neighbor> BestFirstKNearest(const SgTree& tree,
       for (const Entry& entry : node.entries) {
         heap.Offer({entry.ref, Distance(query, entry.sig, metric)});
       }
+      if (shared != nullptr) shared->PublishMin(heap.Tau());
       continue;
     }
     ctx.CountBounds(node.entries.size());
@@ -173,7 +189,7 @@ std::vector<Neighbor> BestFirstKNearest(const SgTree& tree,
     for (const Entry& entry : node.entries) {
       const double bound =
           MinDistBoundAreaStats(query, entry.sig, metric, lo, hi);
-      if (bound < heap.Tau()) {
+      if (bound <= PruneTau(heap, shared)) {
         queue.push({bound, static_cast<PageId>(entry.ref)});
       } else {
         ctx.TracePruned(1);
@@ -341,7 +357,8 @@ std::vector<uint64_t> SubsetSearch(const SgTree& tree, const Signature& query,
 }
 
 // ---------------------------------------------------------------------------
-// Serial convenience wrappers: charge the tree's own buffer pool.
+// Serial convenience wrappers: charge the tree's own buffer pool. LEGACY —
+// new call sites should go through exec/query_api.h (Execute on a backend).
 // ---------------------------------------------------------------------------
 
 Neighbor DfsNearest(SgTree& tree, const Signature& query, QueryStats* stats) {

@@ -1,7 +1,9 @@
 #ifndef SGTREE_SGTREE_SEARCH_H_
 #define SGTREE_SGTREE_SEARCH_H_
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "baseline/linear_scan.h"
@@ -27,34 +29,79 @@ namespace sgtree {
 ///    QueryStats*, which charges the tree's own buffer pool (the historical
 ///    behavior). Requiring a non-const tree here is deliberate: charging the
 ///    embedded pool is a mutation, so `const SgTree` now really means
-///    "thread-safe to read".
+///    "thread-safe to read". These wrappers are LEGACY: new code should go
+///    through the unified query API (exec/query_api.h) — build a
+///    QueryRequest and call Execute() on an IndexBackend — which adds
+///    parameter validation and works across every backend and the sharded
+///    router. The wrappers stay for the paper-figure benches and old tests.
+///
+/// k-NN tie semantics: both k-NN variants return the canonical k-minimum
+/// under the total order (distance, tid). Subtrees whose optimistic bound
+/// EQUALS the current k-th best distance are descended rather than pruned,
+/// so boundary ties always resolve to the smallest tids — the answer set is
+/// a pure function of the data, independent of tree shape, insertion order,
+/// or partitioning. (The paper's Figure 4 prunes on "not below", which can
+/// return either tied transaction; determinism is what lets the sharded
+/// scatter-gather merge reproduce the single-tree answer byte for byte.)
+
+/// Cross-partition pruning bound for scatter-gather k-NN: one atomic
+/// "best k-th distance seen by any partition so far", shared by concurrent
+/// searches over disjoint partitions of one logical index. Each search
+/// prunes with min(local tau, Load()) and publishes its local tau whenever
+/// its heap is full. Any published value is the k-th best of SOME k global
+/// candidates, hence >= the final global k-th distance — so tightening with
+/// it never discards a member of the canonical global answer, it only skips
+/// subtrees another partition has already beaten. Per-query COUNTERS become
+/// schedule-dependent when a bound is shared; the result VALUES do not.
+class SharedPruneBound {
+ public:
+  double Load() const { return bound_.load(std::memory_order_relaxed); }
+
+  /// Atomically lowers the bound to `candidate` if it improves on it.
+  void PublishMin(double candidate) {
+    double current = bound_.load(std::memory_order_relaxed);
+    while (candidate < current &&
+           !bound_.compare_exchange_weak(current, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> bound_{std::numeric_limits<double>::infinity()};
+};
 
 /// Depth-first branch-and-bound nearest-neighbor search (Figure 4): child
 /// entries are visited in ascending order of the optimistic lower bound
 /// MinDistBound(q, e), ties broken by minimum entry area; a subtree is
-/// pruned when its bound is not below the best distance found so far.
+/// pruned when its bound strictly exceeds the best distance found so far
+/// (see the tie-semantics note above).
 Neighbor DfsNearest(const SgTree& tree, const Signature& query,
                     const QueryContext& ctx);
 Neighbor DfsNearest(SgTree& tree, const Signature& query,
-                    QueryStats* stats = nullptr);
+                    QueryStats* stats = nullptr);  // LEGACY; see note above.
 
 /// k-nearest-neighbor variant: the single best-so-far is replaced by a
 /// size-k priority queue whose maximum is the pruning bound. Results are
-/// ascending by distance (ties by tid).
+/// ascending by (distance, tid). `shared`, when non-null, attaches the
+/// cross-partition bound described on SharedPruneBound.
 std::vector<Neighbor> DfsKNearest(const SgTree& tree, const Signature& query,
-                                  uint32_t k, const QueryContext& ctx);
+                                  uint32_t k, const QueryContext& ctx,
+                                  SharedPruneBound* shared = nullptr);
 std::vector<Neighbor> DfsKNearest(SgTree& tree, const Signature& query,
-                                  uint32_t k, QueryStats* stats = nullptr);
+                                  uint32_t k,
+                                  QueryStats* stats = nullptr);  // LEGACY.
 
 /// Optimal best-first nearest neighbor (Hjaltason & Samet): a global
 /// priority queue over (bound, node); never reads a node whose bound
-/// exceeds the final k-th distance.
+/// strictly exceeds the final k-th distance (boundary-tied nodes are
+/// visited for canonical tie resolution).
 std::vector<Neighbor> BestFirstKNearest(const SgTree& tree,
                                         const Signature& query, uint32_t k,
-                                        const QueryContext& ctx);
+                                        const QueryContext& ctx,
+                                        SharedPruneBound* shared = nullptr);
 std::vector<Neighbor> BestFirstKNearest(SgTree& tree, const Signature& query,
                                         uint32_t k,
-                                        QueryStats* stats = nullptr);
+                                        QueryStats* stats = nullptr);  // LEGACY.
 
 /// Similarity range query: all transactions within distance `epsilon` of
 /// the query, ascending by distance (ties by tid). Subtrees with
@@ -63,7 +110,7 @@ std::vector<Neighbor> RangeSearch(const SgTree& tree, const Signature& query,
                                   double epsilon, const QueryContext& ctx);
 std::vector<Neighbor> RangeSearch(SgTree& tree, const Signature& query,
                                   double epsilon,
-                                  QueryStats* stats = nullptr);
+                                  QueryStats* stats = nullptr);  // LEGACY.
 
 /// Itemset containment query (Section 3 example): all transactions whose
 /// item set is a superset of `query`. Follows only entries whose signature
@@ -72,13 +119,13 @@ std::vector<uint64_t> ContainmentSearch(const SgTree& tree,
                                         const Signature& query,
                                         const QueryContext& ctx);
 std::vector<uint64_t> ContainmentSearch(SgTree& tree, const Signature& query,
-                                        QueryStats* stats = nullptr);
+                                        QueryStats* stats = nullptr);  // LEGACY.
 
 /// Exact-match lookup: ids of transactions whose signature equals `query`.
 std::vector<uint64_t> ExactSearch(const SgTree& tree, const Signature& query,
                                   const QueryContext& ctx);
 std::vector<uint64_t> ExactSearch(SgTree& tree, const Signature& query,
-                                  QueryStats* stats = nullptr);
+                                  QueryStats* stats = nullptr);  // LEGACY.
 
 /// Subset query: all non-empty transactions whose item set is a SUBSET of
 /// `query`. The only available pruning is that a subtree is skipped when
@@ -89,7 +136,7 @@ std::vector<uint64_t> ExactSearch(SgTree& tree, const Signature& query,
 std::vector<uint64_t> SubsetSearch(const SgTree& tree, const Signature& query,
                                    const QueryContext& ctx);
 std::vector<uint64_t> SubsetSearch(SgTree& tree, const Signature& query,
-                                   QueryStats* stats = nullptr);
+                                   QueryStats* stats = nullptr);  // LEGACY.
 
 }  // namespace sgtree
 

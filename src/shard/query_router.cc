@@ -1,0 +1,173 @@
+#include "shard/query_router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "exec/index_backend.h"
+#include "sgtree/search.h"
+
+namespace sgtree {
+namespace {
+
+// Nearest-rank percentile over per-query wall times; `sorted_us` ascending.
+double PercentileUs(const std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  const double frac = p / 100.0 * static_cast<double>(sorted_us.size());
+  size_t rank = static_cast<size_t>(std::ceil(frac));
+  if (rank < 1) rank = 1;
+  if (rank > sorted_us.size()) rank = sorted_us.size();
+  return sorted_us[rank - 1];
+}
+
+bool IsKnn(QueryType type) {
+  return type == QueryType::kKnn || type == QueryType::kBestFirstKnn;
+}
+
+// Gathers one query's per-shard answers into `out` (whose error field is
+// already clear): values are merged under the same canonical orders the
+// single-tree search emits, counters are summed, and the service time is
+// the slowest shard task.
+void MergeQuery(const QueryRequest& request, const QueryResult* parts,
+                uint32_t num_shards, QueryResult* out) {
+  size_t total_neighbors = 0;
+  size_t total_ids = 0;
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    total_neighbors += parts[i].neighbors.size();
+    total_ids += parts[i].ids.size();
+  }
+  out->neighbors.reserve(total_neighbors);
+  out->ids.reserve(total_ids);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    out->neighbors.insert(out->neighbors.end(), parts[i].neighbors.begin(),
+                          parts[i].neighbors.end());
+    out->ids.insert(out->ids.end(), parts[i].ids.begin(),
+                    parts[i].ids.end());
+    out->stats += parts[i].stats;
+    out->trace += parts[i].trace;
+    out->elapsed_us = std::max(out->elapsed_us, parts[i].elapsed_us);
+  }
+  // Tids are unique across shards (the index partitions by tid), so these
+  // sorts see no equal keys and the orders are total.
+  std::sort(out->neighbors.begin(), out->neighbors.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.distance != b.distance ? a.distance < b.distance
+                                              : a.tid < b.tid;
+            });
+  std::sort(out->ids.begin(), out->ids.end());
+  if (IsKnn(request.type) && out->neighbors.size() > request.k) {
+    // Every shard over-answers with its local top-k; the global answer is
+    // the k best of the union.
+    out->neighbors.resize(request.k);
+  }
+}
+
+}  // namespace
+
+QueryRouter::QueryRouter(const ShardedIndex& index, QueryExecutor* executor,
+                         const QueryRouterOptions& options)
+    : index_(&index), executor_(executor), options_(options) {
+  if (options_.pool_shards > 0) {
+    shared_pool_ = std::make_unique<ShardedBufferPool>(options_.buffer_pages,
+                                                       options_.pool_shards);
+    return;
+  }
+  const uint32_t workers = executor_->num_threads();
+  worker_pools_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    worker_pools_.push_back(
+        std::make_unique<BufferPool>(options_.buffer_pages));
+  }
+}
+
+PageCache* QueryRouter::PoolFor(uint32_t worker_id) {
+  if (shared_pool_ != nullptr) return shared_pool_.get();
+  return worker_pools_[worker_id].get();
+}
+
+std::vector<QueryResult> QueryRouter::Run(
+    const std::vector<QueryRequest>& batch) {
+  const size_t n = batch.size();
+  const uint32_t s = index_->num_shards();
+  std::vector<QueryResult> merged(n);
+  std::vector<uint8_t> valid(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    merged[i].error = ValidateRequest(batch[i]);
+    valid[i] = merged[i].ok() ? 1 : 0;
+  }
+
+  // One task per (query, shard), query-major so a serial executor still
+  // visits a query's shards back to back (the shared bound tightens soonest
+  // that way). Each slot is written by exactly one worker.
+  std::vector<QueryResult> partial(n * s);
+  std::vector<SharedPruneBound> bounds(n);
+  Timer batch_timer;
+  executor_->ParallelFor(n * s, [&](size_t task, uint32_t worker_id) {
+    const size_t qi = task / s;
+    if (valid[qi] == 0) return;
+    const uint32_t si = static_cast<uint32_t>(task % s);
+    const QueryRequest& request = batch[qi];
+    PageCache* pool = PoolFor(worker_id);
+    // Private pools start every shard task cold — the same per-query
+    // cold-cache protocol as the executor, applied per sub-query.
+    if (shared_pool_ == nullptr) pool->Clear();
+    SharedPruneBound* bound = options_.shared_knn_bound && IsKnn(request.type)
+                                  ? &bounds[qi]
+                                  : nullptr;
+    partial[task] = Execute(SgTreeBackend(index_->shard(si), bound), request,
+                            pool);
+  });
+
+  std::vector<uint64_t> shard_queries(s, 0);
+  std::vector<uint64_t> shard_ios(s, 0);
+  std::vector<uint64_t> shard_nodes(s, 0);
+  for (size_t qi = 0; qi < n; ++qi) {
+    if (valid[qi] == 0) continue;
+    MergeQuery(batch[qi], &partial[qi * s], s, &merged[qi]);
+    for (uint32_t si = 0; si < s; ++si) {
+      const QueryResult& part = partial[qi * s + si];
+      ++shard_queries[si];
+      shard_ios[si] += part.stats.random_ios;
+      shard_nodes[si] += part.trace.nodes_visited();
+    }
+  }
+
+  report_ = BatchReport{};
+  report_.queries = n;
+  report_.wall_ms = batch_timer.ElapsedMs();
+  std::vector<double> latencies;
+  latencies.reserve(n);
+  for (size_t qi = 0; qi < n; ++qi) {
+    if (valid[qi] == 0) continue;
+    report_.stats += merged[qi].stats;
+    report_.trace += merged[qi].trace;
+    latencies.push_back(merged[qi].elapsed_us);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report_.p50_us = PercentileUs(latencies, 50);
+  report_.p95_us = PercentileUs(latencies, 95);
+  report_.p99_us = PercentileUs(latencies, 99);
+
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    reg.GetCounter("shard.queries")->Increment(n);
+    reg.GetCounter("shard.fanout_tasks")->Increment(n * s);
+    for (uint32_t si = 0; si < s; ++si) {
+      const std::string prefix = "shard." + std::to_string(si) + ".";
+      reg.GetCounter(prefix + "queries")->Increment(shard_queries[si]);
+      reg.GetCounter(prefix + "random_ios")->Increment(shard_ios[si]);
+      reg.GetCounter(prefix + "nodes_visited")->Increment(shard_nodes[si]);
+    }
+    obs::Histogram* latency = reg.GetHistogram("shard.query_latency_us");
+    for (const double us : latencies) latency->Observe(us);
+  }
+  return merged;
+}
+
+QueryResult QueryRouter::RunOne(const QueryRequest& request) {
+  std::vector<QueryResult> results = Run({request});
+  return std::move(results.front());
+}
+
+}  // namespace sgtree

@@ -1,0 +1,106 @@
+#ifndef SGTREE_SHARD_QUERY_ROUTER_H_
+#define SGTREE_SHARD_QUERY_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/query_api.h"
+#include "exec/query_executor.h"
+#include "obs/metrics.h"
+#include "shard/sharded_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/sharded_buffer_pool.h"
+
+namespace sgtree {
+
+struct QueryRouterOptions {
+  /// Frames of each worker's private per-task pool, or the total capacity
+  /// of the shared sharded pool — same semantics as QueryExecutorOptions.
+  uint32_t buffer_pages = 64;
+
+  /// 0 (default): every worker owns a private BufferPool cleared before
+  /// each shard task, so every (query, shard) sub-query starts cold and
+  /// per-shard counters are scheduling-independent. > 0: all workers share
+  /// one ShardedBufferPool with this many lock stripes.
+  uint32_t pool_shards = 0;
+
+  /// Attach one SharedPruneBound per k-NN query, letting shards prune with
+  /// the best k-th distance ANY shard has found so far (see
+  /// sgtree/search.h). Results are identical either way — the bound only
+  /// skips work — but per-shard counters become schedule-dependent, so the
+  /// counter-determinism tests switch it off.
+  bool shared_knn_bound = true;
+
+  /// Optional registry: each batch feeds "shard.queries",
+  /// "shard.fanout_tasks", per-shard "shard.<i>.queries" /
+  /// "shard.<i>.random_ios" / "shard.<i>.nodes_visited" counters and the
+  /// "shard.query_latency_us" histogram (merged per-query latencies), all
+  /// from the calling thread after the fan-out.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Scatter-gather query engine over a ShardedIndex: every query of a batch
+/// fans out to all shards as independent (query, shard) tasks on the
+/// executor's worker pool, and the per-shard answers are merged on the
+/// calling thread:
+///
+///  - kKnn / kBestFirstKnn: merge the per-shard candidate lists under
+///    (distance, tid) and keep the first k. Both the single tree and every
+///    shard resolve boundary ties canonically (search.h), and a shard's
+///    list always contains every member of the global top-k that lives in
+///    that shard — the shared bound is provably never below the final k-th
+///    distance — so the merge reproduces the single-tree answer exactly.
+///  - kRange: concatenate and sort by (distance, tid) — each shard returns
+///    its exact in-range transactions, and tids are unique across shards.
+///  - kContainment / kExact / kSubset: union of the per-shard id lists,
+///    sorted ascending.
+///
+/// In every case the merged result is byte-identical to running the same
+/// request on one SG-tree holding all the data (the determinism suite
+/// checks this for all six types on 1/2/8 shards). Merged per-query
+/// `stats`/`trace` are the SUM over shards and `elapsed_us` the MAX (the
+/// scatter-gather service time); those match the single-tree numbers only
+/// in spirit, not byte for byte.
+///
+/// The router borrows the executor's threads but owns its pools, so a
+/// router and a plain executor batch never share cache state. Requests are
+/// validated once at the router boundary; an invalid request yields one
+/// error result and is never fanned out.
+class QueryRouter {
+ public:
+  /// `index` and `executor` must outlive the router. The executor is only
+  /// used for its worker pool (ParallelFor); its own pool options are
+  /// irrelevant here.
+  QueryRouter(const ShardedIndex& index, QueryExecutor* executor,
+              const QueryRouterOptions& options = {});
+
+  QueryRouter(const QueryRouter&) = delete;
+  QueryRouter& operator=(const QueryRouter&) = delete;
+
+  /// Scatter-gathers the whole batch; results are in input order.
+  std::vector<QueryResult> Run(const std::vector<QueryRequest>& batch);
+
+  /// Convenience for a single request.
+  QueryResult RunOne(const QueryRequest& request);
+
+  /// Aggregate view of the last Run(): per-query merged latencies feed the
+  /// percentiles, counters are summed over all (query, shard) tasks.
+  const BatchReport& last_batch_report() const { return report_; }
+
+  const ShardedBufferPool* shared_pool() const { return shared_pool_.get(); }
+
+ private:
+  PageCache* PoolFor(uint32_t worker_id);
+
+  const ShardedIndex* index_;
+  QueryExecutor* executor_;
+  QueryRouterOptions options_;
+  std::vector<std::unique_ptr<BufferPool>> worker_pools_;
+  std::unique_ptr<ShardedBufferPool> shared_pool_;
+  BatchReport report_;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_SHARD_QUERY_ROUTER_H_

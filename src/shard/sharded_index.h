@@ -1,0 +1,159 @@
+#ifndef SGTREE_SHARD_SHARDED_INDEX_H_
+#define SGTREE_SHARD_SHARDED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/transaction.h"
+#include "durability/durable_tree.h"
+#include "durability/env.h"
+#include "obs/metrics.h"
+#include "sgtree/bulk_load.h"
+#include "sgtree/options.h"
+#include "sgtree/sg_tree.h"
+
+namespace sgtree {
+
+/// Options of a ShardedIndex. `tree` configures every per-shard SG-tree
+/// identically (each shard still owns its private buffer pool).
+struct ShardedIndexOptions {
+  uint32_t num_shards = 1;
+  SgTreeOptions tree;
+  /// Durable mode only: fsync each shard's WAL after every operation.
+  /// InsertBatch group-commits per shard regardless.
+  bool sync_each_op = true;
+  /// Optional registry for shard.* build/update metrics (the QueryRouter
+  /// takes its own registry for the read path).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// A horizontally partitioned SG-tree index: transactions are routed to one
+/// of N shards by a stable hash of their tid, and each shard is a complete,
+/// independent SG-tree. Because the shards partition the data, any query
+/// can be answered by running it unchanged on every shard and merging — the
+/// QueryRouter does exactly that, and the merged answer is byte-identical
+/// to a single tree over the same data (see query_router.h for why).
+///
+/// Shards come in two flavors, mirroring the single-tree story:
+///  - In-memory (constructor / BulkLoad), snapshot-persisted via
+///    Save()/Load(): a small manifest at `path` plus one SaveTree image per
+///    shard at `path.shard<i>`.
+///  - Durable (OpenDurable): each shard is a DurableTree in its own
+///    subdirectory `<dir>/shard-<i>` with a private page file + WAL, so a
+///    crash is recovered shard by shard at the next OpenDurable and a
+///    fault in one shard's log never contaminates the others.
+///
+/// Thread-safety matches SgTree: concurrent reads of const shards are safe
+/// (the router fans out on that basis); mutations must be externally
+/// serialized per index. Bulk loads and batch inserts parallelize
+/// internally ACROSS shards — the shards are independent structures, so
+/// one builder thread per shard is race-free by construction.
+class ShardedIndex {
+ public:
+  /// The shard owning `tid` under an N-way partition: a splitmix64 finalizer
+  /// mod N. Stable across runs, platforms, and shard-local state — the
+  /// partition is a pure function of (tid, num_shards), which is what makes
+  /// snapshots, WAL recovery, and the byte-identical merge line up.
+  static uint32_t ShardOf(uint64_t tid, uint32_t num_shards);
+
+  /// In-memory index with `options.num_shards` empty shards.
+  explicit ShardedIndex(const ShardedIndexOptions& options);
+
+  ShardedIndex(const ShardedIndex&) = delete;
+  ShardedIndex& operator=(const ShardedIndex&) = delete;
+  ~ShardedIndex();
+
+  /// Opens (or creates) a durable index: one DurableTree per shard under
+  /// `dir`, each crash-recovered independently at open. Returns nullptr
+  /// with `*error` set if any shard fails to open.
+  static std::unique_ptr<ShardedIndex> OpenDurable(
+      Env* env, const std::string& dir, const ShardedIndexOptions& options,
+      std::string* error);
+
+  /// Builds an in-memory index by partitioning `dataset` and bottom-up
+  /// bulk-loading every shard in parallel (one thread per shard).
+  static std::unique_ptr<ShardedIndex> BulkLoad(
+      const Dataset& dataset, const ShardedIndexOptions& options,
+      const BulkLoadOptions& bulk = {});
+
+  /// Bulk-loads `dataset` into this (required-empty) index: partitions,
+  /// builds the per-shard trees in parallel, then installs them — through
+  /// DurableTree::AdoptBulkLoaded in durable mode (each shard's load is
+  /// logged and checkpointed), or directly in-memory. Returns false with
+  /// `*error` set on failure.
+  bool AdoptBulkLoaded(const Dataset& dataset, const BulkLoadOptions& bulk,
+                       std::string* error);
+
+  /// Routed updates. In durable mode these are logged per shard
+  /// (log-before-acknowledge; false = the owning shard could not make the
+  /// operation durable). In-memory inserts always succeed; Erase returns
+  /// whether the key existed.
+  bool Insert(const Transaction& txn);
+  bool Erase(const Transaction& txn);
+
+  /// Partitions `txns` and inserts each partition into its shard in
+  /// parallel (durable mode: one group commit per shard). Returns the
+  /// number of acknowledged inserts.
+  size_t InsertBatch(const std::vector<Transaction>& txns);
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  bool durable() const { return !durable_shards_.empty(); }
+
+  /// Sum of the shards' sizes / node counts.
+  size_t size() const;
+  uint64_t node_count() const;
+
+  /// Shard `i`'s tree. The const form is the router's read path.
+  const SgTree& shard(uint32_t i) const { return *shards_[i]; }
+  SgTree& shard(uint32_t i) { return *shards_[i]; }
+
+  /// Shard `i`'s DurableTree, or null when in-memory.
+  DurableTree* durable_shard(uint32_t i) {
+    return durable_shards_.empty() ? nullptr : durable_shards_[i].get();
+  }
+
+  /// Durable mode: fsyncs / checkpoints every shard. No-ops in-memory.
+  bool Sync();
+  bool Checkpoint(std::string* error = nullptr);
+
+  /// Snapshot persistence for in-memory indexes: writes a manifest at
+  /// `path` (format version, shard count) and one crash-atomic SaveTree
+  /// image per shard at ShardSnapshotPath(path, i).
+  bool Save(const std::string& path, std::string* error = nullptr) const;
+
+  /// Rebuilds a Save()d index. `options.num_shards` is taken from the
+  /// manifest, not the caller; `options.tree` supplies the runtime
+  /// (metric, buffer pages) exactly like LoadTree.
+  static std::unique_ptr<ShardedIndex> Load(const std::string& path,
+                                            const ShardedIndexOptions& options,
+                                            std::string* error = nullptr);
+
+  /// `path.shard<i>` — the per-shard snapshot file of Save/Load.
+  static std::string ShardSnapshotPath(const std::string& path, uint32_t i);
+  /// `<dir>/shard-<i>` — the per-shard directory of OpenDurable.
+  static std::string ShardDirFor(const std::string& dir, uint32_t i);
+
+ private:
+  ShardedIndex() = default;
+
+  /// Splits `txns` into per-shard transaction lists.
+  std::vector<std::vector<Transaction>> Partition(
+      const std::vector<Transaction>& txns) const;
+
+  void CountInserts(uint32_t shard, uint64_t n);
+
+  ShardedIndexOptions options_;
+  /// Views of the shard trees: owned by trees_ in-memory, or by the
+  /// DurableTrees in durable mode. Always num_shards entries.
+  std::vector<SgTree*> shards_;
+  std::vector<std::unique_ptr<SgTree>> trees_;
+  std::vector<std::unique_ptr<DurableTree>> durable_shards_;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_SHARD_SHARDED_INDEX_H_

@@ -13,10 +13,15 @@
 #include "durability/durable_tree.h"
 #include "durability/env.h"
 #include "durability/recovery.h"
+#include "exec/index_backend.h"
+#include "exec/query_api.h"
+#include "exec/query_executor.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/query_trace.h"
 #include "sgtree/bulk_load.h"
+#include "shard/query_router.h"
+#include "shard/sharded_index.h"
 #include "sgtree/invariant_auditor.h"
 #include "sgtree/paged_reader.h"
 #include "sgtree/persistence.h"
@@ -154,6 +159,8 @@ int CmdBuild(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   }
 
   const std::string bulk = cmd.StringOr("bulk", "none");
+  const auto shards = static_cast<uint32_t>(cmd.IntOr("shards", 1));
+  if (shards == 0) return Fail(err, "--shards must be positive");
   if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
 
   BulkLoadOptions bulk_options;
@@ -167,6 +174,67 @@ int CmdBuild(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
     } else {
       return Fail(err, "unknown bulk order '" + bulk + "'");
     }
+  }
+
+  // Sharded build (--shards N, N >= 2): transactions are hash-partitioned
+  // by tid across N per-shard SG-trees. --out writes a manifest plus one
+  // snapshot per shard; --durable opens one DurableTree per shard under
+  // DIR/shard-<i> (bulk orders are adopted + checkpointed per shard, plain
+  // inserts group-commit into each shard's log).
+  if (shards > 1) {
+    ShardedIndexOptions sharded_options;
+    sharded_options.num_shards = shards;
+    sharded_options.tree = options;
+    if (durable_dir.has_value()) {
+      std::string derror;
+      auto index = ShardedIndex::OpenDurable(Env::Posix(), *durable_dir,
+                                             sharded_options, &derror);
+      if (index == nullptr) return Fail(err, derror);
+      if (index->size() != 0) {
+        return Fail(err, *durable_dir + " already holds an index");
+      }
+      Timer timer;
+      if (bulk == "none") {
+        const size_t logged = index->InsertBatch(dataset.transactions);
+        if (logged != dataset.transactions.size()) {
+          return Fail(err, "wal append failed after " +
+                               std::to_string(logged) + " inserts");
+        }
+      } else if (!index->AdoptBulkLoaded(dataset, bulk_options, &derror)) {
+        return Fail(err, derror);
+      }
+      out << "indexed " << index->size() << " transactions durably across "
+          << shards << " shards in " << timer.ElapsedMs() << " ms; "
+          << index->node_count() << " nodes\n"
+          << "wrote " << ShardedIndex::ShardDirFor(*durable_dir, 0) << " .. "
+          << ShardedIndex::ShardDirFor(*durable_dir, shards - 1) << "\n";
+      return 0;
+    }
+    Timer timer;
+    std::unique_ptr<ShardedIndex> index;
+    if (bulk == "none") {
+      index = std::make_unique<ShardedIndex>(sharded_options);
+      index->InsertBatch(dataset.transactions);
+    } else {
+      index = ShardedIndex::BulkLoad(dataset, sharded_options, bulk_options);
+    }
+    const double build_ms = timer.ElapsedMs();
+    for (uint32_t i = 0; i < shards; ++i) {
+      const TreeReport report = CheckTree(index->shard(i));
+      if (!report.ok) {
+        return Fail(err, "shard " + std::to_string(i) +
+                             " failed validation: " + report.message);
+      }
+    }
+    std::string save_error;
+    if (!index->Save(*out_path, &save_error)) {
+      return Fail(err, "cannot write index " + *out_path + ": " + save_error);
+    }
+    out << "indexed " << index->size() << " transactions across " << shards
+        << " shards in " << build_ms << " ms; " << index->node_count()
+        << " nodes\n"
+        << "wrote " << *out_path << " + " << shards << " shard snapshots\n";
+    return 0;
   }
 
   // Durable build: every insert goes through the write-ahead log; a bulk
@@ -374,9 +442,24 @@ int CmdCheck(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
 
 int CmdQuery(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   if (cmd.positional().size() < 2) {
-    return Fail(err, "usage: query nn|range|contain --index FILE ...");
+    return Fail(err,
+                "usage: query nn|range|contain|exact|subset --index FILE ...");
   }
   const std::string& kind = cmd.positional()[1];
+  QueryType type = QueryType::kKnn;
+  if (kind == "nn") {
+    type = QueryType::kKnn;
+  } else if (kind == "range") {
+    type = QueryType::kRange;
+  } else if (kind == "contain") {
+    type = QueryType::kContainment;
+  } else if (kind == "exact") {
+    type = QueryType::kExact;
+  } else if (kind == "subset") {
+    type = QueryType::kSubset;
+  } else {
+    return Fail(err, "unknown query kind '" + kind + "'");
+  }
   const auto index_path = cmd.GetString("index");
   if (!index_path.has_value()) return Fail(err, "query requires --index");
 
@@ -386,17 +469,37 @@ int CmdQuery(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
     return Fail(err, "unknown metric");
   }
   options.metric = metric;
+
+  // --shards 1 loads --index as a sharded manifest (the shard count comes
+  // from the manifest) and answers through the scatter-gather router;
+  // --threads sizes its worker pool.
+  const bool sharded = cmd.IntOr("shards", 0) != 0;
+  const auto threads = static_cast<uint32_t>(cmd.IntOr("threads", 0));
+  std::unique_ptr<SgTree> tree;
+  std::unique_ptr<ShardedIndex> index;
+  uint32_t num_bits = 0;
   std::string load_error;
-  auto tree = LoadTree(*index_path, options, &load_error);
-  if (tree == nullptr) {
-    return Fail(err, "cannot load " + *index_path + ": " + load_error);
+  if (sharded) {
+    ShardedIndexOptions sharded_options;
+    sharded_options.tree = options;
+    index = ShardedIndex::Load(*index_path, sharded_options, &load_error);
+    if (index == nullptr) {
+      return Fail(err, "cannot load " + *index_path + ": " + load_error);
+    }
+    num_bits = index->shard(0).num_bits();
+  } else {
+    tree = LoadTree(*index_path, options, &load_error);
+    if (tree == nullptr) {
+      return Fail(err, "cannot load " + *index_path + ": " + load_error);
+    }
+    num_bits = tree->num_bits();
   }
 
   // Collect query item lists from --q and/or --queries.
   std::vector<std::vector<ItemId>> queries;
   if (const auto q = cmd.GetString("q"); q.has_value()) {
     std::vector<ItemId> items;
-    if (!ParseItems(*q, tree->num_bits(), &items)) {
+    if (!ParseItems(*q, num_bits, &items)) {
       return Fail(err, "bad --q item list");
     }
     queries.push_back(std::move(items));
@@ -418,35 +521,54 @@ int CmdQuery(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   const auto metrics_path = cmd.GetString("metrics-json");
   if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
 
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const auto& items : queries) {
+    QueryRequest request;
+    request.type = type;
+    request.query = Signature::FromItems(items, num_bits);
+    request.k = k;
+    request.epsilon = epsilon;
+    requests.push_back(std::move(request));
+  }
+
+  obs::MetricsRegistry registry;
+  std::vector<QueryResult> results;
+  if (sharded) {
+    QueryExecutorOptions exec_options;
+    exec_options.num_threads = threads;
+    QueryExecutor executor(exec_options);
+    QueryRouterOptions router_options;
+    router_options.metrics = &registry;
+    QueryRouter router(*index, &executor, router_options);
+    results = router.Run(requests);
+  } else {
+    results.reserve(requests.size());
+    for (const QueryRequest& request : requests) {
+      // The tree's own pool, uncleared between queries — the warm-cache
+      // protocol the serial CLI has always used.
+      results.push_back(
+          Execute(SgTreeBackend(*tree), request, &tree->buffer_pool()));
+    }
+  }
+
   QueryStats stats;
   QueryTrace total_trace;
-  obs::MetricsRegistry registry;
   obs::Histogram* latency = registry.GetHistogram("query.latency_us");
-  for (size_t qi = 0; qi < queries.size(); ++qi) {
-    const Signature sig =
-        Signature::FromItems(queries[qi], tree->num_bits());
-    QueryTrace trace;
-    const QueryContext ctx = tree->OwnPoolContext(&stats, &trace);
-    Timer timer;
+  for (size_t qi = 0; qi < results.size(); ++qi) {
+    const QueryResult& result = results[qi];
+    if (!result.ok()) return Fail(err, result.error);
     out << "query " << qi << ":";
-    if (kind == "nn") {
-      for (const Neighbor& n : DfsKNearest(*tree, sig, k, ctx)) {
-        out << " " << n.tid << "(d=" << n.distance << ")";
-      }
-    } else if (kind == "range") {
-      for (const Neighbor& n : RangeSearch(*tree, sig, epsilon, ctx)) {
-        out << " " << n.tid << "(d=" << n.distance << ")";
-      }
-    } else if (kind == "contain") {
-      for (uint64_t tid : ContainmentSearch(*tree, sig, ctx)) {
-        out << " " << tid;
-      }
-    } else {
-      return Fail(err, "unknown query kind '" + kind + "'");
+    for (const Neighbor& n : result.neighbors) {
+      out << " " << n.tid << "(d=" << n.distance << ")";
+    }
+    for (uint64_t tid : result.ids) {
+      out << " " << tid;
     }
     out << "\n";
-    latency->Observe(timer.ElapsedMs() * 1000.0);
+    latency->Observe(result.elapsed_us);
     if (print_trace) {
+      const QueryTrace& trace = result.trace;
       out << "  trace: nodes=" << trace.nodes_visited()
           << " tested=" << trace.signatures_tested
           << " descended=" << trace.subtrees_descended
@@ -456,7 +578,8 @@ int CmdQuery(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
           << " hits=" << trace.buffer_hits
           << " misses=" << trace.buffer_misses << "\n";
     }
-    total_trace += trace;
+    stats += result.stats;
+    total_trace += result.trace;
   }
   out << "# compared " << stats.transactions_compared << " transactions, "
       << stats.nodes_accessed << " node accesses, " << stats.random_ios

@@ -15,11 +15,15 @@ namespace sgtree {
 ///   gen census  --out F [--tuples N] [--seed N]
 ///   build       --data F (--out F | --durable DIR) [--split avg|min|quadratic]
 ///               [--bulk gray|bisect|minhash|none] [--compress 0|1]
-///               [--page N] [--durable DIR]
+///               [--page N] [--shards N]
 ///               With --durable, builds a crash-safe index in DIR (page
 ///               file + write-ahead log) instead of a plain snapshot:
 ///               plain inserts are logged (fold them with wal-checkpoint),
 ///               bulk loads are logged wholesale and checkpointed.
+///               With --shards N (N >= 2), hash-partitions the data into N
+///               per-shard SG-trees: --out writes a manifest plus one
+///               snapshot per shard, --durable gives every shard its own
+///               page file + WAL under DIR/shard-<i>.
 ///   stats       --index F
 ///   check       --index F [--paged 0|1] [--max-violations N]
 ///               Runs the full InvariantAuditor (coverage, levels, fill
@@ -30,6 +34,13 @@ namespace sgtree {
 ///               [--metric hamming|jaccard|dice|cosine]
 ///   query range --index F (--q ... | --queries F) --eps X [--metric M]
 ///   query contain --index F (--q ... | --queries F)
+///   query exact|subset --index F (--q ... | --queries F)
+///               All query kinds run through the unified query API
+///               (exec/query_api.h). Add --shards 1 to load --index as a
+///               sharded manifest (built with build --shards N) and answer
+///               via the scatter-gather QueryRouter — results are
+///               byte-identical to the single-tree path; --threads N sizes
+///               the router's worker pool (0 = hardware concurrency).
 ///   recover     --durable D [--out F] [--metrics-json F]
 ///               Replays the write-ahead log over the page file, gates the
 ///               result through the InvariantAuditor, and prints the

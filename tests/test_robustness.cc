@@ -98,7 +98,12 @@ class PersistenceCorruptionTest : public ::testing::Test {
     options.max_entries = 8;
     tree_ = std::make_unique<SgTree>(options);
     for (const Transaction& txn : dataset.transactions) tree_->Insert(txn);
-    path_ = ::testing::TempDir() + "/sgtree_corrupt.bin";
+    // Test-unique path: ctest runs the fixture's tests concurrently, and a
+    // shared file would race between one test's writes and the other's
+    // TearDown cleanup.
+    path_ = ::testing::TempDir() + "/sgtree_corrupt_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
     ASSERT_TRUE(SaveTree(*tree_, path_));
     std::ifstream in(path_, std::ios::binary);
     bytes_.assign(std::istreambuf_iterator<char>(in), {});

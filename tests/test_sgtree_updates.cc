@@ -192,7 +192,12 @@ TEST_P(PersistenceTest, SaveLoadRoundTripPreservesStructure) {
   SgTree tree(options);
   for (const Transaction& txn : dataset.transactions) tree.Insert(txn);
 
-  const std::string path = ::testing::TempDir() + "/sgtree_save.bin";
+  // Parameter-unique path: ctest runs the two instances concurrently, and
+  // a shared file would race between one instance's save and the other's
+  // cleanup.
+  const std::string path = ::testing::TempDir() +
+                           (GetParam() ? "/sgtree_save_compressed.bin"
+                                       : "/sgtree_save_dense.bin");
   ASSERT_TRUE(SaveTree(tree, path));
   auto loaded = LoadTree(path, options);
   ASSERT_NE(loaded, nullptr);

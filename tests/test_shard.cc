@@ -1,0 +1,512 @@
+// Tests for the sharded index layer: the tid partition function, the
+// scatter-gather router's central promise — answers byte-identical to one
+// SG-tree over the same data, for every query type and shard count — plus
+// snapshot persistence, durable (per-shard WAL) operation, and a
+// kill-one-shard crash-recovery torture. The multithreaded stress tests are
+// ThreadSanitizer targets (see the tsan CI job).
+
+#include "shard/sharded_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "durability/env.h"
+#include "durability/fault_injection.h"
+#include "exec/index_backend.h"
+#include "exec/query_api.h"
+#include "exec/query_executor.h"
+#include "obs/metrics.h"
+#include "shard/query_router.h"
+#include "sgtree/sg_tree.h"
+#include "sgtree/tree_checker.h"
+#include "storage/buffer_pool.h"
+#include "tests/test_util.h"
+
+namespace sgtree {
+namespace {
+
+using ::sgtree::testing::ClusteredDataset;
+using ::sgtree::testing::RandomSignature;
+
+constexpr uint32_t kBits = 120;
+
+SgTreeOptions TreeOptions() {
+  SgTreeOptions options;
+  options.num_bits = kBits;
+  options.max_entries = 8;
+  return options;
+}
+
+ShardedIndexOptions ShardOptions(uint32_t num_shards) {
+  ShardedIndexOptions options;
+  options.num_shards = num_shards;
+  options.tree = TreeOptions();
+  return options;
+}
+
+// A mixed batch cycling through all six query types.
+std::vector<QueryRequest> MixedBatch(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<QueryRequest> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    QueryRequest request;
+    request.type = static_cast<QueryType>(i % 6);
+    request.query = RandomSignature(rng, kBits, 0.07);
+    request.k = 1 + static_cast<uint32_t>(i % 7);
+    request.epsilon = 6.0 + static_cast<double>(i % 5);
+    batch.push_back(std::move(request));
+  }
+  return batch;
+}
+
+// Serial single-tree oracle: one private pool cleared per query, the same
+// cold-cache protocol the router applies per shard task.
+std::vector<QueryResult> SingleTreeReference(
+    const SgTree& tree, const std::vector<QueryRequest>& batch) {
+  BufferPool pool(64);
+  std::vector<QueryResult> out;
+  out.reserve(batch.size());
+  for (const QueryRequest& request : batch) {
+    pool.Clear();
+    out.push_back(Execute(SgTreeBackend(tree), request, &pool));
+  }
+  return out;
+}
+
+// Result VALUES must match: neighbors, ids, and the error flag. Counters
+// and timings are intentionally excluded (a sharded run sums per-shard
+// work, which differs from the single tree's).
+void ExpectSameAnswers(const std::vector<QueryResult>& expected,
+                       const std::vector<QueryResult>& actual,
+                       const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].neighbors, actual[i].neighbors)
+        << label << " query " << i;
+    EXPECT_EQ(expected[i].ids, actual[i].ids) << label << " query " << i;
+    EXPECT_EQ(expected[i].error, actual[i].error) << label << " query " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The partition function.
+// ---------------------------------------------------------------------------
+
+TEST(ShardOfTest, SingleShardTakesEverything) {
+  for (uint64_t tid : {0ull, 1ull, 12345ull, ~0ull}) {
+    EXPECT_EQ(ShardedIndex::ShardOf(tid, 1), 0u);
+  }
+}
+
+TEST(ShardOfTest, IsAPureFunctionOfTidAndCount) {
+  Rng rng(40);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const uint64_t tid = rng.NextU64();
+    for (uint32_t n : {2u, 3u, 8u, 64u}) {
+      const uint32_t shard = ShardedIndex::ShardOf(tid, n);
+      EXPECT_LT(shard, n);
+      EXPECT_EQ(shard, ShardedIndex::ShardOf(tid, n));
+    }
+  }
+}
+
+TEST(ShardOfTest, SequentialTidsSpreadEvenly) {
+  // Sequential tids are the common case (generators number 0..n-1); the
+  // splitmix64 finalizer must not let them pile onto one shard.
+  constexpr uint32_t kShards = 8;
+  constexpr uint64_t kTids = 80'000;
+  std::vector<uint64_t> counts(kShards, 0);
+  for (uint64_t tid = 0; tid < kTids; ++tid) {
+    ++counts[ShardedIndex::ShardOf(tid, kShards)];
+  }
+  const auto expected = static_cast<double>(kTids) / kShards;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(static_cast<double>(counts[s]), 0.9 * expected) << "shard " << s;
+    EXPECT_LT(static_cast<double>(counts[s]), 1.1 * expected) << "shard " << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather vs the single tree: the byte-identical contract.
+// ---------------------------------------------------------------------------
+
+class ShardCountTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ShardCountTest, AllQueryTypesMatchSingleTree) {
+  const uint32_t num_shards = GetParam();
+  const Dataset dataset = ClusteredDataset(41, 1200, kBits, 8, 10, 2);
+  SgTree single(TreeOptions());
+  for (const Transaction& txn : dataset.transactions) single.Insert(txn);
+
+  ShardedIndex index(ShardOptions(num_shards));
+  EXPECT_EQ(index.InsertBatch(dataset.transactions),
+            dataset.transactions.size());
+  EXPECT_EQ(index.size(), dataset.transactions.size());
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    EXPECT_TRUE(CheckTree(index.shard(s)).ok) << "shard " << s;
+  }
+
+  const std::vector<QueryRequest> batch = MixedBatch(42, 48);
+  const std::vector<QueryResult> expected = SingleTreeReference(single, batch);
+
+  QueryExecutorOptions exec_options;
+  exec_options.num_threads = 3;
+  QueryExecutor executor(exec_options);
+  for (const bool shared_bound : {true, false}) {
+    QueryRouterOptions router_options;
+    router_options.shared_knn_bound = shared_bound;
+    QueryRouter router(index, &executor, router_options);
+    ExpectSameAnswers(expected, router.Run(batch),
+                      "shards=" + std::to_string(num_shards) +
+                          " shared_bound=" + std::to_string(shared_bound));
+  }
+}
+
+TEST_P(ShardCountTest, BulkLoadedShardsMatchSingleTree) {
+  const uint32_t num_shards = GetParam();
+  const Dataset dataset = ClusteredDataset(43, 900, kBits, 8, 10, 2);
+  SgTree single(TreeOptions());
+  for (const Transaction& txn : dataset.transactions) single.Insert(txn);
+
+  auto index = ShardedIndex::BulkLoad(dataset, ShardOptions(num_shards));
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->size(), dataset.transactions.size());
+
+  const std::vector<QueryRequest> batch = MixedBatch(44, 36);
+  QueryExecutor executor;
+  QueryRouter router(*index, &executor);
+  // Canonical tie resolution (sgtree/search.h) makes the answers
+  // independent of tree shape, so a bulk-loaded index must agree with the
+  // insert-built single tree too.
+  ExpectSameAnswers(SingleTreeReference(single, batch), router.Run(batch),
+                    "bulk shards=" + std::to_string(num_shards));
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardCountTest,
+                         ::testing::Values(1u, 2u, 8u));
+
+TEST(QueryRouterTest, RepeatedRunsAreFullyDeterministic) {
+  const Dataset dataset = ClusteredDataset(45, 800, kBits, 8, 10, 2);
+  ShardedIndex index(ShardOptions(4));
+  index.InsertBatch(dataset.transactions);
+  const std::vector<QueryRequest> batch = MixedBatch(46, 30);
+
+  QueryExecutorOptions exec_options;
+  exec_options.num_threads = 4;
+  QueryExecutor executor(exec_options);
+  // Shared bound off + private pools: per-shard counters are a pure
+  // function of the input, so whole results (values AND counters) must be
+  // identical run over run.
+  QueryRouterOptions router_options;
+  router_options.shared_knn_bound = false;
+  QueryRouter router(index, &executor, router_options);
+  const std::vector<QueryResult> first = router.Run(batch);
+  for (int run = 0; run < 3; ++run) {
+    const std::vector<QueryResult> again = router.Run(batch);
+    ASSERT_EQ(again.size(), first.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i], again[i]) << "run " << run << " query " << i;
+    }
+  }
+}
+
+TEST(QueryRouterTest, InvalidRequestsAreNotFannedOut) {
+  const Dataset dataset = ClusteredDataset(47, 300, kBits, 6, 10, 2);
+  ShardedIndex index(ShardOptions(2));
+  index.InsertBatch(dataset.transactions);
+  QueryExecutor executor;
+  QueryRouter router(index, &executor);
+
+  std::vector<QueryRequest> batch = MixedBatch(48, 4);
+  batch[1].type = QueryType::kKnn;
+  batch[1].k = 0;
+  batch[3].type = QueryType::kRange;
+  batch[3].epsilon = -1.0;
+  const auto results = router.Run(batch);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_FALSE(results[3].ok());
+  EXPECT_TRUE(results[1].neighbors.empty());
+  EXPECT_EQ(results[1].stats.nodes_accessed, 0u);
+}
+
+TEST(QueryRouterTest, FeedsShardMetrics) {
+  const Dataset dataset = ClusteredDataset(49, 400, kBits, 6, 10, 2);
+  ShardedIndex index(ShardOptions(3));
+  index.InsertBatch(dataset.transactions);
+  QueryExecutor executor;
+  obs::MetricsRegistry registry;
+  QueryRouterOptions router_options;
+  router_options.metrics = &registry;
+  QueryRouter router(index, &executor, router_options);
+  const auto batch = MixedBatch(50, 12);
+  router.Run(batch);
+
+  EXPECT_EQ(registry.GetCounter("shard.queries")->Value(), 12u);
+  EXPECT_EQ(registry.GetCounter("shard.fanout_tasks")->Value(), 36u);
+  for (uint32_t s = 0; s < 3; ++s) {
+    const std::string prefix = "shard." + std::to_string(s) + ".";
+    EXPECT_EQ(registry.GetCounter(prefix + "queries")->Value(), 12u);
+  }
+  EXPECT_GT(router.last_batch_report().p99_us, 0.0);
+  EXPECT_EQ(router.last_batch_report().queries, 12u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: the TSAN targets. Shared sharded buffer pool + shared k-NN
+// bound + multiple workers, graded against the serial oracle.
+// ---------------------------------------------------------------------------
+
+TEST(ShardStressTest, SharedPoolManyWorkersMatchesSerialOracle) {
+  const Dataset dataset = ClusteredDataset(51, 1000, kBits, 8, 10, 2);
+  SgTree single(TreeOptions());
+  for (const Transaction& txn : dataset.transactions) single.Insert(txn);
+  ShardedIndex index(ShardOptions(8));
+  index.InsertBatch(dataset.transactions);
+
+  const std::vector<QueryRequest> batch = MixedBatch(52, 96);
+  const std::vector<QueryResult> expected = SingleTreeReference(single, batch);
+
+  QueryExecutorOptions exec_options;
+  exec_options.num_threads = 4;
+  QueryExecutor executor(exec_options);
+  QueryRouterOptions router_options;
+  router_options.pool_shards = 4;  // One shared pool, all workers.
+  router_options.buffer_pages = 128;
+  QueryRouter router(index, &executor, router_options);
+  for (int run = 0; run < 3; ++run) {
+    // Values stay byte-identical even though cache hits (and thus
+    // counters) are schedule-dependent under the shared pool.
+    ExpectSameAnswers(expected, router.Run(batch),
+                      "sharedpool run=" + std::to_string(run));
+  }
+}
+
+TEST(ShardStressTest, SharedBoundManyWorkersMatchesSerialOracle) {
+  const Dataset dataset = ClusteredDataset(53, 1000, kBits, 8, 10, 2);
+  SgTree single(TreeOptions());
+  for (const Transaction& txn : dataset.transactions) single.Insert(txn);
+  ShardedIndex index(ShardOptions(8));
+  index.InsertBatch(dataset.transactions);
+
+  // All-kNN batch to hammer the shared atomic bound from every worker.
+  Rng rng(54);
+  std::vector<QueryRequest> batch;
+  for (int i = 0; i < 120; ++i) {
+    QueryRequest request;
+    request.type =
+        i % 2 == 0 ? QueryType::kKnn : QueryType::kBestFirstKnn;
+    request.query = RandomSignature(rng, kBits, 0.07);
+    request.k = 1 + static_cast<uint32_t>(i % 10);
+    batch.push_back(std::move(request));
+  }
+  const std::vector<QueryResult> expected = SingleTreeReference(single, batch);
+
+  QueryExecutorOptions exec_options;
+  exec_options.num_threads = 4;
+  QueryExecutor executor(exec_options);
+  QueryRouter router(index, &executor);  // shared_knn_bound on by default.
+  for (int run = 0; run < 3; ++run) {
+    ExpectSameAnswers(expected, router.Run(batch),
+                      "sharedbound run=" + std::to_string(run));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot persistence.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedIndexPersistenceTest, SaveLoadRoundTripAnswersIdentically) {
+  const Dataset dataset = ClusteredDataset(55, 700, kBits, 8, 10, 2);
+  ShardedIndex index(ShardOptions(4));
+  index.InsertBatch(dataset.transactions);
+
+  const std::string path =
+      ::testing::TempDir() + "/sgtree_sharded_roundtrip.idx";
+  std::string error;
+  ASSERT_TRUE(index.Save(path, &error)) << error;
+  auto loaded = ShardedIndex::Load(path, ShardOptions(1), &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  // The manifest, not the caller, decides the shard count.
+  EXPECT_EQ(loaded->num_shards(), 4u);
+  EXPECT_EQ(loaded->size(), index.size());
+
+  const auto batch = MixedBatch(56, 24);
+  QueryExecutor executor;
+  QueryRouter router_a(index, &executor);
+  const auto expected = router_a.Run(batch);
+  QueryRouter router_b(*loaded, &executor);
+  ExpectSameAnswers(expected, router_b.Run(batch), "loaded");
+
+  std::remove(path.c_str());
+  for (uint32_t s = 0; s < 4; ++s) {
+    std::remove(ShardedIndex::ShardSnapshotPath(path, s).c_str());
+  }
+}
+
+TEST(ShardedIndexPersistenceTest, LoadRejectsGarbageManifest) {
+  const std::string path = ::testing::TempDir() + "/sgtree_sharded_bad.idx";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a manifest";
+  }
+  std::string error;
+  EXPECT_EQ(ShardedIndex::Load(path, ShardOptions(1), &error), nullptr);
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Durable shards.
+// ---------------------------------------------------------------------------
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  Env* env = Env::Posix();
+  env->CreateDir(dir);
+  // Start from a clean slate: remove any per-shard state a previous run
+  // left behind.
+  for (uint32_t s = 0; s < 16; ++s) {
+    const std::string shard_dir = ShardedIndex::ShardDirFor(dir, s);
+    env->Delete(DurableTree::PagePathFor(shard_dir));
+    env->Delete(DurableTree::WalPathFor(shard_dir));
+  }
+  return dir;
+}
+
+TEST(ShardedDurableTest, ReopenedIndexAnswersIdentically) {
+  const Dataset dataset = ClusteredDataset(57, 400, kBits, 6, 10, 2);
+  const std::string dir = FreshDir("sharded_durable_reopen");
+  const auto batch = MixedBatch(58, 24);
+  QueryExecutor executor;
+
+  std::vector<QueryResult> before;
+  {
+    std::string error;
+    auto index =
+        ShardedIndex::OpenDurable(Env::Posix(), dir, ShardOptions(3), &error);
+    ASSERT_NE(index, nullptr) << error;
+    ASSERT_TRUE(index->durable());
+    EXPECT_EQ(index->InsertBatch(dataset.transactions),
+              dataset.transactions.size());
+    QueryRouter router(*index, &executor);
+    before = router.Run(batch);
+  }  // Close (destructors flush nothing extra: the WAL already has it all).
+
+  std::string error;
+  auto reopened =
+      ShardedIndex::OpenDurable(Env::Posix(), dir, ShardOptions(3), &error);
+  ASSERT_NE(reopened, nullptr) << error;
+  EXPECT_EQ(reopened->size(), dataset.transactions.size());
+  QueryRouter router(*reopened, &executor);
+  ExpectSameAnswers(before, router.Run(batch), "reopened");
+
+  // And the recovered shards must equal a never-persisted in-memory build.
+  ShardedIndex in_memory(ShardOptions(3));
+  in_memory.InsertBatch(dataset.transactions);
+  QueryRouter reference(in_memory, &executor);
+  ExpectSameAnswers(reference.Run(batch), router.Run(batch), "vs in-memory");
+}
+
+// Kill-one-shard torture: a serial insert workload runs over the
+// fault-injecting env; the kill point lands inside one shard's WAL, after
+// which every shard's writes fail (the process is dead). On reopen with a
+// clean env, exactly the acknowledged inserts must be present and the
+// answers must match a never-crashed in-memory index over the same acked
+// prefix.
+TEST(ShardedDurableTest, KillMidWriteLosesNothingAcknowledged) {
+  constexpr uint32_t kShards = 3;
+  const Dataset dataset = ClusteredDataset(59, 60, kBits, 6, 10, 2);
+
+  // Clean instrumented pass: count the writes the full workload issues.
+  uint64_t open_writes = 0;
+  uint64_t total_writes = 0;
+  {
+    FaultState state;
+    FaultInjectingEnv env(Env::Posix(), &state);
+    const std::string dir = FreshDir("sharded_torture_clean");
+    std::string error;
+    auto index =
+        ShardedIndex::OpenDurable(&env, dir, ShardOptions(kShards), &error);
+    ASSERT_NE(index, nullptr) << error;
+    open_writes = state.writes_issued();
+    for (const Transaction& txn : dataset.transactions) {
+      ASSERT_TRUE(index->Insert(txn));
+    }
+    total_writes = state.writes_issued();
+  }
+  ASSERT_GT(total_writes, open_writes);
+
+  // Sweep kill points across the insert phase, with and without a torn
+  // tail on the fatal write.
+  const uint64_t span = total_writes - open_writes;
+  struct Trial {
+    uint64_t kill;
+    uint64_t torn;
+  };
+  const std::vector<Trial> trials = {
+      {open_writes + 1, UINT64_MAX},
+      {open_writes + span / 3, UINT64_MAX},
+      {open_writes + span / 2, 3},  // Torn: 3 bytes of the record land.
+      {open_writes + 2 * span / 3, UINT64_MAX},
+      {total_writes - 1, 5},
+  };
+  for (size_t t = 0; t < trials.size(); ++t) {
+    SCOPED_TRACE("trial " + std::to_string(t) + " kill_at_write=" +
+                 std::to_string(trials[t].kill));
+    FaultPlan plan;
+    plan.kill_at_write = trials[t].kill;
+    plan.torn_prefix_bytes = trials[t].torn;
+    FaultState state(plan);
+    FaultInjectingEnv env(Env::Posix(), &state);
+    const std::string dir = FreshDir("sharded_torture_" + std::to_string(t));
+
+    std::vector<Transaction> acked;
+    {
+      std::string error;
+      auto index =
+          ShardedIndex::OpenDurable(&env, dir, ShardOptions(kShards), &error);
+      ASSERT_NE(index, nullptr) << error;  // Kill points start after open.
+      for (const Transaction& txn : dataset.transactions) {
+        if (!index->Insert(txn)) break;  // The shard's WAL is dead.
+        acked.push_back(txn);
+      }
+      EXPECT_LT(acked.size(), dataset.transactions.size());
+    }
+
+    // Recover with a clean env: per-shard recovery must surface exactly
+    // the acknowledged prefix.
+    std::string error;
+    auto recovered = ShardedIndex::OpenDurable(Env::Posix(), dir,
+                                               ShardOptions(kShards), &error);
+    ASSERT_NE(recovered, nullptr) << error;
+    EXPECT_EQ(recovered->size(), acked.size());
+    for (uint32_t s = 0; s < kShards; ++s) {
+      EXPECT_TRUE(CheckTree(recovered->shard(s)).ok) << "shard " << s;
+    }
+
+    ShardedIndex reference(ShardOptions(kShards));
+    for (const Transaction& txn : acked) {
+      ASSERT_TRUE(reference.Insert(txn));
+    }
+    QueryExecutor executor;
+    const auto batch = MixedBatch(60 + t, 18);
+    QueryRouter recovered_router(*recovered, &executor);
+    QueryRouter reference_router(reference, &executor);
+    ExpectSameAnswers(reference_router.Run(batch),
+                      recovered_router.Run(batch), "recovered");
+  }
+}
+
+}  // namespace
+}  // namespace sgtree
