@@ -15,6 +15,7 @@
 #include "common/stats.h"
 #include "data/census_generator.h"
 #include "data/quest_generator.h"
+#include "obs/percentile.h"
 #include "sgtable/sg_table.h"
 #include "sgtree/search.h"
 #include "sgtree/sg_tree.h"
@@ -119,17 +120,12 @@ struct MethodResult {
   double p99_us = 0;
 };
 
-/// Nearest-rank percentile; sorts `latencies_us` in place.
+/// Nearest-rank percentile; sorts `latencies_us` in place. Thin wrapper
+/// over the shared definition in obs/percentile.h so bench tables, executor
+/// reports, and router reports all agree on what "p99" means.
 inline double LatencyPercentileUs(std::vector<double>& latencies_us,
                                   double p) {
-  if (latencies_us.empty()) return 0;
-  std::sort(latencies_us.begin(), latencies_us.end());
-  const double frac =
-      p / 100.0 * static_cast<double>(latencies_us.size());
-  size_t rank = static_cast<size_t>(std::ceil(frac));
-  if (rank < 1) rank = 1;
-  if (rank > latencies_us.size()) rank = latencies_us.size();
-  return latencies_us[rank - 1];
+  return obs::SortAndPercentile(latencies_us, p);
 }
 
 inline void FillPercentiles(std::vector<double>& latencies_us,

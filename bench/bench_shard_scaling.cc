@@ -8,10 +8,23 @@
 //    headline scaling curve and must rise monotonically with the shard
 //    count regardless of how many cores the host actually has.
 //  - measured QPS: batch wall-clock throughput on this machine's worker
-//    pool. On a single-core CI runner this stays roughly flat (the fan-out
-//    is serialized); with real cores it tracks the modeled curve.
+//    pool. On a single-core CI runner this cannot track the modeled curve
+//    (there is one core, not one per shard), which is why the JSON also
+//    carries `cores`, the total backend service time `task_us`, and the
+//    core-independent dispatch efficiency
+//        efficiency = task_us / (wall_ms * 1000 * cores)
+//    — the fraction of the machine the lanes kept busy doing real query
+//    work. tools/check_shard_bench.py gates on this, not on raw QPS.
 //
-// Results are printed as a table and written as JSON to $BENCH_SHARD_JSON
+// A second table ablates the router's scheduling modes at the top shard
+// count, one knob at a time from the legacy scheduler to the default:
+//
+//    legacy    : per-item claiming + query-major grid + barrier merge
+//    +chunked  : chunked claiming / work stealing (executor max_chunk auto)
+//    +slices   : shard-major slice tasks (pool warm per slice)
+//    +overlap  : overlapped gather (the default configuration)
+//
+// Results are printed as tables and written as JSON to $BENCH_SHARD_JSON
 // (default BENCH_shard.json) for the CI artifact.
 
 #include <cstdint>
@@ -19,6 +32,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -33,14 +47,70 @@ namespace sgtree::bench {
 namespace {
 
 struct ShardRow {
+  std::string label;
   uint32_t shards = 0;
   double build_ms = 0;
   double wall_ms = 0;
   double measured_qps = 0;
   double modeled_qps = 0;
+  double task_us = 0;
+  double efficiency = 0;
   double p50_us = 0;
   double p99_us = 0;
 };
+
+uint32_t Cores() {
+  const uint32_t n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+// One warm-up pass plus one measured pass of `batch` through a fresh
+// router in the given mode.
+ShardRow Measure(const ShardedIndex& index, QueryExecutor* executor,
+                 const std::vector<QueryRequest>& batch,
+                 const QueryRouterOptions& router_options,
+                 const std::string& label) {
+  QueryRouter router(index, executor, router_options);
+  router.Run(batch);  // Warm-up pass (thread pool, allocator, scratch).
+  const std::vector<QueryResult> results = router.Run(batch);
+
+  double sum_elapsed_us = 0;
+  for (const QueryResult& result : results) {
+    sum_elapsed_us += result.elapsed_us;
+  }
+  const BatchReport& report = router.last_batch_report();
+  ShardRow row;
+  row.label = label;
+  row.shards = index.num_shards();
+  row.wall_ms = report.wall_ms;
+  row.measured_qps =
+      1000.0 * static_cast<double>(batch.size()) / report.wall_ms;
+  row.modeled_qps =
+      1e6 * static_cast<double>(results.size()) / sum_elapsed_us;
+  row.task_us = report.task_us;
+  row.efficiency = report.task_us / (report.wall_ms * 1000.0 * Cores());
+  row.p50_us = report.p50_us;
+  row.p99_us = report.p99_us;
+  return row;
+}
+
+void PrintRow(const ShardRow& row, const char* first_col) {
+  std::printf("%-10s %10.1f %14.1f %14.1f %11.3f %10.1f %10.1f\n", first_col,
+              row.wall_ms, row.measured_qps, row.modeled_qps, row.efficiency,
+              row.p50_us, row.p99_us);
+}
+
+void WriteRow(std::ofstream& file, const ShardRow& row, bool last) {
+  file << "  {\"label\": \"" << row.label << "\", \"shards\": " << row.shards
+       << ", \"build_ms\": " << row.build_ms
+       << ", \"wall_ms\": " << row.wall_ms
+       << ", \"measured_qps\": " << row.measured_qps
+       << ", \"modeled_qps\": " << row.modeled_qps
+       << ", \"task_us\": " << row.task_us
+       << ", \"efficiency\": " << row.efficiency
+       << ", \"p50_us\": " << row.p50_us << ", \"p99_us\": " << row.p99_us
+       << "}" << (last ? "\n" : ",\n");
+}
 
 void Run() {
   QuestOptions qopt = PaperQuest(20, 6, 200'000);
@@ -60,49 +130,68 @@ void Run() {
   }
 
   std::printf("\n=== Shard scaling: NN search (Quest T=20, I=6, D=200K) ===\n");
-  std::printf("(scale factor %.2f, %zu transactions, %u-query batch)\n",
-              ScaleFactor(), dataset.size(), batch_n);
-  std::printf("%-8s %10s %10s %14s %14s %10s %10s\n", "shards", "build_ms",
-              "wall_ms", "measured_qps", "modeled_qps", "p50_us", "p99_us");
+  std::printf("(scale factor %.2f, %zu transactions, %u-query batch, "
+              "%u cores)\n",
+              ScaleFactor(), dataset.size(), batch_n, Cores());
+  std::printf("%-10s %10s %14s %14s %11s %10s %10s\n", "shards", "wall_ms",
+              "measured_qps", "modeled_qps", "efficiency", "p50_us",
+              "p99_us");
 
   std::vector<ShardRow> rows;
+  std::unique_ptr<ShardedIndex> top_index;  // Reused by the ablation below.
   for (uint32_t shards : {1u, 2u, 4u, 8u}) {
     ShardedIndexOptions options;
     options.num_shards = shards;
     options.tree = DefaultTreeOptions(dataset);
-    ShardedIndex index(options);
+    auto index = std::make_unique<ShardedIndex>(options);
     Timer build_timer;
-    index.InsertBatch(dataset.transactions);
-    ShardRow row;
-    row.shards = shards;
-    row.build_ms = build_timer.ElapsedMs();
+    index->InsertBatch(dataset.transactions);
+    const double build_ms = build_timer.ElapsedMs();
 
     QueryExecutor executor;
-    QueryRouter router(index, &executor);
-    router.Run(batch);  // Warm-up pass (thread pool, allocator).
-    const std::vector<QueryResult> results = router.Run(batch);
-
-    double sum_elapsed_us = 0;
-    for (const QueryResult& result : results) {
-      sum_elapsed_us += result.elapsed_us;
-    }
-    const BatchReport& report = router.last_batch_report();
-    row.wall_ms = report.wall_ms;
-    row.measured_qps =
-        1000.0 * static_cast<double>(batch.size()) / report.wall_ms;
-    row.modeled_qps =
-        1e6 * static_cast<double>(results.size()) / sum_elapsed_us;
-    row.p50_us = report.p50_us;
-    row.p99_us = report.p99_us;
+    ShardRow row = Measure(*index, &executor, batch, QueryRouterOptions{},
+                           "scaling");
+    row.build_ms = build_ms;
     rows.push_back(row);
-
-    std::printf("%-8u %10.1f %10.1f %14.1f %14.1f %10.1f %10.1f\n",
-                row.shards, row.build_ms, row.wall_ms, row.measured_qps,
-                row.modeled_qps, row.p50_us, row.p99_us);
+    PrintRow(row, std::to_string(shards).c_str());
+    top_index = std::move(index);
   }
   std::printf("\nExpected shape: modeled_qps rises monotonically 1->8 shards\n"
               "(each shard task touches ~1/N of the data; the merged service\n"
-              "time is the slowest shard). measured_qps needs real cores.\n");
+              "time is the slowest shard). measured_qps needs real cores;\n"
+              "efficiency is the core-count-independent health number.\n");
+
+  // Scheduling-mode ablation at the top shard count, one knob at a time.
+  struct Mode {
+    const char* label;
+    uint32_t max_chunk;  // Executor claiming granularity (1 = per item).
+    bool shard_major;
+    bool overlap_merge;
+  };
+  const Mode kModes[] = {
+      {"legacy", 1, false, false},
+      {"+chunked", 0, false, false},
+      {"+slices", 0, true, false},
+      {"+overlap", 0, true, true},
+  };
+  std::printf("\n--- Scheduling ablation at %u shards ---\n",
+              top_index->num_shards());
+  std::printf("%-10s %10s %14s %14s %11s %10s %10s\n", "mode", "wall_ms",
+              "measured_qps", "modeled_qps", "efficiency", "p50_us",
+              "p99_us");
+  std::vector<ShardRow> ablation;
+  for (const Mode& mode : kModes) {
+    QueryExecutorOptions exec_options;
+    exec_options.max_chunk = mode.max_chunk;
+    QueryExecutor executor(exec_options);
+    QueryRouterOptions router_options;
+    router_options.shard_major = mode.shard_major;
+    router_options.overlap_merge = mode.overlap_merge;
+    const ShardRow row =
+        Measure(*top_index, &executor, batch, router_options, mode.label);
+    ablation.push_back(row);
+    PrintRow(row, mode.label);
+  }
 
   const char* env = std::getenv("BENCH_SHARD_JSON");
   const std::string path = env != nullptr ? env : "BENCH_shard.json";
@@ -113,20 +202,18 @@ void Run() {
   }
   file << "{\"experiment\": \"shard_scaling_nn_t20_i6_d200k\""
        << ", \"scale_factor\": " << ScaleFactor()
-       << ", \"batch_queries\": " << batch_n << ", \"rows\": [\n";
+       << ", \"batch_queries\": " << batch_n << ", \"cores\": " << Cores()
+       << ", \"rows\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
-    const ShardRow& row = rows[i];
-    file << "  {\"shards\": " << row.shards
-         << ", \"build_ms\": " << row.build_ms
-         << ", \"wall_ms\": " << row.wall_ms
-         << ", \"measured_qps\": " << row.measured_qps
-         << ", \"modeled_qps\": " << row.modeled_qps
-         << ", \"p50_us\": " << row.p50_us << ", \"p99_us\": " << row.p99_us
-         << "}" << (i + 1 < rows.size() ? ",\n" : "\n");
+    WriteRow(file, rows[i], i + 1 == rows.size());
+  }
+  file << "], \"ablation\": [\n";
+  for (size_t i = 0; i < ablation.size(); ++i) {
+    WriteRow(file, ablation[i], i + 1 == ablation.size());
   }
   file << "]}\n";
-  std::printf("wrote %zu shard-scaling rows to %s\n", rows.size(),
-              path.c_str());
+  std::printf("wrote %zu scaling + %zu ablation rows to %s\n", rows.size(),
+              ablation.size(), path.c_str());
 }
 
 }  // namespace

@@ -110,6 +110,14 @@ class IndexBackend {
 QueryResult Execute(const IndexBackend& backend, const QueryRequest& request,
                     PageCache* pool = nullptr);
 
+/// Allocation-free variant for hot batch loops: identical semantics to
+/// Execute(), but the answer is written into `*result`, whose vectors are
+/// cleared — not deallocated — first. A caller that reuses the same
+/// QueryResult slots across batches (the sharded router's scatter buffers)
+/// therefore pays for neighbor/id storage once, not once per task.
+void ExecuteInto(const IndexBackend& backend, const QueryRequest& request,
+                 PageCache* pool, QueryResult* result);
+
 }  // namespace sgtree
 
 #endif  // SGTREE_EXEC_QUERY_API_H_

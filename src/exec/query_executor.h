@@ -2,12 +2,11 @@
 #define SGTREE_EXEC_QUERY_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "baseline/linear_scan.h"
@@ -33,8 +32,17 @@ namespace sgtree {
 /// per-worker accumulators plus exact latency percentiles over the batch's
 /// per-query wall times.
 struct BatchReport {
-  uint64_t queries = 0;
+  uint64_t queries = 0;  // All requests in the batch, valid or not.
+  uint64_t rejected = 0; // Requests that failed validation. Rejected
+                         // requests contribute no latency sample and no
+                         // counters — only `queries` counts them.
   double wall_ms = 0;    // Wall time of the whole batch.
+  double task_us = 0;    // Total backend service time: the sum of every
+                         // executed task's elapsed_us (per query here; per
+                         // (query, shard) part in the sharded router).
+                         // task_us / (wall_ms * 1000 * cores) is the
+                         // core-independent dispatch efficiency the shard
+                         // bench gates on.
   QueryStats stats;      // Sum of per-query QueryStats.
   QueryTrace trace;      // Sum of per-query QueryTrace.
   double p50_us = 0;     // Exact percentiles of per-query elapsed_us
@@ -43,59 +51,92 @@ struct BatchReport {
 };
 
 struct QueryExecutorOptions {
-  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  /// Total execution lanes, including the calling thread: the executor
+  /// spawns num_threads - 1 workers and the thread calling Run/ParallelFor
+  /// participates as the last lane instead of blocking. 0 =
+  /// std::thread::hardware_concurrency().
   uint32_t num_threads = 0;
 
-  /// Buffer frames for I/O accounting: the capacity of each worker's
+  /// Buffer frames for I/O accounting: the capacity of each lane's
   /// private pool, or the total capacity of the shared sharded pool.
   uint32_t buffer_pages = 64;
 
-  /// 0 (default): every worker owns a private BufferPool that is cleared
+  /// 0 (default): every lane owns a private BufferPool that is cleared
   /// before each query — per-query random I/Os are the cold-cache cost the
   /// paper measures, independent of scheduling, so parallel output is
   /// byte-identical to the serial path.
   ///
-  /// > 0: all workers share one ShardedBufferPool with this many lock
+  /// > 0: all lanes share one ShardedBufferPool with this many lock
   /// stripes. Queries then warm the cache for each other (higher QPS,
   /// matching a production server with one buffer manager), at the price of
   /// schedule-dependent per-query I/O counts. Result values are unaffected.
   uint32_t pool_shards = 0;
 
+  /// Upper bound on how many items one range claim takes at once. 0 picks
+  /// an automatic size from the batch and lane count; 1 degenerates to the
+  /// old one-atomic-RMW-per-item scheduling (kept as the ablation
+  /// baseline of bench_shard_scaling). Results are identical for any
+  /// value — chunking only changes who runs what.
+  uint32_t max_chunk = 0;
+
   /// Optional metrics sink. When set, every batch feeds the registry's
-  /// "exec.*" counters (queries, nodes, I/Os, verifications, pruned
-  /// subtrees) and the "exec.query_latency_us" histogram — one Observe per
-  /// query, performed on the calling thread after the fan-out, so workers
-  /// never touch the registry. The pools' cache counters can additionally
-  /// be bound via BufferPool::BindMetrics on the same registry.
+  /// "exec.*" counters (queries, rejected, nodes, I/Os, verifications,
+  /// pruned subtrees) and the "exec.query_latency_us" histogram — one
+  /// Observe per query, performed on the calling thread after the fan-out,
+  /// so workers never touch the registry. The pools' cache counters can
+  /// additionally be bound via BufferPool::BindMetrics on the same
+  /// registry.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// Fixed-size worker-pool executor for query batches (the ROADMAP's
-/// "serving heavy traffic" path). Threads are started once at construction
-/// and parked on a condition variable between batches; Run() fans a batch
-/// out over them with an atomic work-stealing cursor and returns results in
-/// input order. Per-query counters accumulate into per-worker QueryStats
-/// and are reduced into batch_stats() at batch end — no shared counter is
-/// written from two threads.
+/// Worker-pool executor for query batches (the ROADMAP's "serving heavy
+/// traffic" path), rebuilt for dispatch throughput:
+///
+///  - Work distribution is chunked range claiming, not an atomic RMW per
+///    item: [0, n) is pre-split into one contiguous range per lane, each
+///    lane claims chunks from its own range with a single-word CAS, and a
+///    lane that runs dry steals the tail half of the largest remainder it
+///    finds — per-(query,shard)-task skew load-balances without a shared
+///    cursor every task bounces through.
+///  - The calling thread is a lane: Run()/ParallelFor execute work on the
+///    caller instead of parking it on a condition variable, so
+///    `num_threads = N` means N lanes, N-1 spawned threads.
+///  - Batch hand-off is an epoch rendezvous on C++20 atomic wait/notify
+///    (futex-backed on Linux): workers sleep on the epoch word between
+///    batches and one release-increment publishes the next job — no mutex,
+///    no condvar broadcast storm.
+///  - The hot loop is devirtualized: jobs run as a raw function pointer
+///    over a claimed [begin, end) range (see ParallelApply), so the typed
+///    task body is invoked directly per item instead of through a
+///    std::function per item.
+///
+/// Threads are started once at construction. Per-query counters accumulate
+/// into per-lane QueryStats and are reduced into batch_stats() at batch
+/// end — no shared counter is written from two threads.
 ///
 /// The index structures are taken by const reference: queries never mutate
 /// them (see QueryContext), which is the invariant making the fan-out
 /// sound. Do not run a batch concurrently with inserts/erases on the same
-/// tree.
+/// tree; ParallelFor/ParallelApply/Run are not reentrant.
 class QueryExecutor {
  public:
+  /// Job entry: runs items [begin, end) of the current job on lane
+  /// `worker_id`. `ctx` is the caller's typed closure.
+  using RangeFn = void (*)(void* ctx, size_t begin, size_t end,
+                           uint32_t worker_id);
+
   explicit QueryExecutor(const QueryExecutorOptions& options = {});
   ~QueryExecutor();
 
   QueryExecutor(const QueryExecutor&) = delete;
   QueryExecutor& operator=(const QueryExecutor&) = delete;
 
-  uint32_t num_threads() const {
-    return static_cast<uint32_t>(workers_.size());
-  }
+  /// Total lanes (spawned workers + the calling thread). worker_id passed
+  /// to job bodies is always < num_threads().
+  uint32_t num_threads() const { return num_lanes_; }
 
   /// Runs a batch against any backend of the unified query API. Each query
-  /// goes through Execute() (validation included) with the worker's pool;
+  /// goes through Execute() (validation included) with the lane's pool;
   /// in private-pool mode the pool is cleared before every query, so
   /// results are byte-identical to the serial path. This is THE fan-out
   /// entry point; the typed overloads below are thin adapter wrappers.
@@ -126,14 +167,31 @@ class QueryExecutor {
                                             const std::vector<BatchQuery>& batch,
                                             uint32_t buffer_pages = 64);
 
-  /// Low-level fan-out: invokes fn(index, worker_id) for every index in
-  /// [0, n), load-balanced across the worker pool. worker_id < max(1,
-  /// num_threads()) and is stable within one callback. Blocks until all n
-  /// are done. Not reentrant.
+  /// Typed fan-out: invokes body(index, worker_id) for every index in
+  /// [0, n), load-balanced across the lanes with chunked claiming and
+  /// work stealing. The body is called through a per-type trampoline that
+  /// runs whole claimed ranges, so there is no per-item type erasure.
+  /// Blocks until all n are done (the caller works, it does not wait).
+  /// Not reentrant.
+  template <typename Body>
+  void ParallelApply(size_t n, Body&& body) {
+    using Decayed = std::remove_reference_t<Body>;
+    RangeFn trampoline = [](void* ctx, size_t begin, size_t end,
+                            uint32_t worker_id) {
+      Decayed& fn = *static_cast<Decayed*>(ctx);
+      for (size_t i = begin; i < end; ++i) fn(i, worker_id);
+    };
+    RunRanges(n, trampoline, const_cast<void*>(static_cast<const void*>(
+                                 std::addressof(body))));
+  }
+
+  /// Type-erased fan-out kept for callers that already hold a
+  /// std::function; pays one indirect call per item on top of the chunked
+  /// scheduler. Prefer ParallelApply in hot paths.
   void ParallelFor(size_t n,
                    const std::function<void(size_t, uint32_t)>& fn);
 
-  /// Aggregate counters of the last Run(), reduced from the per-worker
+  /// Aggregate counters of the last Run(), reduced from the per-lane
   /// accumulators.
   const QueryStats& batch_stats() const { return batch_stats_; }
 
@@ -147,39 +205,53 @@ class QueryExecutor {
   ShardedBufferPool* shared_pool() { return shared_pool_.get(); }
 
  private:
+  /// One lane's claimable range, a single CAS word so owner claims and
+  /// thief splits are linearizable against each other: high 32 bits = next
+  /// unclaimed index, low 32 bits = one past the last. Cache-line aligned
+  /// so lanes never false-share their queue words.
+  struct alignas(64) TaskQueue {
+    std::atomic<uint64_t> range{0};
+  };
+
+  /// Core of the fan-out: partitions [0, n), publishes (fn, ctx) to the
+  /// spawned lanes via the epoch word, participates on the calling thread,
+  /// then waits for stragglers on the pending-lane count.
+  void RunRanges(size_t n, RangeFn fn, void* ctx);
+
   void WorkerLoop(uint32_t worker_id);
 
-  /// Pool worker `worker_id` charges queries against: its private
+  /// Claim-execute-steal loop of one lane for the current job.
+  void Participate(uint32_t worker_id);
+
+  /// Pool lane `worker_id` charges queries against: its private
   /// BufferPool, or the shared ShardedBufferPool when sharding is on. A
   /// buffer_pages of 0 gives capacity-0 private pools that miss on every
   /// access — the "no buffer" accounting mode.
   PageCache* PoolFor(uint32_t worker_id);
 
   /// Runs `batch` by fanning `execute(i, pool)` results into slot i,
-  /// reducing per-worker stats at the end.
+  /// reducing per-lane stats at the end.
   template <typename ExecuteFn>
   std::vector<QueryResult> RunBatch(size_t n, ExecuteFn&& execute);
 
   QueryExecutorOptions options_;
+  uint32_t num_lanes_ = 1;
 
-  struct Worker {
-    std::thread thread;
-    std::unique_ptr<BufferPool> pool;  // Private-pool mode only.
-  };
-  std::vector<Worker> workers_;
+  std::vector<std::thread> threads_;  // num_lanes_ - 1 spawned workers.
+  /// Private-pool mode: one pool per lane (index == worker_id, the last
+  /// belongs to the calling thread). Empty when the shared pool is on.
+  std::vector<std::unique_ptr<BufferPool>> pools_;
   std::unique_ptr<ShardedBufferPool> shared_pool_;
 
-  // Batch hand-off: workers park on work_cv_ until job_epoch_ advances,
-  // then drain next_item_ and report through workers_done_ / done_cv_.
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(size_t, uint32_t)>* job_ = nullptr;  // Guarded.
-  size_t job_size_ = 0;                                         // Guarded.
-  uint64_t job_epoch_ = 0;                                      // Guarded.
-  size_t workers_done_ = 0;                                     // Guarded.
-  bool shutdown_ = false;                                       // Guarded.
-  std::atomic<size_t> next_item_{0};
+  /// Rendezvous state. Job fields are plain: they are written before the
+  /// release-increment of job_epoch_ and read after an acquire-load of it.
+  std::unique_ptr<TaskQueue[]> queues_;  // One per lane.
+  std::atomic<uint64_t> job_epoch_{0};
+  std::atomic<uint32_t> pending_lanes_{0};
+  std::atomic<bool> shutdown_{false};
+  RangeFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
+  size_t job_chunk_ = 1;
 
   QueryStats batch_stats_;
   BatchReport batch_report_;

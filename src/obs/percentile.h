@@ -1,0 +1,35 @@
+#ifndef SGTREE_OBS_PERCENTILE_H_
+#define SGTREE_OBS_PERCENTILE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace sgtree::obs {
+
+/// Nearest-rank percentile over an ascending-sorted sample. `p` is in
+/// [0, 100]; an empty sample yields 0. This is the one definition every
+/// latency report in the tree uses (executor batch reports, router batch
+/// reports, bench tables), so p99 numbers are comparable across layers.
+inline double NearestRankPercentile(const std::vector<double>& sorted_ascending,
+                                    double p) {
+  if (sorted_ascending.empty()) return 0;
+  const double frac =
+      p / 100.0 * static_cast<double>(sorted_ascending.size());
+  size_t rank = static_cast<size_t>(std::ceil(frac));
+  if (rank < 1) rank = 1;
+  if (rank > sorted_ascending.size()) rank = sorted_ascending.size();
+  return sorted_ascending[rank - 1];
+}
+
+/// Convenience for unsorted samples: sorts `samples` in place, then takes
+/// the nearest-rank percentile.
+inline double SortAndPercentile(std::vector<double>& samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return NearestRankPercentile(samples, p);
+}
+
+}  // namespace sgtree::obs
+
+#endif  // SGTREE_OBS_PERCENTILE_H_

@@ -1,25 +1,15 @@
 #include "shard/query_router.h"
 
 #include <algorithm>
-#include <cmath>
 #include <string>
 #include <utility>
 
 #include "exec/index_backend.h"
+#include "obs/percentile.h"
 #include "sgtree/search.h"
 
 namespace sgtree {
 namespace {
-
-// Nearest-rank percentile over per-query wall times; `sorted_us` ascending.
-double PercentileUs(const std::vector<double>& sorted_us, double p) {
-  if (sorted_us.empty()) return 0;
-  const double frac = p / 100.0 * static_cast<double>(sorted_us.size());
-  size_t rank = static_cast<size_t>(std::ceil(frac));
-  if (rank < 1) rank = 1;
-  if (rank > sorted_us.size()) rank = sorted_us.size();
-  return sorted_us[rank - 1];
-}
 
 bool IsKnn(QueryType type) {
   return type == QueryType::kKnn || type == QueryType::kBestFirstKnn;
@@ -73,9 +63,9 @@ QueryRouter::QueryRouter(const ShardedIndex& index, QueryExecutor* executor,
                                                        options_.pool_shards);
     return;
   }
-  const uint32_t workers = executor_->num_threads();
-  worker_pools_.reserve(workers);
-  for (uint32_t i = 0; i < workers; ++i) {
+  const uint32_t lanes = executor_->num_threads();
+  worker_pools_.reserve(lanes);
+  for (uint32_t i = 0; i < lanes; ++i) {
     worker_pools_.push_back(
         std::make_unique<BufferPool>(options_.buffer_pages));
   }
@@ -86,56 +76,117 @@ PageCache* QueryRouter::PoolFor(uint32_t worker_id) {
   return worker_pools_[worker_id].get();
 }
 
+void QueryRouter::RunSlice(const std::vector<QueryRequest>& batch,
+                           uint32_t si, size_t q_begin, size_t q_end,
+                           uint32_t worker_id,
+                           const std::vector<uint8_t>& valid,
+                           std::vector<SharedPruneBound>* bounds,
+                           std::vector<QueryResult>* merged) {
+  const uint32_t s = index_->num_shards();
+  PageCache* pool = PoolFor(worker_id);
+  const bool private_pool = shared_pool_ == nullptr;
+  // Default protocol: the slice starts cold on its shard, then its queries
+  // warm the pool for each other — one Clear per slice, not per sub-query.
+  if (private_pool && !options_.cold_per_subquery) pool->Clear();
+  const SgTreeBackend backend(index_->shard(si));
+  for (size_t qi = q_begin; qi < q_end; ++qi) {
+    if (valid[qi] == 0) continue;
+    const QueryRequest& request = batch[qi];
+    if (private_pool && options_.cold_per_subquery) pool->Clear();
+    if (options_.shared_knn_bound && IsKnn(request.type)) {
+      ExecuteInto(SgTreeBackend(index_->shard(si), &(*bounds)[qi]), request,
+                  pool, &partial_[qi * s + si]);
+    } else {
+      ExecuteInto(backend, request, pool, &partial_[qi * s + si]);
+    }
+    if (options_.overlap_merge &&
+        remaining_[qi].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // This lane just finished qi's last outstanding shard part: gather
+      // immediately, overlapping the merge with other lanes' scatter. The
+      // acq_rel countdown makes every other lane's part visible here, and
+      // exactly one lane can observe the count hit zero.
+      MergeQuery(request, &partial_[qi * s], s, &(*merged)[qi]);
+    }
+  }
+}
+
 std::vector<QueryResult> QueryRouter::Run(
     const std::vector<QueryRequest>& batch) {
   const size_t n = batch.size();
   const uint32_t s = index_->num_shards();
   std::vector<QueryResult> merged(n);
   std::vector<uint8_t> valid(n, 0);
+  uint64_t rejected = 0;
   for (size_t i = 0; i < n; ++i) {
     merged[i].error = ValidateRequest(batch[i]);
     valid[i] = merged[i].ok() ? 1 : 0;
+    if (valid[i] == 0) ++rejected;
   }
 
-  // One task per (query, shard), query-major so a serial executor still
-  // visits a query's shards back to back (the shared bound tightens soonest
-  // that way). Each slot is written by exactly one worker.
-  std::vector<QueryResult> partial(n * s);
-  std::vector<SharedPruneBound> bounds(n);
-  Timer batch_timer;
-  executor_->ParallelFor(n * s, [&](size_t task, uint32_t worker_id) {
-    const size_t qi = task / s;
-    if (valid[qi] == 0) return;
-    const uint32_t si = static_cast<uint32_t>(task % s);
-    const QueryRequest& request = batch[qi];
-    PageCache* pool = PoolFor(worker_id);
-    // Private pools start every shard task cold — the same per-query
-    // cold-cache protocol as the executor, applied per sub-query.
-    if (shared_pool_ == nullptr) pool->Clear();
-    SharedPruneBound* bound = options_.shared_knn_bound && IsKnn(request.type)
-                                  ? &bounds[qi]
-                                  : nullptr;
-    partial[task] = Execute(SgTreeBackend(index_->shard(si), bound), request,
-                            pool);
-  });
+  // Scatter scratch: the partial matrix and the per-query countdowns are
+  // members recycled across batches — steady state reuses every slot's
+  // buffers instead of allocating n*s results per Run.
+  if (partial_.size() < n * s) partial_.resize(n * s);
+  if (remaining_capacity_ < n) {
+    remaining_ = std::make_unique<std::atomic<uint32_t>[]>(n);
+    remaining_capacity_ = n;
+  }
+  if (options_.overlap_merge) {
+    for (size_t qi = 0; qi < n; ++qi) {
+      remaining_[qi].store(s, std::memory_order_relaxed);
+    }
+  }
+  std::vector<SharedPruneBound> bounds(options_.shared_knn_bound ? n : 0);
 
-  std::vector<uint64_t> shard_queries(s, 0);
-  std::vector<uint64_t> shard_ios(s, 0);
-  std::vector<uint64_t> shard_nodes(s, 0);
-  for (size_t qi = 0; qi < n; ++qi) {
-    if (valid[qi] == 0) continue;
-    MergeQuery(batch[qi], &partial[qi * s], s, &merged[qi]);
-    for (uint32_t si = 0; si < s; ++si) {
-      const QueryResult& part = partial[qi * s + si];
-      ++shard_queries[si];
-      shard_ios[si] += part.stats.random_ios;
-      shard_nodes[si] += part.trace.nodes_visited();
+  Timer batch_timer;
+  if (options_.shard_major) {
+    // A task is one shard crossed with a block of queries. Auto block
+    // sizing aims at ~8 slices per lane in total, so the executor's
+    // chunked claiming and stealing still have enough grains to balance
+    // cost skew, while dispatch and pool setup amortize over the block.
+    size_t block = options_.queries_per_task;
+    if (block == 0) {
+      const size_t lanes = executor_->num_threads();
+      const size_t target_slices_per_shard =
+          std::max<size_t>(1, (8 * lanes + s - 1) / s);
+      block = std::max<size_t>(
+          1, (n + target_slices_per_shard - 1) / target_slices_per_shard);
+    }
+    const size_t num_blocks = n == 0 ? 0 : (n + block - 1) / block;
+    // Shard-major task order (all of shard 0's blocks, then shard 1's...)
+    // keeps one lane's consecutive slices on one shard — the contiguous
+    // per-lane ranges of the executor then give each lane shard affinity
+    // for free.
+    executor_->ParallelApply(
+        static_cast<size_t>(s) * num_blocks,
+        [&](size_t task, uint32_t worker_id) {
+          const auto si = static_cast<uint32_t>(task / num_blocks);
+          const size_t b = task % num_blocks;
+          const size_t q_begin = b * block;
+          const size_t q_end = std::min(n, q_begin + block);
+          RunSlice(batch, si, q_begin, q_end, worker_id, valid, &bounds,
+                   &merged);
+        });
+  } else {
+    // Legacy grid: one task per (query, shard), query-major so a serial
+    // executor still visits a query's shards back to back (the shared
+    // bound tightens soonest that way). Kept for the bench ablation.
+    executor_->ParallelApply(n * s, [&](size_t task, uint32_t worker_id) {
+      const size_t qi = task / s;
+      const auto si = static_cast<uint32_t>(task % s);
+      RunSlice(batch, si, qi, qi + 1, worker_id, valid, &bounds, &merged);
+    });
+  }
+  if (!options_.overlap_merge) {
+    for (size_t qi = 0; qi < n; ++qi) {
+      if (valid[qi] == 0) continue;
+      MergeQuery(batch[qi], &partial_[qi * s], s, &merged[qi]);
     }
   }
 
   report_ = BatchReport{};
   report_.queries = n;
-  report_.wall_ms = batch_timer.ElapsedMs();
+  report_.rejected = rejected;
   std::vector<double> latencies;
   latencies.reserve(n);
   for (size_t qi = 0; qi < n; ++qi) {
@@ -143,21 +194,38 @@ std::vector<QueryResult> QueryRouter::Run(
     report_.stats += merged[qi].stats;
     report_.trace += merged[qi].trace;
     latencies.push_back(merged[qi].elapsed_us);
+    // task_us sums the per-(query, shard) parts, not the merged max: it is
+    // the total backend service time the lanes had to absorb.
+    for (uint32_t si = 0; si < s; ++si) {
+      report_.task_us += partial_[qi * s + si].elapsed_us;
+    }
   }
+  report_.wall_ms = batch_timer.ElapsedMs();
   std::sort(latencies.begin(), latencies.end());
-  report_.p50_us = PercentileUs(latencies, 50);
-  report_.p95_us = PercentileUs(latencies, 95);
-  report_.p99_us = PercentileUs(latencies, 99);
+  report_.p50_us = obs::NearestRankPercentile(latencies, 50);
+  report_.p95_us = obs::NearestRankPercentile(latencies, 95);
+  report_.p99_us = obs::NearestRankPercentile(latencies, 99);
 
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *options_.metrics;
     reg.GetCounter("shard.queries")->Increment(n);
-    reg.GetCounter("shard.fanout_tasks")->Increment(n * s);
+    reg.GetCounter("shard.rejected")->Increment(rejected);
+    reg.GetCounter("shard.fanout_tasks")->Increment((n - rejected) * s);
     for (uint32_t si = 0; si < s; ++si) {
+      uint64_t shard_queries = 0;
+      uint64_t shard_ios = 0;
+      uint64_t shard_nodes = 0;
+      for (size_t qi = 0; qi < n; ++qi) {
+        if (valid[qi] == 0) continue;
+        const QueryResult& part = partial_[qi * s + si];
+        ++shard_queries;
+        shard_ios += part.stats.random_ios;
+        shard_nodes += part.trace.nodes_visited();
+      }
       const std::string prefix = "shard." + std::to_string(si) + ".";
-      reg.GetCounter(prefix + "queries")->Increment(shard_queries[si]);
-      reg.GetCounter(prefix + "random_ios")->Increment(shard_ios[si]);
-      reg.GetCounter(prefix + "nodes_visited")->Increment(shard_nodes[si]);
+      reg.GetCounter(prefix + "queries")->Increment(shard_queries);
+      reg.GetCounter(prefix + "random_ios")->Increment(shard_ios);
+      reg.GetCounter(prefix + "nodes_visited")->Increment(shard_nodes);
     }
     obs::Histogram* latency = reg.GetHistogram("shard.query_latency_us");
     for (const double us : latencies) latency->Observe(us);

@@ -1,6 +1,7 @@
 #ifndef SGTREE_SHARD_QUERY_ROUTER_H_
 #define SGTREE_SHARD_QUERY_ROUTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -15,14 +16,13 @@
 namespace sgtree {
 
 struct QueryRouterOptions {
-  /// Frames of each worker's private per-task pool, or the total capacity
-  /// of the shared sharded pool — same semantics as QueryExecutorOptions.
+  /// Frames of each lane's private pool, or the total capacity of the
+  /// shared sharded pool — same semantics as QueryExecutorOptions.
   uint32_t buffer_pages = 64;
 
-  /// 0 (default): every worker owns a private BufferPool cleared before
-  /// each shard task, so every (query, shard) sub-query starts cold and
-  /// per-shard counters are scheduling-independent. > 0: all workers share
-  /// one ShardedBufferPool with this many lock stripes.
+  /// 0 (default): every executor lane owns a private BufferPool; see
+  /// `cold_per_subquery` for when it is cleared. > 0: all lanes share one
+  /// ShardedBufferPool with this many lock stripes.
   uint32_t pool_shards = 0;
 
   /// Attach one SharedPruneBound per k-NN query, letting shards prune with
@@ -32,18 +32,44 @@ struct QueryRouterOptions {
   /// counter-determinism tests switch it off.
   bool shared_knn_bound = true;
 
+  /// true (default): one executor task is a SLICE — one shard crossed with
+  /// a contiguous block of queries — so task-dispatch cost, backend setup,
+  /// and the pool amortize over the block. false: the legacy grid of one
+  /// task per (query, shard), kept for the bench ablation.
+  bool shard_major = true;
+
+  /// true (default): each query is merged by whichever lane completes its
+  /// LAST shard part (per-query atomic countdown), overlapping gather with
+  /// scatter. false: legacy full barrier, then a serial merge loop on the
+  /// calling thread — the bench ablation baseline.
+  bool overlap_merge = true;
+
+  /// false (default): in private-pool mode a lane clears its pool once per
+  /// slice, so queries inside a slice warm the pool for each other on that
+  /// slice's shard (per-query I/O counters then depend on the slice
+  /// geometry — a pure function of batch size, shard count, lane count and
+  /// `queries_per_task`, so repeated runs stay bit-identical). true: clear
+  /// before every (query, shard) sub-query — the paper's per-sub-query
+  /// cold-cache protocol, with counters independent of the slice geometry.
+  /// Irrelevant under a shared pool, which is never cleared mid-batch.
+  bool cold_per_subquery = false;
+
+  /// Queries per shard-major slice; 0 picks an automatic block size (~8
+  /// slices per lane across all shards, so stealing can still re-balance
+  /// skewed slices). Ignored when shard_major is false.
+  uint32_t queries_per_task = 0;
+
   /// Optional registry: each batch feeds "shard.queries",
-  /// "shard.fanout_tasks", per-shard "shard.<i>.queries" /
-  /// "shard.<i>.random_ios" / "shard.<i>.nodes_visited" counters and the
-  /// "shard.query_latency_us" histogram (merged per-query latencies), all
-  /// from the calling thread after the fan-out.
+  /// "shard.rejected", "shard.fanout_tasks", per-shard
+  /// "shard.<i>.queries" / "shard.<i>.random_ios" /
+  /// "shard.<i>.nodes_visited" counters and the "shard.query_latency_us"
+  /// histogram (merged per-query latencies), all from the calling thread
+  /// after the fan-out.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Scatter-gather query engine over a ShardedIndex: every query of a batch
-/// fans out to all shards as independent (query, shard) tasks on the
-/// executor's worker pool, and the per-shard answers are merged on the
-/// calling thread:
+/// is answered by all shards and the per-shard answers are merged:
 ///
 ///  - kKnn / kBestFirstKnn: merge the per-shard candidate lists under
 ///    (distance, tid) and keep the first k. Both the single tree and every
@@ -58,19 +84,33 @@ struct QueryRouterOptions {
 ///
 /// In every case the merged result is byte-identical to running the same
 /// request on one SG-tree holding all the data (the determinism suite
-/// checks this for all six types on 1/2/8 shards). Merged per-query
-/// `stats`/`trace` are the SUM over shards and `elapsed_us` the MAX (the
-/// scatter-gather service time); those match the single-tree numbers only
-/// in spirit, not byte for byte.
+/// checks this for all six types on 1/2/8 shards, across every scheduling
+/// mode). Merged per-query `stats`/`trace` are the SUM over shards and
+/// `elapsed_us` the MAX (the scatter-gather service time); those match the
+/// single-tree numbers only in spirit, not byte for byte.
 ///
-/// The router borrows the executor's threads but owns its pools, so a
+/// Scheduling (the defaults; see QueryRouterOptions for the legacy modes
+/// the bench ablation keeps reachable):
+///  - shard-major slices: a task is (shard, query block), so the per-task
+///    dispatch cost and the lane's pool amortize over a block of
+///    sub-queries instead of being paid per (query, shard) pair;
+///  - overlapped merge: a per-query atomic countdown lets the lane that
+///    finishes a query's last shard part merge that query immediately,
+///    while other lanes are still scattering — there is no full barrier
+///    followed by a serial caller-side merge loop;
+///  - scratch reuse: the n-queries-by-s-shards partial-result matrix is a
+///    router member whose slots (and their neighbor/id heap buffers) are
+///    recycled across Run() calls, so steady-state batches allocate no
+///    per-task storage.
+///
+/// The router borrows the executor's lanes but owns its pools, so a
 /// router and a plain executor batch never share cache state. Requests are
 /// validated once at the router boundary; an invalid request yields one
 /// error result and is never fanned out.
 class QueryRouter {
  public:
   /// `index` and `executor` must outlive the router. The executor is only
-  /// used for its worker pool (ParallelFor); its own pool options are
+  /// used for its lanes (ParallelApply); its own pool options are
   /// irrelevant here.
   QueryRouter(const ShardedIndex& index, QueryExecutor* executor,
               const QueryRouterOptions& options = {});
@@ -85,7 +125,10 @@ class QueryRouter {
   QueryResult RunOne(const QueryRequest& request);
 
   /// Aggregate view of the last Run(): per-query merged latencies feed the
-  /// percentiles, counters are summed over all (query, shard) tasks.
+  /// percentiles, counters are summed over all (query, shard) tasks, and
+  /// `queries` / `rejected` report the full batch vs the requests that
+  /// failed validation (rejected requests contribute no counters and no
+  /// latency sample).
   const BatchReport& last_batch_report() const { return report_; }
 
   const ShardedBufferPool* shared_pool() const { return shared_pool_.get(); }
@@ -93,11 +136,29 @@ class QueryRouter {
  private:
   PageCache* PoolFor(uint32_t worker_id);
 
+  /// Runs queries [q_begin, q_end) of `batch` against shard `si` on lane
+  /// `worker_id`, writing each part into partial_[qi * s + si] and, in
+  /// overlap mode, merging any query whose countdown this slice finishes.
+  void RunSlice(const std::vector<QueryRequest>& batch, uint32_t si,
+                size_t q_begin, size_t q_end, uint32_t worker_id,
+                const std::vector<uint8_t>& valid,
+                std::vector<SharedPruneBound>* bounds,
+                std::vector<QueryResult>* merged);
+
   const ShardedIndex* index_;
   QueryExecutor* executor_;
   QueryRouterOptions options_;
   std::vector<std::unique_ptr<BufferPool>> worker_pools_;
   std::unique_ptr<ShardedBufferPool> shared_pool_;
+
+  /// Scatter scratch, reused across Run() calls: partial_[qi * s + si] is
+  /// query qi's answer from shard si (ExecuteInto recycles each slot's
+  /// buffers), remaining_[qi] counts qi's outstanding shard parts for the
+  /// overlapped merge.
+  std::vector<QueryResult> partial_;
+  std::unique_ptr<std::atomic<uint32_t>[]> remaining_;
+  size_t remaining_capacity_ = 0;
+
   BatchReport report_;
 };
 

@@ -418,6 +418,31 @@ TEST(ExecutorTest, MetricsRegistryIsFedByEachBatch) {
             2 * f.batch.size());
 }
 
+TEST(ExecutorTest, BatchReportCountsRejectedRequests) {
+  ExecFixture f = MakeExecFixture(19, Metric::kHamming, 12);
+  f.batch[2].type = QueryType::kKnn;
+  f.batch[2].k = 0;  // Fails validation.
+  f.batch[7].type = QueryType::kRange;
+  f.batch[7].epsilon = -2.0;  // Fails validation.
+  obs::MetricsRegistry registry;
+  QueryExecutorOptions options;
+  options.num_threads = 2;
+  options.buffer_pages = 16;
+  options.metrics = &registry;
+  QueryExecutor executor(options);
+  const auto results = executor.Run(*f.tree, f.batch);
+  EXPECT_FALSE(results[2].ok());
+  EXPECT_FALSE(results[7].ok());
+  const BatchReport& report = executor.last_batch_report();
+  EXPECT_EQ(report.queries, f.batch.size());
+  EXPECT_EQ(report.rejected, 2u);
+  EXPECT_EQ(registry.GetCounter("exec.queries")->Value(), f.batch.size());
+  EXPECT_EQ(registry.GetCounter("exec.rejected")->Value(), 2u);
+  // Rejected queries are untimed: only the valid ones feed the histogram.
+  EXPECT_EQ(registry.GetHistogram("exec.query_latency_us")->Count(),
+            f.batch.size() - 2);
+}
+
 TEST(ExecutorTest, EmptyBatchAndEmptyTree) {
   QueryExecutor executor({.num_threads = 2});
   SgTreeOptions options;
@@ -462,6 +487,77 @@ TEST(ExecutorTest, ParallelForVisitsEachIndexExactlyOnce) {
   for (size_t i = 0; i < kN; ++i) {
     ASSERT_EQ(visits[i].load(), 1u) << "index " << i;
   }
+}
+
+TEST(ExecutorTest, ParallelApplyVisitsEachIndexExactlyOnce) {
+  // Same contract as ParallelFor, through the devirtualized typed-body
+  // path, across chunk policies: auto (0), per-item (1), and a chunk size
+  // that does not divide the lane ranges evenly (7).
+  for (uint32_t max_chunk : {0u, 1u, 7u}) {
+    QueryExecutorOptions options;
+    options.num_threads = 4;
+    options.max_chunk = max_chunk;
+    QueryExecutor executor(options);
+    constexpr size_t kN = 10000;
+    std::vector<std::atomic<uint32_t>> visits(kN);
+    executor.ParallelApply(kN, [&](size_t i, uint32_t worker_id) {
+      ASSERT_LT(worker_id, executor.num_threads());
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[i].load(), 1u)
+          << "index " << i << " max_chunk " << max_chunk;
+    }
+  }
+}
+
+TEST(ExecutorTest, ChunkPolicyDoesNotChangeAnswers) {
+  // Chunked claiming and work stealing change WHICH lane runs a query, but
+  // in private-pool mode every lane's pool starts from the same Clear()ed
+  // state per query — so every chunk policy must be byte-identical to the
+  // serial oracle, stats and traces included.
+  const ExecFixture f = MakeExecFixture(18, Metric::kHamming);
+  const auto serial = QueryExecutor::RunSerial(*f.tree, f.batch, 16);
+  for (uint32_t max_chunk : {0u, 1u, 7u}) {
+    for (uint32_t threads : {2u, 8u}) {
+      QueryExecutorOptions options;
+      options.num_threads = threads;
+      options.buffer_pages = 16;
+      options.max_chunk = max_chunk;
+      QueryExecutor executor(options);
+      const auto parallel = executor.Run(*f.tree, f.batch);
+      ExpectBatchesIdentical(parallel, serial);
+    }
+  }
+}
+
+TEST(ExecutorTest, SingleLaneRunsEntirelyOnCallingThread) {
+  // num_threads = 1 means ZERO spawned workers: the calling thread is the
+  // one lane, so batch execution must happen on this very thread.
+  QueryExecutor executor({.num_threads = 1});
+  EXPECT_EQ(executor.num_threads(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  size_t visited = 0;
+  executor.ParallelApply(257, [&](size_t, uint32_t worker_id) {
+    ASSERT_EQ(std::this_thread::get_id(), caller);
+    ASSERT_EQ(worker_id, 0u);
+    ++visited;  // Safe: single lane.
+  });
+  EXPECT_EQ(visited, 257u);
+}
+
+TEST(ExecutorTest, CallerParticipatesInMultiLaneRuns) {
+  // The calling thread is always the last lane; with enough items its lane
+  // range is non-empty, so at least one item must run on the caller.
+  QueryExecutor executor({.num_threads = 4});
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<uint32_t> on_caller{0};
+  executor.ParallelApply(4096, [&](size_t, uint32_t) {
+    if (std::this_thread::get_id() == caller) {
+      on_caller.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_GT(on_caller.load(), 0u);
 }
 
 TEST(ExecutorTest, TableBatchMatchesDirectCalls) {
@@ -574,9 +670,36 @@ TEST(ExecutorStressTest, ManyThreadsPrivatePoolsRepeatedBatches) {
   }
 }
 
+TEST(ExecutorStressTest, SkewedWorkIsRebalancedByStealing) {
+  // One lane's contiguous range holds nearly all the work: items in the
+  // first quarter are ~1000x more expensive than the rest. Stealing must
+  // still visit every index exactly once (TSAN checks the claim/steal CAS
+  // protocol and the stolen-range installation for races).
+  QueryExecutorOptions options;
+  options.num_threads = 8;
+  QueryExecutor executor(options);
+  constexpr size_t kN = 2048;
+  std::vector<std::atomic<uint32_t>> visits(kN);
+  std::atomic<uint64_t> checksum{0};
+  for (int round = 0; round < 3; ++round) {
+    for (auto& v : visits) v.store(0, std::memory_order_relaxed);
+    executor.ParallelApply(kN, [&](size_t i, uint32_t) {
+      uint64_t acc = i;
+      const int spins = i < kN / 4 ? 20000 : 20;
+      for (int s = 0; s < spins; ++s) acc = acc * 6364136223846793005ULL + 1;
+      checksum.fetch_add(acc | 1, std::memory_order_relaxed);
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[i].load(), 1u) << "round " << round << " index " << i;
+    }
+  }
+  EXPECT_NE(checksum.load(), 0u);
+}
+
 TEST(ExecutorStressTest, ExecutorsConstructedAndDestroyedRepeatedly) {
-  // Start-up/shutdown races: workers parked on the condition variable must
-  // see the shutdown flag and exit; destruction joins everything.
+  // Start-up/shutdown races: workers parked on the epoch futex must see
+  // the shutdown flag and exit; destruction joins everything.
   const ExecFixture f = MakeExecFixture(33, Metric::kHamming, 16);
   for (int round = 0; round < 10; ++round) {
     QueryExecutor executor(

@@ -1,0 +1,68 @@
+// Unit tests for the shared nearest-rank percentile helper (obs/percentile.h)
+// that the executor batch reports, the router batch reports, and the bench
+// tables all use — one definition, tested once.
+
+#include "obs/percentile.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sgtree {
+namespace obs {
+namespace {
+
+TEST(PercentileTest, EmptySampleYieldsZero) {
+  const std::vector<double> empty;
+  EXPECT_EQ(NearestRankPercentile(empty, 0), 0.0);
+  EXPECT_EQ(NearestRankPercentile(empty, 50), 0.0);
+  EXPECT_EQ(NearestRankPercentile(empty, 100), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleIsEveryPercentile) {
+  const std::vector<double> one{7.5};
+  EXPECT_EQ(NearestRankPercentile(one, 0), 7.5);
+  EXPECT_EQ(NearestRankPercentile(one, 50), 7.5);
+  EXPECT_EQ(NearestRankPercentile(one, 99), 7.5);
+  EXPECT_EQ(NearestRankPercentile(one, 100), 7.5);
+}
+
+TEST(PercentileTest, NearestRankDefinition) {
+  // Nearest rank: rank = ceil(p/100 * n), clamped to [1, n], 1-indexed.
+  const std::vector<double> v{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_EQ(NearestRankPercentile(v, 0), 10.0);    // rank clamps up to 1.
+  EXPECT_EQ(NearestRankPercentile(v, 10), 10.0);   // ceil(1.0)  = 1.
+  EXPECT_EQ(NearestRankPercentile(v, 11), 20.0);   // ceil(1.1)  = 2.
+  EXPECT_EQ(NearestRankPercentile(v, 50), 50.0);   // ceil(5.0)  = 5.
+  EXPECT_EQ(NearestRankPercentile(v, 95), 100.0);  // ceil(9.5)  = 10.
+  EXPECT_EQ(NearestRankPercentile(v, 99), 100.0);  // ceil(9.9)  = 10.
+  EXPECT_EQ(NearestRankPercentile(v, 100), 100.0);
+}
+
+TEST(PercentileTest, P99OnOneHundredSamplesIsTheSecondLargest) {
+  // The classic sanity check: with exactly 100 samples, p99 is sample #99.
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_EQ(NearestRankPercentile(v, 99), 99.0);
+  EXPECT_EQ(NearestRankPercentile(v, 50), 50.0);
+  EXPECT_EQ(NearestRankPercentile(v, 1), 1.0);
+}
+
+TEST(PercentileTest, DuplicateValuesAreCountedPerSample) {
+  const std::vector<double> v{1, 1, 1, 1, 9};
+  EXPECT_EQ(NearestRankPercentile(v, 50), 1.0);
+  EXPECT_EQ(NearestRankPercentile(v, 80), 1.0);  // ceil(4.0) = 4.
+  EXPECT_EQ(NearestRankPercentile(v, 81), 9.0);  // ceil(4.05) = 5.
+}
+
+TEST(PercentileTest, SortAndPercentileSortsInPlace) {
+  std::vector<double> v{30, 10, 50, 20, 40};
+  EXPECT_EQ(SortAndPercentile(v, 50), 30.0);
+  const std::vector<double> sorted{10, 20, 30, 40, 50};
+  EXPECT_EQ(v, sorted);  // The in-place sort is part of the contract.
+  EXPECT_EQ(NearestRankPercentile(v, 95), 50.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sgtree

@@ -193,6 +193,89 @@ TEST_P(ShardCountTest, BulkLoadedShardsMatchSingleTree) {
 INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardCountTest,
                          ::testing::Values(1u, 2u, 8u));
 
+TEST(QueryRouterTest, EverySchedulingModeMatchesSingleTree) {
+  // The scheduling knobs (shard-major slicing, overlapped merge, the
+  // per-sub-query cold-cache protocol, the slice size) change WHEN and
+  // WHERE sub-queries run and how the pool warms — never the answers. All
+  // eight mode corners, plus forced slice geometries, must reproduce the
+  // single-tree oracle for the full six-type mix.
+  const Dataset dataset = ClusteredDataset(61, 1000, kBits, 8, 10, 2);
+  SgTree single(TreeOptions());
+  for (const Transaction& txn : dataset.transactions) single.Insert(txn);
+  ShardedIndex index(ShardOptions(4));
+  index.InsertBatch(dataset.transactions);
+
+  const std::vector<QueryRequest> batch = MixedBatch(62, 42);
+  const std::vector<QueryResult> expected = SingleTreeReference(single, batch);
+
+  QueryExecutorOptions exec_options;
+  exec_options.num_threads = 4;
+  QueryExecutor executor(exec_options);
+  for (const bool shard_major : {true, false}) {
+    for (const bool overlap_merge : {true, false}) {
+      for (const bool cold : {true, false}) {
+        QueryRouterOptions router_options;
+        router_options.shard_major = shard_major;
+        router_options.overlap_merge = overlap_merge;
+        router_options.cold_per_subquery = cold;
+        QueryRouter router(index, &executor, router_options);
+        ExpectSameAnswers(expected, router.Run(batch),
+                          "shard_major=" + std::to_string(shard_major) +
+                              " overlap=" + std::to_string(overlap_merge) +
+                              " cold=" + std::to_string(cold));
+      }
+    }
+  }
+  for (const uint32_t queries_per_task : {1u, 5u, 100u}) {
+    QueryRouterOptions router_options;
+    router_options.queries_per_task = queries_per_task;
+    QueryRouter router(index, &executor, router_options);
+    ExpectSameAnswers(expected, router.Run(batch),
+                      "queries_per_task=" + std::to_string(queries_per_task));
+  }
+}
+
+TEST(QueryRouterTest, ColdProtocolCountersAreGeometryIndependent) {
+  // With the per-sub-query cold-cache protocol and the shared bound off,
+  // every (query, shard) part runs from an empty pool — so full results,
+  // counters included, must not depend on slicing mode, slice size, or
+  // lane count.
+  const Dataset dataset = ClusteredDataset(63, 700, kBits, 8, 10, 2);
+  ShardedIndex index(ShardOptions(3));
+  index.InsertBatch(dataset.transactions);
+  const std::vector<QueryRequest> batch = MixedBatch(64, 24);
+
+  auto run = [&](uint32_t threads, bool shard_major,
+                 uint32_t queries_per_task) {
+    QueryExecutorOptions exec_options;
+    exec_options.num_threads = threads;
+    QueryExecutor executor(exec_options);
+    QueryRouterOptions router_options;
+    router_options.shared_knn_bound = false;
+    router_options.cold_per_subquery = true;
+    router_options.shard_major = shard_major;
+    router_options.queries_per_task = queries_per_task;
+    QueryRouter router(index, &executor, router_options);
+    return router.Run(batch);
+  };
+  const auto reference = run(1, false, 0);  // Serial legacy grid.
+  struct Config {
+    uint32_t threads;
+    bool shard_major;
+    uint32_t queries_per_task;
+  };
+  for (const Config& c : std::vector<Config>{
+           {1, true, 0}, {4, true, 0}, {4, true, 3}, {4, false, 0}}) {
+    const auto results = run(c.threads, c.shard_major, c.queries_per_task);
+    ASSERT_EQ(results.size(), reference.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i], reference[i])
+          << "threads=" << c.threads << " shard_major=" << c.shard_major
+          << " qpt=" << c.queries_per_task << " query " << i;
+    }
+  }
+}
+
 TEST(QueryRouterTest, RepeatedRunsAreFullyDeterministic) {
   const Dataset dataset = ClusteredDataset(45, 800, kBits, 8, 10, 2);
   ShardedIndex index(ShardOptions(4));
@@ -238,6 +321,12 @@ TEST(QueryRouterTest, InvalidRequestsAreNotFannedOut) {
   EXPECT_FALSE(results[3].ok());
   EXPECT_TRUE(results[1].neighbors.empty());
   EXPECT_EQ(results[1].stats.nodes_accessed, 0u);
+
+  // The report distinguishes batch size from rejects; rejected queries
+  // contribute no latency samples and no counters.
+  const BatchReport& report = router.last_batch_report();
+  EXPECT_EQ(report.queries, 4u);
+  EXPECT_EQ(report.rejected, 2u);
 }
 
 TEST(QueryRouterTest, FeedsShardMetrics) {
@@ -253,6 +342,7 @@ TEST(QueryRouterTest, FeedsShardMetrics) {
   router.Run(batch);
 
   EXPECT_EQ(registry.GetCounter("shard.queries")->Value(), 12u);
+  EXPECT_EQ(registry.GetCounter("shard.rejected")->Value(), 0u);
   EXPECT_EQ(registry.GetCounter("shard.fanout_tasks")->Value(), 36u);
   for (uint32_t s = 0; s < 3; ++s) {
     const std::string prefix = "shard." + std::to_string(s) + ".";
@@ -319,6 +409,36 @@ TEST(ShardStressTest, SharedBoundManyWorkersMatchesSerialOracle) {
   for (int run = 0; run < 3; ++run) {
     ExpectSameAnswers(expected, router.Run(batch),
                       "sharedbound run=" + std::to_string(run));
+  }
+}
+
+TEST(ShardStressTest, OverlappedMergeTinySlicesMatchesSerialOracle) {
+  // Worst case for the overlapped merge: single-query slices (maximum
+  // countdown contention — all 8 shards of a query can finish on different
+  // lanes at once), a shared pool, the shared bound, and stealing-prone
+  // skew from the mixed batch. TSAN checks the per-query countdown and the
+  // merge-once guarantee; the oracle checks the answers.
+  const Dataset dataset = ClusteredDataset(65, 1000, kBits, 8, 10, 2);
+  SgTree single(TreeOptions());
+  for (const Transaction& txn : dataset.transactions) single.Insert(txn);
+  ShardedIndex index(ShardOptions(8));
+  index.InsertBatch(dataset.transactions);
+
+  const std::vector<QueryRequest> batch = MixedBatch(66, 96);
+  const std::vector<QueryResult> expected = SingleTreeReference(single, batch);
+
+  QueryExecutorOptions exec_options;
+  exec_options.num_threads = 8;
+  exec_options.max_chunk = 1;  // Per-item claiming: maximum interleaving.
+  QueryExecutor executor(exec_options);
+  QueryRouterOptions router_options;
+  router_options.pool_shards = 4;
+  router_options.buffer_pages = 64;
+  router_options.queries_per_task = 1;
+  QueryRouter router(index, &executor, router_options);
+  for (int run = 0; run < 3; ++run) {
+    ExpectSameAnswers(expected, router.Run(batch),
+                      "overlap run=" + std::to_string(run));
   }
 }
 

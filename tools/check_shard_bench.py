@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate on the shard-scaling bench JSON (BENCH_shard.json).
+
+The bench's headline curve — modeled QPS, computed from per-shard service
+times under a one-core-per-shard assumption — is machine-independent, but
+measured wall-clock QPS is not: a single-core CI runner physically cannot
+run 8 shard tasks at once. So the gate normalizes by the cores the runner
+actually has before comparing:
+
+    achievable_qps = modeled_qps * min(cores, shards) / shards
+    measured_qps >= achievable_qps / SLACK            (scheduling gate)
+
+and additionally requires the core-independent dispatch efficiency the
+bench emits (total backend service time / machine-time available) to stay
+above a floor — this is the number the chunked/work-stealing scheduler
+actually moves, and it catches regressions even when QPS noise would not.
+
+Exit code 0 = pass. Nonzero = regression, with a message naming the row.
+
+Usage: check_shard_bench.py BENCH_shard.json [--shards 8]
+       [--qps-slack 1.5] [--min-efficiency 0.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path")
+    parser.add_argument("--shards", type=int, default=8,
+                        help="shard count of the gated row (default 8)")
+    parser.add_argument("--qps-slack", type=float, default=1.5,
+                        help="allowed measured-vs-achievable QPS factor")
+    parser.add_argument("--min-efficiency", type=float, default=0.5,
+                        help="dispatch-efficiency floor for the gated row")
+    args = parser.parse_args()
+
+    with open(args.json_path) as fh:
+        data = json.load(fh)
+
+    cores = int(data.get("cores", 1))
+    rows = data.get("rows", [])
+    row = next((r for r in rows if r.get("shards") == args.shards), None)
+    if row is None:
+        print(f"FAIL: no row with shards={args.shards} in {args.json_path}")
+        return 1
+
+    measured = float(row["measured_qps"])
+    modeled = float(row["modeled_qps"])
+    efficiency = float(row["efficiency"])
+    achievable = modeled * min(cores, args.shards) / args.shards
+    floor = achievable / args.qps_slack
+
+    print(f"shards={args.shards} cores={cores} measured={measured:.1f} "
+          f"modeled={modeled:.1f} achievable={achievable:.1f} "
+          f"floor={floor:.1f} efficiency={efficiency:.3f}")
+
+    ok = True
+    if measured < floor:
+        print(f"FAIL: measured_qps {measured:.1f} < {floor:.1f} "
+              f"(achievable {achievable:.1f} / slack {args.qps_slack})")
+        ok = False
+    if efficiency < args.min_efficiency:
+        print(f"FAIL: efficiency {efficiency:.3f} < "
+              f"{args.min_efficiency:.3f}")
+        ok = False
+
+    # The ablation rows are informational, but the default mode must not be
+    # slower than the legacy scheduler it replaced (tolerating 20% noise —
+    # CI runners are shared machines).
+    ablation = {r.get("label"): r for r in data.get("ablation", [])}
+    if "legacy" in ablation and "+overlap" in ablation:
+        legacy = float(ablation["legacy"]["measured_qps"])
+        current = float(ablation["+overlap"]["measured_qps"])
+        print(f"ablation: legacy={legacy:.1f} qps, default={current:.1f} qps")
+        if current < 0.8 * legacy:
+            print(f"FAIL: default scheduler ({current:.1f} qps) is slower "
+                  f"than legacy ({legacy:.1f} qps)")
+            ok = False
+
+    print("PASS" if ok else "check_shard_bench: regression detected")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
