@@ -66,6 +66,10 @@ std::unique_ptr<DurableTree> DurableTree::Open(Env* env,
   }
 
   std::unique_ptr<DurableTree> dt(new DurableTree(options, env));
+  // No other thread can reach dt yet, but the guarded state below is still
+  // initialized under the lock so every access site type-checks against
+  // the same protocol (and the hold is uncontended — it costs nothing).
+  MutexLock lock(&dt->mu_);
   dt->page_path_ = PagePathFor(dir);
   dt->wal_path_ = WalPathFor(dir);
 
@@ -217,6 +221,11 @@ bool DurableTree::Insert(const Transaction& txn) {
 }
 
 bool DurableTree::Insert(const Signature& sig, uint64_t tid) {
+  // Mutate + log + fsync is one critical section: the operation is
+  // acknowledged (lock released, true returned) only after its commit
+  // marker is on disk, and concurrent writers cannot interleave their
+  // record runs.
+  MutexLock lock(&mu_);
   tree_->Insert(sig, tid);
   return LogOp(options_.sync_each_op);
 }
@@ -227,6 +236,7 @@ bool DurableTree::Erase(const Transaction& txn) {
 }
 
 bool DurableTree::Erase(const Signature& sig, uint64_t tid) {
+  MutexLock lock(&mu_);
   if (!tree_->Erase(sig, tid)) {
     // Nothing changed (the descent dirtied no entry); log nothing.
     tracker_->Clear();
@@ -236,6 +246,7 @@ bool DurableTree::Erase(const Signature& sig, uint64_t tid) {
 }
 
 size_t DurableTree::InsertBatch(const std::vector<Transaction>& txns) {
+  MutexLock lock(&mu_);
   size_t logged = 0;
   for (const Transaction& txn : txns) {
     tree_->Insert(Signature::FromItems(txn.items, options_.tree.num_bits),
@@ -254,6 +265,7 @@ bool DurableTree::AdoptBulkLoaded(std::unique_ptr<SgTree> loaded,
     return false;
   };
   if (loaded == nullptr) return fail("no tree to adopt");
+  MutexLock lock(&mu_);
   if (!tree_->empty() || tree_->node_count() != 0) {
     return fail("bulk adoption requires an empty durable tree");
   }
@@ -271,12 +283,24 @@ bool DurableTree::AdoptBulkLoaded(std::unique_ptr<SgTree> loaded,
     tracker_->alloc.insert(id);
   }
   if (!LogOp(/*sync=*/true)) return fail("cannot log bulk-loaded tree");
-  return Checkpoint(error);
+  // Thread-safety analysis finding: this used to call the public
+  // Checkpoint(), which re-acquires mu_ — a guaranteed self-deadlock the
+  // moment the lock became real. The single-threaded tests never caught it
+  // because the old code simply had no lock to deadlock on.
+  return CheckpointLocked(error);
 }
 
-bool DurableTree::Sync() { return wal_->Commit(); }
+bool DurableTree::Sync() {
+  MutexLock lock(&mu_);
+  return wal_->Commit();
+}
 
 bool DurableTree::Checkpoint(std::string* error) {
+  MutexLock lock(&mu_);
+  return CheckpointLocked(error);
+}
+
+bool DurableTree::CheckpointLocked(std::string* error) {
   auto fail = [error](const std::string& message) {
     if (error != nullptr) *error = message;
     return false;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "data/transaction.h"
 #include "durability/env.h"
 #include "durability/file_page_store.h"
@@ -34,6 +35,21 @@ namespace sgtree {
 /// seals it (meta + fsync), and truncates the log — bounding both the log
 /// size and recovery time. Directory layout: `<dir>/pages.sgp` (page file)
 /// and `<dir>/wal.sgw` (log).
+///
+/// Lock protocol (compile-checked; see common/sync.h): mu_ serializes the
+/// entire write path. "WAL append before ack" is a single critical section
+/// per operation — mutate tree, collect the redo set, append records +
+/// commit marker, fsync, THEN release and acknowledge — so two concurrent
+/// Insert() calls can never interleave their redo runs in the log, and a
+/// reader of op_seq() never observes a sequence number whose records are
+/// still being appended. Lock order: mu_ is always acquired before the
+/// Wal's internal lock (LogOp holds mu_ across wal_->Append), never the
+/// reverse — the Wal never calls back into DurableTree.
+///
+/// Reads are deliberately OUTSIDE the lock: tree() hands out the SgTree
+/// for lock-free const queries (queries touch nothing durable). The tree_
+/// pointer is only reseated under mu_ during AdoptBulkLoaded, which by
+/// contract runs before any reader exists.
 class DurableTree {
  public:
   struct Options {
@@ -63,28 +79,31 @@ class DurableTree {
   /// durable (the in-memory tree may have advanced; treat the instance as
   /// crashed). Erase of an absent key returns false without logging.
   bool Insert(const Transaction& txn);
-  bool Insert(const Signature& sig, uint64_t tid);
+  bool Insert(const Signature& sig, uint64_t tid) SGTREE_EXCLUDES(mu_);
   bool Erase(const Transaction& txn);
-  bool Erase(const Signature& sig, uint64_t tid);
+  bool Erase(const Signature& sig, uint64_t tid) SGTREE_EXCLUDES(mu_);
 
   /// Inserts a batch under one group commit (one fsync for the whole batch
   /// regardless of sync_each_op). Returns the number of inserts logged.
-  size_t InsertBatch(const std::vector<Transaction>& txns);
+  /// The whole batch is one critical section: concurrent writers wait, so
+  /// their operations land before or after the batch, never inside it.
+  size_t InsertBatch(const std::vector<Transaction>& txns)
+      SGTREE_EXCLUDES(mu_);
 
   /// Replaces the (required-empty) tree with `loaded` (a BulkLoad /
   /// BulkLoadEntries result built with the same options), logging the
   /// entire content as one committed operation and then checkpointing, so
   /// the load is crash-safe from the moment this returns true.
   bool AdoptBulkLoaded(std::unique_ptr<SgTree> loaded,
-                       std::string* error = nullptr);
+                       std::string* error = nullptr) SGTREE_EXCLUDES(mu_);
 
   /// Fsyncs any unsynced log records (the group-commit point when
   /// sync_each_op is off).
-  bool Sync();
+  bool Sync() SGTREE_EXCLUDES(mu_);
 
   /// Folds dirty pages into the page file, seals the checkpoint, and
   /// truncates the log. Returns false with `*error` set on failure.
-  bool Checkpoint(std::string* error = nullptr);
+  bool Checkpoint(std::string* error = nullptr) SGTREE_EXCLUDES(mu_);
 
   /// The underlying tree. Reads are free to use it directly (queries touch
   /// nothing durable); mutate only through DurableTree.
@@ -92,8 +111,14 @@ class DurableTree {
   const SgTree& tree() const { return *tree_; }
 
   /// Number of committed (logged) operations over the index lifetime.
-  uint64_t op_seq() const { return op_seq_; }
-  uint64_t checkpoint_seq() const { return checkpoint_seq_; }
+  uint64_t op_seq() const SGTREE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return op_seq_;
+  }
+  uint64_t checkpoint_seq() const SGTREE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return checkpoint_seq_;
+  }
 
   /// What recovery did at Open (all-zero for a fresh index).
   const RecoveryReport& recovery_report() const { return recovery_report_; }
@@ -112,9 +137,14 @@ class DurableTree {
 
   /// Appends the current operation's redo set + commit marker; clears the
   /// tracker. `sync` forces/suppresses the per-op fsync.
-  bool LogOp(bool sync);
+  bool LogOp(bool sync) SGTREE_REQUIRES(mu_);
+  /// Checkpoint body for callers already in the critical section
+  /// (AdoptBulkLoaded checkpoints as the tail of its own operation — the
+  /// EXCLUDES/REQUIRES split is what lets the analysis prove the public
+  /// Checkpoint() is never re-entered under mu_).
+  bool CheckpointLocked(std::string* error) SGTREE_REQUIRES(mu_);
   /// TreeMeta snapshot of the current in-memory state at `op_seq`.
-  TreeMeta CurrentTreeMeta() const;
+  TreeMeta CurrentTreeMeta() const SGTREE_REQUIRES(mu_);
   bool EncodeLivePage(PageId id, std::vector<uint8_t>* out) const;
 
   Options options_;
@@ -122,21 +152,29 @@ class DurableTree {
   std::string page_path_;
   std::string wal_path_;
 
-  std::unique_ptr<SgTree> tree_;
-  std::unique_ptr<FilePageStore> store_;
-  std::unique_ptr<Wal> wal_;
-  std::unique_ptr<Tracker> tracker_;
+  /// Serializes the write path; see the class comment for the protocol.
+  mutable Mutex mu_;
 
-  uint64_t op_seq_ = 0;
-  uint64_t checkpoint_seq_ = 0;
+  /// Reseated only under mu_ (AdoptBulkLoaded); dereferenced lock-free by
+  /// readers per the read-path contract above, so the pointer itself stays
+  /// unannotated — the analysis cannot model single-writer/lock-free-reader
+  /// fields, TSAN covers that axis.
+  std::unique_ptr<SgTree> tree_;
+  /// Set once at Open; the pointees carry the mutable durable state.
+  std::unique_ptr<FilePageStore> store_ SGTREE_PT_GUARDED_BY(mu_);
+  std::unique_ptr<Wal> wal_ SGTREE_PT_GUARDED_BY(mu_);
+  std::unique_ptr<Tracker> tracker_ SGTREE_PT_GUARDED_BY(mu_);
+
+  uint64_t op_seq_ SGTREE_GUARDED_BY(mu_) = 0;
+  uint64_t checkpoint_seq_ SGTREE_GUARDED_BY(mu_) = 0;
   RecoveryReport recovery_report_;
 
   // Pages to fold at the next checkpoint, accumulated across ops (and
   // seeded from the replay delta after recovery). Invariant: every id in
   // ckpt_dirty_ has a redo image in the current log, so a torn fold write
   // is always repairable by replay.
-  std::set<PageId> ckpt_dirty_;
-  std::set<PageId> ckpt_freed_;
+  std::set<PageId> ckpt_dirty_ SGTREE_GUARDED_BY(mu_);
+  std::set<PageId> ckpt_freed_ SGTREE_GUARDED_BY(mu_);
 
   obs::Histogram* checkpoint_latency_us_ = nullptr;
   obs::Counter* checkpoint_count_ = nullptr;

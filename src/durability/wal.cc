@@ -151,6 +151,11 @@ bool Wal::ReadRecordRegion(Env* env, const std::string& path,
 }
 
 bool Wal::Append(const WalRecord& record) {
+  MutexLock lock(&mu_);
+  return AppendLocked(record);
+}
+
+bool Wal::AppendLocked(const WalRecord& record) {
   std::vector<uint8_t> payload;
   EncodeWalRecord(record, &payload);
   std::vector<uint8_t> frame;
@@ -168,6 +173,11 @@ bool Wal::Append(const WalRecord& record) {
 }
 
 bool Wal::Commit() {
+  MutexLock lock(&mu_);
+  return CommitLocked();
+}
+
+bool Wal::CommitLocked() {
   if (dirty_appends_ == 0) return true;
   if (!file_->Sync()) return false;
   dirty_appends_ = 0;
@@ -176,17 +186,21 @@ bool Wal::Commit() {
 }
 
 bool Wal::Reset(uint64_t checkpoint_seq) {
+  // One critical section: truncate, checkpoint marker, sync. A concurrent
+  // Append can land before or after the fold, never inside it.
+  MutexLock lock(&mu_);
   if (!file_->Truncate(sizeof(kWalMagic))) return false;
   size_ = sizeof(kWalMagic);
   WalRecord marker;
   marker.type = WalRecordType::kCheckpoint;
   marker.checkpoint_seq = checkpoint_seq;
-  if (!Append(marker)) return false;
-  return Commit();
+  if (!AppendLocked(marker)) return false;
+  return CommitLocked();
 }
 
 void Wal::BindMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) return;
+  MutexLock lock(&mu_);
   appends_counter_ = registry->GetCounter("wal.appends");
   fsyncs_counter_ = registry->GetCounter("wal.fsyncs");
   bytes_counter_ = registry->GetCounter("wal.bytes");

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "durability/env.h"
 #include "durability/meta.h"
 #include "obs/metrics.h"
@@ -77,6 +78,16 @@ class WalScanner {
 /// the OS immediately; Commit() issues the (group) fsync that makes all
 /// records appended since the previous Commit durable at once — one fsync
 /// per logical operation or per batch, not per record.
+///
+/// Lock protocol: mu_ serializes the file and its bookkeeping (offset,
+/// dirty-append count), so concurrent committers can interleave Append()
+/// runs with group Commit() calls — the classic group-commit shape where
+/// one fsync covers every record appended before it, whoever appended
+/// them. Reset() holds the lock across truncate + checkpoint record +
+/// sync, making the log fold one atomic transition. Record framing order
+/// within one logical operation is the CALLER's contract (DurableTree
+/// holds its own lock across the whole record run); the Wal lock only
+/// guarantees records never interleave mid-frame.
 class Wal {
  public:
   /// Creates a fresh, empty log (truncates an existing file), writing the
@@ -103,23 +114,31 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   /// Appends one framed record. Returns false on I/O failure.
-  bool Append(const WalRecord& record);
+  bool Append(const WalRecord& record) SGTREE_EXCLUDES(mu_);
 
   /// Fsyncs appended records (no-op when nothing was appended since the
   /// last Commit). The group-commit point.
-  bool Commit();
+  bool Commit() SGTREE_EXCLUDES(mu_);
 
   /// Folds the log: truncates to the magic, appends a kCheckpoint record
-  /// naming `checkpoint_seq`, and syncs. The page file must be durable
-  /// before this is called.
-  bool Reset(uint64_t checkpoint_seq);
+  /// naming `checkpoint_seq`, and syncs — one critical section, so a
+  /// concurrent Append can never land between the truncate and the
+  /// checkpoint marker. The page file must be durable before this is
+  /// called.
+  bool Reset(uint64_t checkpoint_seq) SGTREE_EXCLUDES(mu_);
 
   /// Bytes of the log file, including magic.
-  uint64_t size_bytes() const { return size_; }
-  uint64_t records_appended() const { return records_appended_; }
+  uint64_t size_bytes() const SGTREE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return size_;
+  }
+  uint64_t records_appended() const SGTREE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return records_appended_;
+  }
 
   /// Binds wal.appends / wal.fsyncs / wal.bytes counters (may be null).
-  void BindMetrics(obs::MetricsRegistry* registry);
+  void BindMetrics(obs::MetricsRegistry* registry) SGTREE_EXCLUDES(mu_);
 
   /// Offset of the first record in a WAL file (the magic length).
   static uint64_t RecordRegionStart();
@@ -129,15 +148,23 @@ class Wal {
       : env_(env), path_(std::move(path)), file_(std::move(file)),
         size_(size) {}
 
+  /// Unlocked bodies for callers already inside the critical section
+  /// (Reset composes append + commit under one hold).
+  bool AppendLocked(const WalRecord& record) SGTREE_REQUIRES(mu_);
+  bool CommitLocked() SGTREE_REQUIRES(mu_);
+
   Env* env_;
-  std::string path_;
-  std::unique_ptr<File> file_;
-  uint64_t size_;
-  uint64_t records_appended_ = 0;
-  uint64_t dirty_appends_ = 0;
-  obs::Counter* appends_counter_ = nullptr;
-  obs::Counter* fsyncs_counter_ = nullptr;
-  obs::Counter* bytes_counter_ = nullptr;
+  const std::string path_;
+  mutable Mutex mu_;
+  /// The File pointer is set once at construction; the pointee (append
+  /// offset, sync state) is what the lock guards.
+  std::unique_ptr<File> file_ SGTREE_PT_GUARDED_BY(mu_);
+  uint64_t size_ SGTREE_GUARDED_BY(mu_);
+  uint64_t records_appended_ SGTREE_GUARDED_BY(mu_) = 0;
+  uint64_t dirty_appends_ SGTREE_GUARDED_BY(mu_) = 0;
+  obs::Counter* appends_counter_ SGTREE_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* fsyncs_counter_ SGTREE_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* bytes_counter_ SGTREE_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace sgtree

@@ -245,6 +245,11 @@ class QueryExecutor {
 
   /// Rendezvous state. Job fields are plain: they are written before the
   /// release-increment of job_epoch_ and read after an acquire-load of it.
+  /// This epoch protocol is a lock-free publication scheme, deliberately
+  /// outside the mutex-based lock discipline of common/sync.h — clang's
+  /// thread-safety analysis cannot model release/acquire hand-offs, so the
+  /// invariant here is enforced by the TSAN job plus sglint's
+  /// explicit-memory-order rule instead of SGTREE_GUARDED_BY.
   std::unique_ptr<TaskQueue[]> queues_;  // One per lane.
   std::atomic<uint64_t> job_epoch_{0};
   std::atomic<uint32_t> pending_lanes_{0};

@@ -116,7 +116,7 @@ std::vector<double> LatencyBucketsUs() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>(name);
   return slot.get();
@@ -124,7 +124,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(
@@ -134,7 +134,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::vector<const Counter*> MetricsRegistry::Counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<const Counter*> result;
   result.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -144,7 +144,7 @@ std::vector<const Counter*> MetricsRegistry::Counters() const {
 }
 
 std::vector<const Histogram*> MetricsRegistry::Histograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<const Histogram*> result;
   result.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
@@ -154,7 +154,7 @@ std::vector<const Histogram*> MetricsRegistry::Histograms() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, counter] : counters_) counter->Reset();
   for (const auto& [name, histogram] : histograms_) histogram->Reset();
 }

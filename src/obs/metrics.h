@@ -6,9 +6,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace sgtree {
 namespace obs {
@@ -119,6 +120,11 @@ std::vector<double> LatencyBucketsUs();
 /// Thread-safe registry of named metrics. Lookup takes a mutex once (cache
 /// the returned pointer — it is stable for the registry's lifetime);
 /// increments on the returned handles are lock-free.
+///
+/// Lock protocol: mu_ guards the name->metric maps (registration and
+/// snapshot iteration). The Counter/Histogram objects themselves are
+/// deliberately NOT guarded — their hot paths are sharded relaxed atomics,
+/// safe to hit while another thread holds mu_ to register a new name.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -126,26 +132,29 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Returns the counter named `name`, creating it on first use.
-  Counter* GetCounter(const std::string& name);
+  Counter* GetCounter(const std::string& name) SGTREE_EXCLUDES(mu_);
 
   /// Returns the histogram named `name`, creating it with `bounds` (default
   /// LatencyBucketsUs()) on first use. Bounds of an existing histogram are
   /// not altered.
   Histogram* GetHistogram(const std::string& name,
-                          const std::vector<double>& bounds = {});
+                          const std::vector<double>& bounds = {})
+      SGTREE_EXCLUDES(mu_);
 
   /// Snapshot of the registered metrics, sorted by name (deterministic
   /// export order). Pointers stay valid for the registry's lifetime.
-  std::vector<const Counter*> Counters() const;
-  std::vector<const Histogram*> Histograms() const;
+  std::vector<const Counter*> Counters() const SGTREE_EXCLUDES(mu_);
+  std::vector<const Histogram*> Histograms() const SGTREE_EXCLUDES(mu_);
 
   /// Zeroes every metric (keeps registrations).
-  void Reset();
+  void Reset() SGTREE_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SGTREE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SGTREE_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -154,7 +154,12 @@ class QueryRouter {
   /// Scatter scratch, reused across Run() calls: partial_[qi * s + si] is
   /// query qi's answer from shard si (ExecuteInto recycles each slot's
   /// buffers), remaining_[qi] counts qi's outstanding shard parts for the
-  /// overlapped merge.
+  /// overlapped merge. Lock discipline note (common/sync.h): these need no
+  /// mutex — each partial_ slot has exactly one writer per batch, and the
+  /// acq_rel countdown on remaining_[qi] is the publication edge that
+  /// hands a query's slots to whichever lane merges it. TSAN covers this
+  /// protocol; the thread-safety analysis covers the mutex-based layers
+  /// below it (stripe pools, metrics registry, durable shards).
   std::vector<QueryResult> partial_;
   std::unique_ptr<std::atomic<uint32_t>[]> remaining_;
   size_t remaining_capacity_ = 0;

@@ -49,7 +49,12 @@ struct ShardedIndexOptions {
 /// (the router fans out on that basis); mutations must be externally
 /// serialized per index. Bulk loads and batch inserts parallelize
 /// internally ACROSS shards — the shards are independent structures, so
-/// one builder thread per shard is race-free by construction.
+/// one builder thread per shard is race-free by construction. In durable
+/// mode each shard's DurableTree additionally serializes its own write
+/// path under an annotated Mutex (see durable_tree.h): the per-shard
+/// builder threads each hold exactly one shard's lock, locks of different
+/// shards never nest, and the compile-time analysis checks the per-shard
+/// protocol the fan-out relies on.
 class ShardedIndex {
  public:
   /// The shard owning `tid` under an N-way partition: a splitmix64 finalizer

@@ -32,7 +32,11 @@ class MetricsRegistry;
 /// construction, and moving a page to the front is three index swaps with no
 /// allocation or pointer chasing — roughly twice as fast as the previous
 /// std::list implementation, and the layout one would use for a real frame
-/// table. Not thread-safe; see ShardedBufferPool for concurrent use.
+/// table. Not thread-safe by design — it is either thread-private (one per
+/// executor lane) or a stripe of ShardedBufferPool, where it is declared
+/// SGTREE_GUARDED_BY the stripe latch and the compiler proves no unlocked
+/// path reaches it. Do not add internal locking here; the stripe latch is
+/// the synchronization point.
 class BufferPool : public PageCache {
  public:
   explicit BufferPool(uint32_t capacity);

@@ -27,25 +27,25 @@ uint32_t ShardedBufferPool::ShardOf(PageId id) const {
 
 bool ShardedBufferPool::Touch(PageId id) {
   Shard& shard = *shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   return shard.pool.Touch(id);
 }
 
 void ShardedBufferPool::TouchWrite(PageId id) {
   Shard& shard = *shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   shard.pool.TouchWrite(id);
 }
 
 void ShardedBufferPool::Evict(PageId id) {
   Shard& shard = *shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   shard.pool.Evict(id);
 }
 
 void ShardedBufferPool::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->pool.Clear();
   }
 }
@@ -53,7 +53,7 @@ void ShardedBufferPool::Clear() {
 IoStats ShardedBufferPool::StatsSnapshot() const {
   IoStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     const IoStats& s = shard->pool.stats();
     total.page_accesses += s.page_accesses;
     total.buffer_hits += s.buffer_hits;
@@ -66,14 +66,14 @@ IoStats ShardedBufferPool::StatsSnapshot() const {
 void ShardedBufferPool::BindMetrics(obs::MetricsRegistry* registry,
                                     const std::string& prefix) {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->pool.BindMetrics(registry, prefix);
   }
 }
 
 void ShardedBufferPool::ResetStats() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->pool.mutable_stats()->Reset();
   }
 }
@@ -81,7 +81,7 @@ void ShardedBufferPool::ResetStats() {
 uint32_t ShardedBufferPool::ResidentPages() const {
   uint32_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total += shard->pool.ResidentPages();
   }
   return total;

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
@@ -24,6 +24,15 @@ namespace sgtree {
 /// evicted from a full shard while another shard has idle frames), which is
 /// exactly the trade real buffer managers make when they stripe their latch.
 /// Per-shard IoStats are merged on demand by StatsSnapshot().
+///
+/// Lock protocol: each stripe's BufferPool is SGTREE_GUARDED_BY its own
+/// Shard::mu, and NO method ever holds two stripe locks at once — per-page
+/// operations touch exactly the owning stripe, and the whole-pool sweeps
+/// (Clear, StatsSnapshot, ...) lock the stripes strictly one at a time.
+/// With at most one stripe lock per thread there is no acquisition order to
+/// get wrong, so the striping is deadlock-free by construction; the
+/// guarded-by annotations make the compiler prove no path reaches a stripe
+/// pool without its latch.
 class ShardedBufferPool : public PageCache {
  public:
   /// `total_capacity` frames split as evenly as possible across
@@ -67,8 +76,8 @@ class ShardedBufferPool : public PageCache {
   // Each shard on its own cache line so neighboring locks don't false-share.
   struct alignas(64) Shard {
     explicit Shard(uint32_t capacity) : pool(capacity) {}
-    mutable std::mutex mu;
-    BufferPool pool;
+    mutable Mutex mu;
+    BufferPool pool SGTREE_GUARDED_BY(mu);
   };
 
   uint32_t capacity_;

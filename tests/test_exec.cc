@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <iterator>
 #include <list>
 #include <memory>
@@ -19,6 +20,7 @@
 
 #include "baseline/linear_scan.h"
 #include "common/rng.h"
+#include "common/sync.h"
 #include "inverted/inverted_index.h"
 #include "sgtable/sg_table.h"
 #include "sgtree/search.h"
@@ -707,6 +709,128 @@ TEST(ExecutorStressTest, ExecutorsConstructedAndDestroyedRepeatedly) {
     const auto results = executor.Run(*f.tree, f.batch);
     ASSERT_EQ(results.size(), f.batch.size());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Stress: the annotated sync wrappers (common/sync.h). This binary runs
+// under TSAN in CI, so these tests check the wrappers' actual
+// happens-before edges across real interleavings — the dynamic complement
+// to the compile-time analysis, which only proves lock *discipline*.
+// ---------------------------------------------------------------------------
+
+// Minimal class written in the repo's annotation style: guarded field,
+// EXCLUDES on public entry points, TryLock branch tracked by the analysis.
+class LockedCounter {
+ public:
+  void Add(int n) SGTREE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    value_ += n;
+  }
+
+  bool TryAdd(int n) SGTREE_EXCLUDES(mu_) {
+    if (!mu_.TryLock()) return false;
+    value_ += n;
+    mu_.Unlock();
+    return true;
+  }
+
+  int value() const SGTREE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ SGTREE_GUARDED_BY(mu_) = 0;
+};
+
+// Bounded queue driving both CondVar::Wait paths (full and empty) plus
+// Signal hand-off under a deliberately tiny capacity.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  void Push(int value) SGTREE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    mu_.AssertHeld();
+    while (items_.size() >= capacity_) not_full_.Wait(&mu_);
+    items_.push_back(value);
+    not_empty_.Signal();
+  }
+
+  int Pop() SGTREE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (items_.empty()) not_empty_.Wait(&mu_);
+    const int value = items_.front();
+    items_.pop_front();
+    not_full_.Signal();
+    return value;
+  }
+
+ private:
+  const size_t capacity_;
+  Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<int> items_ SGTREE_GUARDED_BY(mu_);
+};
+
+TEST(SyncWrapperStressTest, MutexLockSerializesWriters) {
+  LockedCounter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 10000; ++i) counter.Add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(), 80000);
+}
+
+TEST(SyncWrapperStressTest, TryLockStaysExclusiveUnderContention) {
+  // Every writer retries failed TryLocks until its quota lands, so the
+  // final count is exact iff TryLock never let two threads in at once.
+  LockedCounter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&counter] {
+      int done = 0;
+      while (done < 2000) {
+        if (counter.TryAdd(1)) ++done;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(), 16000);
+}
+
+TEST(SyncWrapperStressTest, CondVarBoundedQueueHandsOffEveryItem) {
+  BoundedQueue queue(4);  // Tiny: both Wait() loops run constantly.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2500;
+  constexpr int kTotalItems = kProducers * kPerProducer;
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.Push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&queue, &sum] {
+      for (int i = 0; i < kTotalItems / kConsumers; ++i) {
+        sum.fetch_add(queue.Pop(), std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Items were 0..kTotalItems-1, each popped exactly once.
+  constexpr long long kExpected =
+      static_cast<long long>(kTotalItems) * (kTotalItems - 1) / 2;
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), kExpected);
 }
 
 }  // namespace

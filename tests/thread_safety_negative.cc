@@ -1,0 +1,46 @@
+// Negative-compile proof that the thread-safety analysis is actually
+// armed. This file is NEVER linked into a test binary: the ctest case
+// `thread_safety_negative` (clang builds only; see tests/CMakeLists.txt)
+// compiles it with -fsyntax-only -Wthread-safety and passes iff the
+// compiler emits the expected "requires holding mutex" diagnostic for the
+// two canonical mistakes below. If someone breaks the SGTREE_* macro
+// plumbing — say, a refactor makes them expand to nothing under clang —
+// every annotation in the tree silently stops being checked; this test is
+// the tripwire.
+//
+// Keep this file minimal and self-contained: it must stay compilable
+// except for the deliberate violations.
+
+#include "common/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  // Deliberate violation 1: unguarded read of a guarded field.
+  int UnguardedRead() const { return balance_; }
+
+  // Deliberate violation 2: calling a REQUIRES method without the lock.
+  void UnguardedDeposit(int amount) { DepositLocked(amount); }
+
+  // Correctly locked path — must NOT be diagnosed.
+  void Deposit(int amount) SGTREE_EXCLUDES(mu_) {
+    sgtree::MutexLock lock(&mu_);
+    DepositLocked(amount);
+  }
+
+ private:
+  void DepositLocked(int amount) SGTREE_REQUIRES(mu_) { balance_ += amount; }
+
+  mutable sgtree::Mutex mu_;
+  int balance_ SGTREE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  account.UnguardedDeposit(2);
+  return account.UnguardedRead();
+}

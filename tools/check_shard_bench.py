@@ -15,7 +15,10 @@ bench emits (total backend service time / machine-time available) to stay
 above a floor — this is the number the chunked/work-stealing scheduler
 actually moves, and it catches regressions even when QPS noise would not.
 
-Exit code 0 = pass. Nonzero = regression, with a message naming the row.
+Exit code 0 = pass. Nonzero = regression (or an unreadable/incomplete
+bench file), always with a one-line FAIL message — never a traceback: this
+runs as a CI gate, and "the bench crashed before writing its JSON" must
+read as exactly that, not as a KeyError.
 
 Usage: check_shard_bench.py BENCH_shard.json [--shards 8]
        [--qps-slack 1.5] [--min-efficiency 0.5]
@@ -37,19 +40,58 @@ def main() -> int:
                         help="dispatch-efficiency floor for the gated row")
     args = parser.parse_args()
 
-    with open(args.json_path) as fh:
-        data = json.load(fh)
-
-    cores = int(data.get("cores", 1))
-    rows = data.get("rows", [])
-    row = next((r for r in rows if r.get("shards") == args.shards), None)
-    if row is None:
-        print(f"FAIL: no row with shards={args.shards} in {args.json_path}")
+    try:
+        with open(args.json_path) as fh:
+            data = json.load(fh)
+    except OSError as err:
+        print(f"FAIL: cannot read {args.json_path}: {err.strerror or err} "
+              "(did bench_shard_scaling run and write its JSON?)")
+        return 1
+    except json.JSONDecodeError as err:
+        print(f"FAIL: {args.json_path} is not valid JSON ({err}) — "
+              "truncated or partially written bench output?")
+        return 1
+    if not isinstance(data, dict) or not data.get("rows"):
+        print(f"FAIL: {args.json_path} has no 'rows' — empty or "
+              "incomplete bench output")
         return 1
 
-    measured = float(row["measured_qps"])
-    modeled = float(row["modeled_qps"])
-    efficiency = float(row["efficiency"])
+    try:
+        cores = int(data.get("cores", 1))
+    except (TypeError, ValueError):
+        print(f"FAIL: non-numeric 'cores' field: {data.get('cores')!r}")
+        return 1
+    if cores <= 0:
+        print(f"FAIL: cores={cores} — the bench wrote a zero-core row, so "
+              "the achievable-QPS normalization is undefined "
+              "(hardware_concurrency() returned 0?)")
+        return 1
+
+    rows = data["rows"]
+    row = next((r for r in rows if isinstance(r, dict)
+                and r.get("shards") == args.shards), None)
+    if row is None:
+        have = sorted(r.get("shards") for r in rows if isinstance(r, dict))
+        print(f"FAIL: no row with shards={args.shards} in {args.json_path} "
+              f"(rows present: {have})")
+        return 1
+
+    try:
+        measured = float(row["measured_qps"])
+        modeled = float(row["modeled_qps"])
+        efficiency = float(row["efficiency"])
+    except KeyError as err:
+        print(f"FAIL: shards={args.shards} row is missing field {err} — "
+              "bench output from an older format?")
+        return 1
+    except (TypeError, ValueError) as err:
+        print(f"FAIL: shards={args.shards} row has a non-numeric field: "
+              f"{err}")
+        return 1
+    if modeled <= 0:
+        print(f"FAIL: modeled_qps={modeled} in the shards={args.shards} "
+              "row — the bench measured nothing")
+        return 1
     achievable = modeled * min(cores, args.shards) / args.shards
     floor = achievable / args.qps_slack
 
@@ -70,8 +112,10 @@ def main() -> int:
     # The ablation rows are informational, but the default mode must not be
     # slower than the legacy scheduler it replaced (tolerating 20% noise —
     # CI runners are shared machines).
-    ablation = {r.get("label"): r for r in data.get("ablation", [])}
-    if "legacy" in ablation and "+overlap" in ablation:
+    ablation = {r.get("label"): r for r in data.get("ablation", [])
+                if isinstance(r, dict)}
+    if "measured_qps" in ablation.get("legacy", {}) and \
+            "measured_qps" in ablation.get("+overlap", {}):
         legacy = float(ablation["legacy"]["measured_qps"])
         current = float(ablation["+overlap"]["measured_qps"])
         print(f"ablation: legacy={legacy:.1f} qps, default={current:.1f} qps")

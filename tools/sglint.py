@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""sglint — fast repo lint for invariants no compiler flag covers.
+
+Rules (all first-party C++ under src/ and fuzz/):
+
+  raw-sync      std::mutex / lock_guard / unique_lock / scoped_lock /
+                condition_variable / shared_mutex outside src/common/.
+                The blessed primitives are the annotated Mutex / MutexLock /
+                CondVar wrappers in src/common/sync.h — raw primitives are
+                invisible to the thread-safety analysis, so one stray
+                std::mutex is an unchecked hole in the lock discipline.
+
+  bare-assert   assert( outside src/common/. Bare assert vanishes under
+                NDEBUG; use SGTREE_ASSERT / SGTREE_ASSERT_MSG (always on)
+                or SGTREE_DCHECK (explicitly debug-only) from
+                src/common/check.h. static_assert is fine anywhere.
+
+  rand          rand() / srand() / std::rand outside src/common/. The
+                repro story depends on seeded RNG (common/rng.h); libc
+                rand is hidden global state.
+
+  memory-order  every std::atomic load/store/exchange/fetch_*/
+                compare_exchange names an explicit std::memory_order.
+                Defaulted seq_cst hides the cost and, worse, hides the
+                author's intent — every lock-free protocol in this repo
+                (executor epochs, router countdowns, metric shards) is
+                documented through its explicit orders.
+
+  todo-tag      TODO must carry an issue tag: TODO(#123). Untracked TODOs
+                rot; this also covers tools/ and tests/.
+
+Suppress a finding by appending  // sglint-allow(<rule>)  with a reason on
+the flagged line.
+
+Usage: sglint.py [--root DIR] [--list-rules]
+Exit 0 = clean, 1 = findings (one "path:line: rule: message" per line).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CC_EXTENSIONS = (".h", ".cc")
+
+RAW_SYNC = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b")
+BARE_ASSERT = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+RAND = re.compile(r"(?<![A-Za-z0-9_.])(?:std::)?s?rand\s*\(")
+ATOMIC_OP = re.compile(
+    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(")
+TODO = re.compile(r"\bTODO\b")
+TODO_TAGGED = re.compile(r"\bTODO\((?:[A-Za-z0-9_-]+)?#\d+\)")
+ALLOW = re.compile(r"sglint-allow\((?P<rule>[a-z-]+)\)")
+
+LINE_COMMENT = re.compile(r"//.*$")
+STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_code(line):
+    """Removes string literals and // comments so rules see only code."""
+    return LINE_COMMENT.sub("", STRING.sub('""', line))
+
+
+def allowed(line, rule):
+    m = ALLOW.search(line)
+    return m is not None and m.group("rule") == rule
+
+
+def call_expression(lines, row, start_col):
+    """Joins lines from the opening paren at (row, start_col) until the
+    call's parens balance (or 8 lines pass — no sane atomic op is longer).
+    Returns the flattened call text."""
+    depth = 0
+    parts = []
+    for r in range(row, min(row + 8, len(lines))):
+        code = strip_code(lines[r])
+        begin = start_col if r == row else 0
+        for c in range(begin, len(code)):
+            ch = code[c]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    parts.append(code[begin:c + 1])
+                    return " ".join(parts)
+        parts.append(code[begin:])
+    return " ".join(parts)
+
+
+def lint_cpp(path, rel, in_common, findings):
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        lines = fh.read().splitlines()
+
+    for i, raw in enumerate(lines, start=1):
+        code = strip_code(raw)
+        if not code.strip():
+            continue
+
+        if not in_common:
+            if RAW_SYNC.search(code) and not allowed(raw, "raw-sync"):
+                findings.append(
+                    (rel, i, "raw-sync",
+                     "raw standard sync primitive; use the annotated "
+                     "wrappers in common/sync.h"))
+            if (BARE_ASSERT.search(code)
+                    and "static_assert" not in code
+                    and not allowed(raw, "bare-assert")):
+                findings.append(
+                    (rel, i, "bare-assert",
+                     "bare assert() vanishes under NDEBUG; use "
+                     "SGTREE_ASSERT / SGTREE_DCHECK (common/check.h)"))
+            if RAND.search(code) and not allowed(raw, "rand"):
+                findings.append(
+                    (rel, i, "rand",
+                     "libc rand is unseeded global state; use "
+                     "common/rng.h"))
+
+        for m in ATOMIC_OP.finditer(code):
+            paren = code.index("(", m.end() - 1)
+            call = call_expression(lines, i - 1, paren)
+            if "memory_order" not in call and not allowed(raw, "memory-order"):
+                findings.append(
+                    (rel, i, "memory-order",
+                     f"atomic .{m.group(1)}() without an explicit "
+                     "std::memory_order"))
+
+
+def lint_todo(path, rel, findings):
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        for i, raw in enumerate(fh.read().splitlines(), start=1):
+            if TODO.search(raw) and not TODO_TAGGED.search(raw) \
+                    and not allowed(raw, "todo-tag"):
+                findings.append(
+                    (rel, i, "todo-tag",
+                     "TODO without an issue tag; write TODO(#NNN)"))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        print("raw-sync bare-assert rand memory-order todo-tag")
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"sglint: {root} does not look like the repo root "
+              "(no src/ directory)", file=sys.stderr)
+        return 2
+
+    findings = []
+    checked = 0
+
+    # C++ rules: first-party code only. Tests/bench are gtest/gbench hosts
+    # with their own idioms; the compiled product is src/ + fuzz/.
+    for top in ("src", "fuzz"):
+        for dirpath, _, names in sorted(os.walk(os.path.join(root, top))):
+            for name in sorted(names):
+                if not name.endswith(CC_EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root)
+                in_common = rel.startswith(os.path.join("src", "common"))
+                lint_cpp(path, rel, in_common, findings)
+                checked += 1
+
+    # TODO policy sweeps everything first-party, scripts included.
+    for top in ("src", "fuzz", "tests", "bench", "tools", "examples"):
+        topdir = os.path.join(root, top)
+        if not os.path.isdir(topdir):
+            continue
+        for dirpath, _, names in sorted(os.walk(topdir)):
+            for name in sorted(names):
+                if name.endswith(CC_EXTENSIONS + (".py", ".cmake")) \
+                        or name == "CMakeLists.txt":
+                    path = os.path.join(dirpath, name)
+                    if os.path.samefile(path, os.path.abspath(__file__)):
+                        continue  # This file names the rules it enforces.
+                    lint_todo(path, os.path.relpath(path, root), findings)
+                    checked += 1
+
+    for rel, line, rule, message in findings:
+        print(f"{rel}:{line}: {rule}: {message}")
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"sglint: {checked} files checked, {status}")
+    return 0 if not findings else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
