@@ -5,6 +5,7 @@
 // Seeds are deterministic: rerunning after a format change refreshes the
 // files in place and the diff shows exactly what the format change did.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -18,6 +19,8 @@
 #include "data/dataset_io.h"
 #include "durability/byte_io.h"
 #include "durability/wal.h"
+#include "sgtree/sg_tree.h"
+#include "static/static_tree_builder.h"
 #include "storage/codec.h"
 #include "storage/node_format.h"
 
@@ -209,6 +212,50 @@ void EmitWalSeeds(const std::filesystem::path& dir) {
   WriteFile(dir / "checkpoint_only.bin", single);
 }
 
+// Static-image seeds: a real BFS-serialized image built by the production
+// builder, the empty-tree image, and two canonical rejects (truncation and
+// foreign magic) so the fuzzer starts with both sides of the gate.
+void EmitStaticTreeSeeds(const std::filesystem::path& dir) {
+  sgtree::SgTreeOptions options;
+  options.num_bits = 96;
+  options.max_entries = 6;
+  sgtree::SgTree tree(options);
+  for (uint64_t tid = 0; tid < 40; ++tid) {
+    Transaction txn;
+    txn.tid = tid;
+    for (uint32_t i = 0; i < 3 + tid % 4; ++i) {
+      const auto item = static_cast<uint32_t>((tid * 11 + i * 17) % 96);
+      if (std::find(txn.items.begin(), txn.items.end(), item) ==
+          txn.items.end()) {
+        txn.items.push_back(item);
+      }
+    }
+    std::sort(txn.items.begin(), txn.items.end());
+    tree.Insert(txn);
+  }
+  std::vector<uint8_t> image;
+  std::string error;
+  if (!sgtree::BuildStaticImage(tree, &image, &error)) {
+    std::cerr << "static seed build failed: " << error << "\n";
+    std::exit(1);
+  }
+  WriteFile(dir / "valid.bin", image);
+
+  const sgtree::SgTree empty(options);
+  std::vector<uint8_t> empty_image;
+  if (!sgtree::BuildStaticImage(empty, &empty_image, &error)) {
+    std::cerr << "static empty seed build failed: " << error << "\n";
+    std::exit(1);
+  }
+  WriteFile(dir / "empty.bin", empty_image);
+
+  WriteFile(dir / "truncated.bin",
+            std::vector<uint8_t>(image.begin(), image.begin() + 40));
+  std::vector<uint8_t> bad_magic = image;
+  std::memcpy(bad_magic.data(), "NOTSGSTA", 8);
+  WriteFile(dir / "bad_magic.bin", bad_magic);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -217,13 +264,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::filesystem::path root = argv[1];
-  for (const char* target : {"codec", "node_format", "dataset_io", "wal"}) {
+  for (const char* target :
+       {"codec", "node_format", "dataset_io", "wal", "static_tree"}) {
     std::filesystem::create_directories(root / target);
   }
   EmitCodecSeeds(root / "codec");
   EmitNodeSeeds(root / "node_format");
   EmitDatasetSeeds(root / "dataset_io");
   EmitWalSeeds(root / "wal");
+  EmitStaticTreeSeeds(root / "static_tree");
   std::cout << "seed corpora written under " << root << "\n";
   return 0;
 }

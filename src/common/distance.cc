@@ -1,8 +1,5 @@
 #include "common/distance.h"
 
-#include <algorithm>
-#include <cmath>
-
 namespace sgtree {
 
 std::string MetricName(Metric metric) {
@@ -20,31 +17,7 @@ std::string MetricName(Metric metric) {
 }
 
 double Distance(const Signature& a, const Signature& b, Metric metric) {
-  switch (metric) {
-    case Metric::kHamming:
-      return static_cast<double>(Signature::XorCount(a, b));
-    case Metric::kJaccard: {
-      const uint32_t uni = Signature::UnionCount(a, b);
-      if (uni == 0) return 0.0;  // Both empty: identical sets.
-      const uint32_t inter = Signature::IntersectCount(a, b);
-      return 1.0 - static_cast<double>(inter) / uni;
-    }
-    case Metric::kDice: {
-      const uint32_t total = a.Area() + b.Area();
-      if (total == 0) return 0.0;
-      const uint32_t inter = Signature::IntersectCount(a, b);
-      return 1.0 - 2.0 * inter / total;
-    }
-    case Metric::kCosine: {
-      const uint32_t area_a = a.Area();
-      const uint32_t area_b = b.Area();
-      if (area_a == 0 && area_b == 0) return 0.0;
-      if (area_a == 0 || area_b == 0) return 1.0;
-      const uint32_t inter = Signature::IntersectCount(a, b);
-      return 1.0 - inter / std::sqrt(static_cast<double>(area_a) * area_b);
-    }
-  }
-  return 0.0;
+  return DistanceOf(a, b, metric);
 }
 
 double MinDistBound(const Signature& query, const Signature& entry,
@@ -59,48 +32,7 @@ double MinDistBound(const Signature& query, const Signature& entry,
 double MinDistBoundAreaStats(const Signature& query, const Signature& entry,
                              Metric metric, uint32_t min_area,
                              uint32_t max_area) {
-  const uint32_t q_area = query.Area();
-  const uint32_t c = Signature::IntersectCount(query, entry);
-  // Maximum achievable overlap given that |t| <= max_area.
-  const uint32_t cc = std::min(c, max_area);
-
-  switch (metric) {
-    case Metric::kHamming: {
-      // dist = |q| + |t| - 2 |q AND t|, minimized over |t| in [min, max]
-      // and |q AND t| <= min(c, |t|); see the header for the derivation.
-      int64_t bound;
-      if (c < min_area) {
-        bound = static_cast<int64_t>(q_area) + min_area - 2 * int64_t{c};
-      } else if (c > max_area) {
-        bound = static_cast<int64_t>(q_area) - max_area;
-      } else {
-        bound = static_cast<int64_t>(q_area) - c;  // Generic bound.
-      }
-      return static_cast<double>(std::max<int64_t>(bound, 0));
-    }
-    case Metric::kJaccard: {
-      if (q_area == 0) return 0.0;  // An empty transaction below could tie.
-      // similarity = |q AND t| / |q OR t| with |q OR t| = |q| + |t| -
-      // |q AND t| >= |q| + max(min_area, cc) - cc.
-      const double denom =
-          q_area + (min_area > cc ? min_area - cc : 0u);
-      return 1.0 - cc / denom;
-    }
-    case Metric::kDice: {
-      if (q_area == 0) return 0.0;
-      // similarity = 2 |q AND t| / (|q| + |t|), |t| >= max(min_area, cc).
-      return 1.0 - 2.0 * cc / (q_area + std::max(min_area, cc));
-    }
-    case Metric::kCosine: {
-      if (q_area == 0) return 0.0;
-      if (cc == 0) return 1.0;
-      // similarity = |q AND t| / sqrt(|q| |t|), |t| >= max(min_area, cc).
-      return 1.0 -
-             cc / std::sqrt(static_cast<double>(q_area) *
-                            std::max(min_area, cc));
-    }
-  }
-  return 0.0;
+  return MinDistBoundAreaStatsOf(query, entry, metric, min_area, max_area);
 }
 
 }  // namespace sgtree

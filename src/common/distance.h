@@ -1,10 +1,13 @@
 #ifndef SGTREE_COMMON_DISTANCE_H_
 #define SGTREE_COMMON_DISTANCE_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 
 #include "common/signature.h"
+#include "common/signature_ops.h"
 
 namespace sgtree {
 
@@ -67,6 +70,92 @@ double MinDistBound(const Signature& query, const Signature& entry,
 double MinDistBoundAreaStats(const Signature& query, const Signature& entry,
                              Metric metric, uint32_t min_area,
                              uint32_t max_area);
+
+// ---------------------------------------------------------------------------
+// Implementation templates, generic over signature-like types (Signature or
+// the zero-copy SignatureView of the static mmap'ed tree). These ARE the
+// implementation: the Signature overloads above delegate here, so both the
+// dynamic and the static search path execute the same floating-point
+// expressions on the same integer inputs — which is what makes static-tree
+// answers byte-identical to dynamic-tree answers, IEEE rounding included.
+// ---------------------------------------------------------------------------
+
+/// Generic form of Distance(); see that declaration for the semantics.
+template <typename A, typename B>
+double DistanceOf(const A& a, const B& b, Metric metric) {
+  switch (metric) {
+    case Metric::kHamming:
+      return static_cast<double>(sig::XorCount(a, b));
+    case Metric::kJaccard: {
+      const uint32_t uni = sig::UnionCount(a, b);
+      if (uni == 0) return 0.0;  // Both empty: identical sets.
+      const uint32_t inter = sig::IntersectCount(a, b);
+      return 1.0 - static_cast<double>(inter) / uni;
+    }
+    case Metric::kDice: {
+      const uint32_t total = sig::Area(a) + sig::Area(b);
+      if (total == 0) return 0.0;
+      const uint32_t inter = sig::IntersectCount(a, b);
+      return 1.0 - 2.0 * inter / total;
+    }
+    case Metric::kCosine: {
+      const uint32_t area_a = sig::Area(a);
+      const uint32_t area_b = sig::Area(b);
+      if (area_a == 0 && area_b == 0) return 0.0;
+      if (area_a == 0 || area_b == 0) return 1.0;
+      const uint32_t inter = sig::IntersectCount(a, b);
+      return 1.0 - inter / std::sqrt(static_cast<double>(area_a) * area_b);
+    }
+  }
+  return 0.0;
+}
+
+/// Generic form of MinDistBoundAreaStats(); see that declaration and the
+/// header comment above for the per-metric derivations.
+template <typename Q, typename E>
+double MinDistBoundAreaStatsOf(const Q& query, const E& entry, Metric metric,
+                               uint32_t min_area, uint32_t max_area) {
+  const uint32_t q_area = sig::Area(query);
+  const uint32_t c = sig::IntersectCount(query, entry);
+  // Maximum achievable overlap given that |t| <= max_area.
+  const uint32_t cc = std::min(c, max_area);
+
+  switch (metric) {
+    case Metric::kHamming: {
+      // dist = |q| + |t| - 2 |q AND t|, minimized over |t| in [min, max]
+      // and |q AND t| <= min(c, |t|); see the header for the derivation.
+      int64_t bound;
+      if (c < min_area) {
+        bound = static_cast<int64_t>(q_area) + min_area - 2 * int64_t{c};
+      } else if (c > max_area) {
+        bound = static_cast<int64_t>(q_area) - max_area;
+      } else {
+        bound = static_cast<int64_t>(q_area) - c;  // Generic bound.
+      }
+      return static_cast<double>(std::max<int64_t>(bound, 0));
+    }
+    case Metric::kJaccard: {
+      if (q_area == 0) return 0.0;  // An empty transaction below could tie.
+      // similarity = |q AND t| / |q OR t| with |q OR t| = |q| + |t| -
+      // |q AND t| >= |q| + max(min_area, cc) - cc.
+      const double denom = q_area + (min_area > cc ? min_area - cc : 0u);
+      return 1.0 - cc / denom;
+    }
+    case Metric::kDice: {
+      if (q_area == 0) return 0.0;
+      // similarity = 2 |q AND t| / (|q| + |t|), |t| >= max(min_area, cc).
+      return 1.0 - 2.0 * cc / (q_area + std::max(min_area, cc));
+    }
+    case Metric::kCosine: {
+      if (q_area == 0) return 0.0;
+      if (cc == 0) return 1.0;
+      // similarity = |q AND t| / sqrt(|q| |t|), |t| >= max(min_area, cc).
+      return 1.0 - cc / std::sqrt(static_cast<double>(q_area) *
+                                  std::max(min_area, cc));
+    }
+  }
+  return 0.0;
+}
 
 }  // namespace sgtree
 

@@ -1,0 +1,47 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sgtree {
+
+std::unique_ptr<MappedFile> MappedFile::MapReadOnly(const std::string& path,
+                                                    std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return nullptr;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    if (error != nullptr) *error = "cannot stat " + path;
+    return nullptr;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      if (error != nullptr) {
+        *error = "cannot mmap " + path + ": " + std::strerror(errno);
+      }
+      return nullptr;
+    }
+  }
+  // The mapping keeps the file's pages alive without the descriptor.
+  ::close(fd);
+  return std::unique_ptr<MappedFile>(new MappedFile(addr, size));
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+}  // namespace sgtree

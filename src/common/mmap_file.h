@@ -1,0 +1,47 @@
+#ifndef SGTREE_COMMON_MMAP_FILE_H_
+#define SGTREE_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace sgtree {
+
+/// RAII wrapper around a read-only, private, whole-file memory mapping.
+/// This is the ONLY place in the tree (besides its .cc) allowed to issue
+/// raw mmap/munmap syscalls — everything else goes through Env::MapReadOnly
+/// (durability/env.h), which dispatches here for the POSIX environment and
+/// to a read-into-buffer fallback for wrapped/fault-injecting environments.
+///
+/// The mapping is page-aligned (so 8-byte-aligned word access into it is
+/// well defined) and outlives the file descriptor, which is closed before
+/// MapReadOnly returns. A zero-length file maps to {nullptr, 0} and is a
+/// valid (empty) mapping.
+class MappedFile {
+ public:
+  /// Maps all of `path` read-only. Returns nullptr with `*error` set (when
+  /// non-null) on failure.
+  static std::unique_ptr<MappedFile> MapReadOnly(const std::string& path,
+                                                 std::string* error);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const {
+    return static_cast<const uint8_t*>(addr_);
+  }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(void* addr, size_t size) : addr_(addr), size_(size) {}
+
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_COMMON_MMAP_FILE_H_

@@ -113,6 +113,44 @@ struct SignatureHash {
   size_t operator()(const Signature& s) const;
 };
 
+/// A non-owning, zero-copy view of a signature whose words live elsewhere —
+/// in practice, inside an mmap'ed static tree image (src/static). Exposes
+/// the same `num_bits()` / `words()` surface as Signature, so the generic
+/// word-level operations (common/signature_ops.h) and the shared distance
+/// templates (common/distance.h) accept either representation.
+///
+/// The view does not own the words; the backing storage (the mapping or
+/// buffer) must outlive every view into it. `words` must point at
+/// WordsForBits(num_bits) readable 64-bit words.
+class SignatureView {
+ public:
+  SignatureView() = default;
+  SignatureView(uint32_t num_bits, const uint64_t* words)
+      : num_bits_(num_bits), words_(words) {}
+
+  uint32_t num_bits() const { return num_bits_; }
+  std::span<const uint64_t> words() const {
+    return {words_, WordsForBits(num_bits_)};
+  }
+
+  bool Test(uint32_t pos) const {
+    return (words_[pos / kBitsPerWord] >> (pos % kBitsPerWord)) & 1;
+  }
+
+  /// Deep copy into an owning Signature (result materialization).
+  Signature ToSignature() const {
+    Signature sig(num_bits_);
+    const std::span<const uint64_t> src = words();
+    std::span<uint64_t> dst = sig.mutable_words();
+    for (size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+    return sig;
+  }
+
+ private:
+  uint32_t num_bits_ = 0;
+  const uint64_t* words_ = nullptr;
+};
+
 }  // namespace sgtree
 
 #endif  // SGTREE_COMMON_SIGNATURE_H_

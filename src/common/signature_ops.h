@@ -1,0 +1,107 @@
+#ifndef SGTREE_COMMON_SIGNATURE_OPS_H_
+#define SGTREE_COMMON_SIGNATURE_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bit_ops.h"
+#include "common/check.h"
+
+namespace sgtree::sig {
+
+/// Word-level set operations generic over any "signature-like" type — a
+/// type exposing `num_bits()` and `words()` (a contiguous range of 64-bit
+/// words, low bits first). Both the owning Signature and the zero-copy
+/// SignatureView over an mmap'ed static tree qualify, so one implementation
+/// serves both representations. The search templates (sgtree/search_core.h)
+/// and the shared distance templates (common/distance.h) are written
+/// against these, which is what makes the static tree's answers
+/// byte-identical to the dynamic tree's: identical integer inputs feed
+/// identical floating-point expressions.
+///
+/// All binary operations require matching widths (checked with
+/// SGTREE_DCHECK, like the Signature static methods they generalize).
+
+/// Number of set bits — the signature's "area".
+template <typename S>
+uint32_t Area(const S& s) {
+  uint32_t count = 0;
+  for (const uint64_t w : s.words()) count += PopCount(w);
+  return count;
+}
+
+template <typename S>
+bool Empty(const S& s) {
+  for (const uint64_t w : s.words()) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+/// |a AND b| without materializing the intersection.
+template <typename A, typename B>
+uint32_t IntersectCount(const A& a, const B& b) {
+  SGTREE_DCHECK(a.num_bits() == b.num_bits());
+  const auto aw = a.words();
+  const auto bw = b.words();
+  uint32_t count = 0;
+  for (size_t i = 0; i < aw.size(); ++i) {
+    count += PopCount(aw[i] & bw[i]);
+  }
+  return count;
+}
+
+/// |a XOR b| = Hamming distance between the bitmaps.
+template <typename A, typename B>
+uint32_t XorCount(const A& a, const B& b) {
+  SGTREE_DCHECK(a.num_bits() == b.num_bits());
+  const auto aw = a.words();
+  const auto bw = b.words();
+  uint32_t count = 0;
+  for (size_t i = 0; i < aw.size(); ++i) {
+    count += PopCount(aw[i] ^ bw[i]);
+  }
+  return count;
+}
+
+/// |a OR b|.
+template <typename A, typename B>
+uint32_t UnionCount(const A& a, const B& b) {
+  SGTREE_DCHECK(a.num_bits() == b.num_bits());
+  const auto aw = a.words();
+  const auto bw = b.words();
+  uint32_t count = 0;
+  for (size_t i = 0; i < aw.size(); ++i) {
+    count += PopCount(aw[i] | bw[i]);
+  }
+  return count;
+}
+
+/// True iff every bit set in `b` is also set in `a` (`a` covers `b`).
+/// Early-exits on the first word with a bit of `b` missing from `a`.
+template <typename A, typename B>
+bool Contains(const A& a, const B& b) {
+  SGTREE_DCHECK(a.num_bits() == b.num_bits());
+  const auto aw = a.words();
+  const auto bw = b.words();
+  for (size_t i = 0; i < aw.size(); ++i) {
+    if ((bw[i] & ~aw[i]) != 0) return false;
+  }
+  return true;
+}
+
+/// Same width and identical bits — the generic form of Signature equality.
+template <typename A, typename B>
+bool Equal(const A& a, const B& b) {
+  if (a.num_bits() != b.num_bits()) return false;
+  const auto aw = a.words();
+  const auto bw = b.words();
+  for (size_t i = 0; i < aw.size(); ++i) {
+    if (aw[i] != bw[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace sgtree::sig
+
+#endif  // SGTREE_COMMON_SIGNATURE_OPS_H_

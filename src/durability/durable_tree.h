@@ -2,6 +2,7 @@
 #define SGTREE_DURABILITY_DURABLE_TREE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -109,6 +110,17 @@ class DurableTree {
   /// nothing durable); mutate only through DurableTree.
   SgTree& tree() { return *tree_; }
   const SgTree& tree() const { return *tree_; }
+
+  /// Runs `fn` against the tree with the write path locked out, so `fn`
+  /// observes a frozen, operation-consistent snapshot (no half-applied
+  /// insert can be in flight). Used by the static export
+  /// (static/static_tree_builder.h) to build an image of a live index.
+  /// Keep `fn` short: writers block for its whole duration.
+  bool WithFrozenTree(const std::function<bool(const SgTree&)>& fn) const
+      SGTREE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return fn(*tree_);
+  }
 
   /// Number of committed (logged) operations over the index lifetime.
   uint64_t op_seq() const SGTREE_EXCLUDES(mu_) {

@@ -7,10 +7,48 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <limits>
+#include <utility>
+
+#include "common/mmap_file.h"
 
 namespace sgtree {
 namespace {
+
+// Fallback mapping: the file's bytes copied into a word-aligned private
+// buffer. Used by the base Env::MapReadOnly so environments without a real
+// mmap (including fault-injecting wrappers) still satisfy the FileMapping
+// alignment contract.
+class BufferMapping final : public FileMapping {
+ public:
+  BufferMapping(std::vector<uint64_t> words, size_t size)
+      : words_(std::move(words)), size_(size) {}
+
+  const uint8_t* data() const override {
+    return size_ == 0 ? nullptr
+                      : reinterpret_cast<const uint8_t*>(words_.data());
+  }
+  size_t size() const override { return size_; }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t size_;
+};
+
+// Zero-copy mapping over a real mmap (POSIX environment only).
+class PosixMapping final : public FileMapping {
+ public:
+  explicit PosixMapping(std::unique_ptr<MappedFile> map)
+      : map_(std::move(map)) {}
+
+  const uint8_t* data() const override { return map_->data(); }
+  size_t size() const override { return map_->size(); }
+  bool zero_copy() const override { return true; }
+
+ private:
+  std::unique_ptr<MappedFile> map_;
+};
 
 class PosixFile final : public File {
  public:
@@ -120,9 +158,32 @@ class PosixEnv final : public Env {
     ::close(fd);
     return ok;
   }
+
+  std::unique_ptr<FileMapping> MapReadOnly(const std::string& path) override {
+    std::unique_ptr<MappedFile> map = MappedFile::MapReadOnly(path, nullptr);
+    if (map == nullptr) return nullptr;
+    return std::make_unique<PosixMapping>(std::move(map));
+  }
 };
 
 }  // namespace
+
+std::unique_ptr<FileMapping> Env::MapReadOnly(const std::string& path) {
+  std::unique_ptr<File> file = Open(path, /*create=*/false);
+  if (file == nullptr) return nullptr;
+  const uint64_t size = file->Size();
+  if (size == std::numeric_limits<uint64_t>::max()) return nullptr;
+  std::vector<uint8_t> bytes;
+  if (!file->ReadAt(0, static_cast<size_t>(size), &bytes)) return nullptr;
+  if (bytes.size() != size) return nullptr;  // Short read: truncated race.
+  std::vector<uint64_t> words((bytes.size() + sizeof(uint64_t) - 1) /
+                                  sizeof(uint64_t),
+                              0);
+  if (!bytes.empty()) {
+    std::memcpy(words.data(), bytes.data(), bytes.size());
+  }
+  return std::make_unique<BufferMapping>(std::move(words), bytes.size());
+}
 
 Env* Env::Posix() {
   static PosixEnv env;

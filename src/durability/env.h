@@ -1,6 +1,7 @@
 #ifndef SGTREE_DURABILITY_ENV_H_
 #define SGTREE_DURABILITY_ENV_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -40,6 +41,23 @@ class File {
   virtual uint64_t Size() const = 0;
 };
 
+/// A read-only view of an entire file's contents, produced by
+/// Env::MapReadOnly. The bytes stay valid and immutable for the lifetime of
+/// this object; `data()` is 8-byte aligned (page-aligned for real mappings,
+/// word-buffer-backed for the fallback), so callers may read aligned 64-bit
+/// words at 8-aligned offsets into it. An empty file yields {nullptr, 0}.
+class FileMapping {
+ public:
+  virtual ~FileMapping() = default;
+
+  virtual const uint8_t* data() const = 0;
+  virtual size_t size() const = 0;
+
+  /// True when the bytes are served straight from the page cache (a real
+  /// mmap) rather than a private copy read through the Env.
+  virtual bool zero_copy() const { return false; }
+};
+
 /// Filesystem abstraction the durability layer runs over. The production
 /// implementation (Env::Posix()) maps straight onto POSIX calls; the
 /// FaultInjectingEnv wrapper (fault_injection.h) threads deterministic
@@ -66,6 +84,13 @@ class Env {
   /// durable. A no-op success on platforms where directories cannot be
   /// opened.
   virtual bool SyncDir(const std::string& path) = 0;
+
+  /// Maps the whole of `path` read-only. The base implementation reads the
+  /// file into a private aligned buffer via Open/ReadAt — so wrapping
+  /// environments (FaultInjectingEnv) keep their fault coverage without
+  /// knowing about mappings — while PosixEnv overrides it with a true
+  /// zero-copy mmap (common/mmap_file.h). Returns nullptr on failure.
+  virtual std::unique_ptr<FileMapping> MapReadOnly(const std::string& path);
 
   /// The process-wide POSIX environment.
   static Env* Posix();

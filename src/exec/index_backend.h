@@ -11,12 +11,15 @@
 
 namespace sgtree {
 
-/// IndexBackend adapters for the four concrete index structures. Each one
+/// IndexBackend adapters for the four mutable index structures. Each one
 /// replaces a per-backend overload of the old executor matrix: the mapping
 /// from QueryType to the structure's native entry points lives here, once.
 /// All adapters are non-owning views — the underlying index must outlive
 /// the adapter — and are trivially copyable, so build them on the fly per
-/// task (the sharded router constructs one per shard task).
+/// task (the sharded router constructs one per shard task). The fifth
+/// backend — StaticTreeBackend over the immutable mmap'ed image, also
+/// supporting all six query types — lives in static/static_tree_backend.h
+/// so this layer does not depend on the static format.
 
 /// The SG-tree: the only backend answering all six query types. Node reads
 /// go through ctx.pool, so per-query random I/Os are the paper's

@@ -26,6 +26,10 @@ struct Node {
 
   bool IsLeaf() const { return level == 0; }
   uint32_t Count() const { return static_cast<uint32_t>(entries.size()); }
+  /// Uniform entry accessor shared with StaticNodeView, so the templated
+  /// search cores (search_core.h) read either node representation through
+  /// one spelling.
+  const Entry& EntryAt(size_t i) const { return entries[i]; }
 
   /// OR of all entry signatures — the signature the parent entry must carry.
   Signature UnionSignature(uint32_t num_bits) const;

@@ -1,121 +1,14 @@
 #include "sgtree/search.h"
 
-#include <algorithm>
 #include <limits>
-#include <queue>
 
-#include "common/distance.h"
+#include "sgtree/search_core.h"
 
 namespace sgtree {
-namespace {
 
-// Bounded max-heap of the k best neighbors found so far; the heap maximum
-// (lexicographic by distance then tid) is the branch-and-bound threshold.
-class NeighborHeap {
- public:
-  explicit NeighborHeap(uint32_t k) : k_(k) {}
-
-  double Tau() const {
-    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
-                             : heap_.front().distance;
-  }
-
-  void Offer(const Neighbor& candidate) {
-    if (heap_.size() < k_) {
-      heap_.push_back(candidate);
-      std::push_heap(heap_.begin(), heap_.end(), Less);
-      return;
-    }
-    if (Less(candidate, heap_.front())) {
-      std::pop_heap(heap_.begin(), heap_.end(), Less);
-      heap_.back() = candidate;
-      std::push_heap(heap_.begin(), heap_.end(), Less);
-    }
-  }
-
-  std::vector<Neighbor> Sorted() && {
-    std::sort(heap_.begin(), heap_.end(), Less);
-    return std::move(heap_);
-  }
-
- private:
-  static bool Less(const Neighbor& a, const Neighbor& b) {
-    return a.distance != b.distance ? a.distance < b.distance : a.tid < b.tid;
-  }
-
-  uint32_t k_;
-  std::vector<Neighbor> heap_;  // Max-heap under Less.
-};
-
-struct BoundedEntry {
-  double bound;
-  uint32_t area;
-  size_t index;
-};
-
-// Entries of a directory node sorted by (lower bound, area) — the visit
-// order of Figure 4, including the minimum-area tie-break. Every entry's
-// bound is computed (and counted as a signature test) before sorting.
-std::vector<BoundedEntry> SortedBounds(const SgTree& tree, const Node& node,
-                                       const Signature& query,
-                                       const QueryContext& ctx) {
-  const Metric metric = tree.options().metric;
-  const auto [lo, hi] = tree.TransactionAreaBounds();
-  std::vector<BoundedEntry> order;
-  order.reserve(node.entries.size());
-  for (size_t i = 0; i < node.entries.size(); ++i) {
-    order.push_back({MinDistBoundAreaStats(query, node.entries[i].sig,
-                                           metric, lo, hi),
-                     node.entries[i].sig.Area(), i});
-  }
-  ctx.CountBounds(order.size());
-  std::sort(order.begin(), order.end(),
-            [](const BoundedEntry& a, const BoundedEntry& b) {
-              return a.bound != b.bound ? a.bound < b.bound
-                                        : a.area < b.area;
-            });
-  return order;
-}
-
-// Pruning threshold: the local k-th-best distance, tightened by the
-// cross-partition bound when one is attached. Subtrees are pruned only when
-// their bound STRICTLY exceeds this — boundary-tied subtrees are descended
-// so ties at the k-th distance resolve canonically by (distance, tid).
-double PruneTau(const NeighborHeap& heap, const SharedPruneBound* shared) {
-  const double tau = heap.Tau();
-  return shared != nullptr ? std::min(tau, shared->Load()) : tau;
-}
-
-void DfsKnnRecurse(const SgTree& tree, PageId node_id, const Signature& query,
-                   NeighborHeap* heap, const QueryContext& ctx,
-                   SharedPruneBound* shared) {
-  const Node& node = tree.GetNode(node_id, ctx);
-  ctx.CountNode(node.IsLeaf());
-  const Metric metric = tree.options().metric;
-  if (node.IsLeaf()) {
-    ctx.CountVerified(node.entries.size());
-    for (const Entry& entry : node.entries) {
-      heap->Offer({entry.ref, Distance(query, entry.sig, metric)});
-    }
-    // Publishing inf (heap not yet full) is a no-op inside PublishMin.
-    if (shared != nullptr) shared->PublishMin(heap->Tau());
-    return;
-  }
-  const std::vector<BoundedEntry> order = SortedBounds(tree, node, query, ctx);
-  for (size_t oi = 0; oi < order.size(); ++oi) {
-    if (order[oi].bound > PruneTau(*heap, shared)) {
-      // Later entries bound even higher: this entry and everything after it
-      // is cut by the distance bound.
-      ctx.TracePruned(order.size() - oi);
-      break;
-    }
-    ctx.TraceDescended(1);
-    DfsKnnRecurse(tree, static_cast<PageId>(node.entries[order[oi].index].ref),
-                  query, heap, ctx, shared);
-  }
-}
-
-}  // namespace
+// The algorithm bodies live in sgtree/search_core.h as templates shared
+// with the static mmap'ed tree (src/static); these functions instantiate
+// them for the dynamic SgTree.
 
 Neighbor DfsNearest(const SgTree& tree, const Signature& query,
                     const QueryContext& ctx) {
@@ -129,231 +22,35 @@ Neighbor DfsNearest(const SgTree& tree, const Signature& query,
 std::vector<Neighbor> DfsKNearest(const SgTree& tree, const Signature& query,
                                   uint32_t k, const QueryContext& ctx,
                                   SharedPruneBound* shared) {
-  NeighborHeap heap(k);
-  if (tree.root() != kInvalidPageId && k > 0) {
-    DfsKnnRecurse(tree, tree.root(), query, &heap, ctx, shared);
-  }
-  std::vector<Neighbor> result = std::move(heap).Sorted();
-  ctx.TraceResults(result.size());
-  return result;
+  return DfsKNearestCore(tree, query, k, ctx, shared);
 }
 
 std::vector<Neighbor> BestFirstKNearest(const SgTree& tree,
                                         const Signature& query, uint32_t k,
                                         const QueryContext& ctx,
                                         SharedPruneBound* shared) {
-  NeighborHeap heap(k);
-  if (tree.root() == kInvalidPageId || k == 0) {
-    return std::move(heap).Sorted();
-  }
-  const Metric metric = tree.options().metric;
-
-  struct QueueItem {
-    double bound;
-    PageId node;
-  };
-  auto cmp = [](const QueueItem& a, const QueueItem& b) {
-    return a.bound > b.bound;
-  };
-  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> queue(
-      cmp);
-  queue.push({0.0, tree.root()});
-  bool at_root = true;  // The root is enqueued without a signature test.
-  while (!queue.empty()) {
-    const QueueItem item = queue.top();
-    queue.pop();
-    if (item.bound > PruneTau(heap, shared)) {
-      // Optimal stopping condition (boundary-tied nodes are still visited
-      // for canonical tie resolution). This item and everything left in the
-      // queue was tested and enqueued but will never be visited.
-      ctx.TracePruned(1 + queue.size());
-      break;
-    }
-    if (at_root) {
-      at_root = false;
-    } else {
-      ctx.TraceDescended(1);
-    }
-    const Node& node = tree.GetNode(item.node, ctx);
-    ctx.CountNode(node.IsLeaf());
-    if (node.IsLeaf()) {
-      ctx.CountVerified(node.entries.size());
-      for (const Entry& entry : node.entries) {
-        heap.Offer({entry.ref, Distance(query, entry.sig, metric)});
-      }
-      if (shared != nullptr) shared->PublishMin(heap.Tau());
-      continue;
-    }
-    ctx.CountBounds(node.entries.size());
-    const auto [lo, hi] = tree.TransactionAreaBounds();
-    for (const Entry& entry : node.entries) {
-      const double bound =
-          MinDistBoundAreaStats(query, entry.sig, metric, lo, hi);
-      if (bound <= PruneTau(heap, shared)) {
-        queue.push({bound, static_cast<PageId>(entry.ref)});
-      } else {
-        ctx.TracePruned(1);
-      }
-    }
-  }
-  std::vector<Neighbor> result = std::move(heap).Sorted();
-  ctx.TraceResults(result.size());
-  return result;
+  return BestFirstKNearestCore(tree, query, k, ctx, shared);
 }
-
-namespace {
-
-void RangeRecurse(const SgTree& tree, PageId node_id, const Signature& query,
-                  double epsilon, std::vector<Neighbor>* result,
-                  const QueryContext& ctx) {
-  const Node& node = tree.GetNode(node_id, ctx);
-  ctx.CountNode(node.IsLeaf());
-  const Metric metric = tree.options().metric;
-  if (node.IsLeaf()) {
-    ctx.CountVerified(node.entries.size());
-    uint64_t matched = 0;
-    for (const Entry& entry : node.entries) {
-      const double d = Distance(query, entry.sig, metric);
-      if (d <= epsilon) {
-        result->push_back({entry.ref, d});
-        ++matched;
-      }
-    }
-    ctx.TraceResults(matched);
-    ctx.TraceFalseDrops(node.entries.size() - matched);
-    return;
-  }
-  ctx.CountBounds(node.entries.size());
-  const auto [lo, hi] = tree.TransactionAreaBounds();
-  for (const Entry& entry : node.entries) {
-    const double bound =
-        MinDistBoundAreaStats(query, entry.sig, metric, lo, hi);
-    if (bound <= epsilon) {
-      ctx.TraceDescended(1);
-      RangeRecurse(tree, static_cast<PageId>(entry.ref), query, epsilon,
-                   result, ctx);
-    } else {
-      ctx.TracePruned(1);
-    }
-  }
-}
-
-}  // namespace
 
 std::vector<Neighbor> RangeSearch(const SgTree& tree, const Signature& query,
                                   double epsilon, const QueryContext& ctx) {
-  std::vector<Neighbor> result;
-  if (tree.root() != kInvalidPageId) {
-    RangeRecurse(tree, tree.root(), query, epsilon, &result, ctx);
-  }
-  std::sort(result.begin(), result.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              return a.distance != b.distance ? a.distance < b.distance
-                                              : a.tid < b.tid;
-            });
-  return result;
+  return RangeSearchCore(tree, query, epsilon, ctx);
 }
-
-namespace {
-
-void ContainRecurse(const SgTree& tree, PageId node_id, const Signature& query,
-                    bool exact, std::vector<uint64_t>* result,
-                    const QueryContext& ctx) {
-  const Node& node = tree.GetNode(node_id, ctx);
-  ctx.CountNode(node.IsLeaf());
-  if (node.IsLeaf()) {
-    ctx.CountVerified(node.entries.size());
-    uint64_t matched = 0;
-    for (const Entry& entry : node.entries) {
-      const bool match =
-          exact ? entry.sig == query : entry.sig.Contains(query);
-      if (match) {
-        result->push_back(entry.ref);
-        ++matched;
-      }
-    }
-    ctx.TraceResults(matched);
-    ctx.TraceFalseDrops(node.entries.size() - matched);
-    return;
-  }
-  ctx.CountBounds(node.entries.size());
-  for (const Entry& entry : node.entries) {
-    // Only subtrees whose signature covers the query can hold supersets.
-    if (entry.sig.Contains(query)) {
-      ctx.TraceDescended(1);
-      ContainRecurse(tree, static_cast<PageId>(entry.ref), query, exact,
-                     result, ctx);
-    } else {
-      ctx.TracePruned(1);
-    }
-  }
-}
-
-}  // namespace
 
 std::vector<uint64_t> ContainmentSearch(const SgTree& tree,
                                         const Signature& query,
                                         const QueryContext& ctx) {
-  std::vector<uint64_t> result;
-  if (tree.root() != kInvalidPageId) {
-    ContainRecurse(tree, tree.root(), query, /*exact=*/false, &result, ctx);
-  }
-  std::sort(result.begin(), result.end());
-  return result;
+  return ContainmentSearchCore(tree, query, ctx);
 }
 
 std::vector<uint64_t> ExactSearch(const SgTree& tree, const Signature& query,
                                   const QueryContext& ctx) {
-  std::vector<uint64_t> result;
-  if (tree.root() != kInvalidPageId) {
-    ContainRecurse(tree, tree.root(), query, /*exact=*/true, &result, ctx);
-  }
-  std::sort(result.begin(), result.end());
-  return result;
+  return ExactSearchCore(tree, query, ctx);
 }
-
-namespace {
-
-void SubsetRecurse(const SgTree& tree, PageId node_id, const Signature& query,
-                   std::vector<uint64_t>* result, const QueryContext& ctx) {
-  const Node& node = tree.GetNode(node_id, ctx);
-  ctx.CountNode(node.IsLeaf());
-  if (node.IsLeaf()) {
-    ctx.CountVerified(node.entries.size());
-    uint64_t matched = 0;
-    for (const Entry& entry : node.entries) {
-      if (!entry.sig.Empty() && query.Contains(entry.sig)) {
-        result->push_back(entry.ref);
-        ++matched;
-      }
-    }
-    ctx.TraceResults(matched);
-    ctx.TraceFalseDrops(node.entries.size() - matched);
-    return;
-  }
-  ctx.CountBounds(node.entries.size());
-  for (const Entry& entry : node.entries) {
-    // A non-empty subset of the query must share at least one item with
-    // the subtree's coverage — the only (weak) pruning available.
-    if (Signature::IntersectCount(entry.sig, query) > 0) {
-      ctx.TraceDescended(1);
-      SubsetRecurse(tree, static_cast<PageId>(entry.ref), query, result, ctx);
-    } else {
-      ctx.TracePruned(1);
-    }
-  }
-}
-
-}  // namespace
 
 std::vector<uint64_t> SubsetSearch(const SgTree& tree, const Signature& query,
                                    const QueryContext& ctx) {
-  std::vector<uint64_t> result;
-  if (tree.root() != kInvalidPageId) {
-    SubsetRecurse(tree, tree.root(), query, &result, ctx);
-  }
-  std::sort(result.begin(), result.end());
-  return result;
+  return SubsetSearchCore(tree, query, ctx);
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@
 #include "exec/index_backend.h"
 #include "obs/percentile.h"
 #include "sgtree/search.h"
+#include "static/static_tree_backend.h"
 
 namespace sgtree {
 namespace {
@@ -88,16 +89,23 @@ void QueryRouter::RunSlice(const std::vector<QueryRequest>& batch,
   // Default protocol: the slice starts cold on its shard, then its queries
   // warm the pool for each other — one Clear per slice, not per sub-query.
   if (private_pool && !options_.cold_per_subquery) pool->Clear();
-  const SgTreeBackend backend(index_->shard(si));
+  // Static-mode shards answer through the StaticTreeBackend; both backends
+  // instantiate the same search cores, so the slice's results (values,
+  // counters, and traces) are identical either way.
+  const bool is_static = index_->static_mode();
   for (size_t qi = q_begin; qi < q_end; ++qi) {
     if (valid[qi] == 0) continue;
     const QueryRequest& request = batch[qi];
     if (private_pool && options_.cold_per_subquery) pool->Clear();
-    if (options_.shared_knn_bound && IsKnn(request.type)) {
-      ExecuteInto(SgTreeBackend(index_->shard(si), &(*bounds)[qi]), request,
+    SharedPruneBound* bound = options_.shared_knn_bound && IsKnn(request.type)
+                                  ? &(*bounds)[qi]
+                                  : nullptr;
+    if (is_static) {
+      ExecuteInto(StaticTreeBackend(index_->static_shard(si), bound), request,
                   pool, &partial_[qi * s + si]);
     } else {
-      ExecuteInto(backend, request, pool, &partial_[qi * s + si]);
+      ExecuteInto(SgTreeBackend(index_->shard(si), bound), request, pool,
+                  &partial_[qi * s + si]);
     }
     if (options_.overlap_merge &&
         remaining_[qi].fetch_sub(1, std::memory_order_acq_rel) == 1) {

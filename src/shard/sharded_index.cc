@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/file_util.h"
 #include "sgtree/persistence.h"
+#include "static/static_tree_builder.h"
 
 namespace sgtree {
 namespace {
@@ -138,6 +139,7 @@ bool ShardedIndex::AdoptBulkLoaded(const Dataset& dataset,
 }
 
 bool ShardedIndex::Insert(const Transaction& txn) {
+  if (static_mode()) return false;  // Static images are immutable.
   const uint32_t s = ShardOf(txn.tid, num_shards());
   if (durable()) {
     if (!durable_shards_[s]->Insert(txn)) return false;
@@ -149,12 +151,14 @@ bool ShardedIndex::Insert(const Transaction& txn) {
 }
 
 bool ShardedIndex::Erase(const Transaction& txn) {
+  if (static_mode()) return false;  // Static images are immutable.
   const uint32_t s = ShardOf(txn.tid, num_shards());
   if (durable()) return durable_shards_[s]->Erase(txn);
   return trees_[s]->Erase(txn);
 }
 
 size_t ShardedIndex::InsertBatch(const std::vector<Transaction>& txns) {
+  if (static_mode()) return 0;  // Static images are immutable.
   const uint32_t n = num_shards();
   std::vector<std::vector<Transaction>> parts = Partition(txns);
   std::vector<size_t> acked(n, 0);
@@ -176,12 +180,14 @@ size_t ShardedIndex::InsertBatch(const std::vector<Transaction>& txns) {
 size_t ShardedIndex::size() const {
   size_t total = 0;
   for (const SgTree* shard : shards_) total += shard->size();
+  for (const auto& view : static_shards_) total += view->size();
   return total;
 }
 
 uint64_t ShardedIndex::node_count() const {
   uint64_t total = 0;
   for (const SgTree* shard : shards_) total += shard->node_count();
+  for (const auto& view : static_shards_) total += view->node_count();
   return total;
 }
 
@@ -206,6 +212,10 @@ bool ShardedIndex::Checkpoint(std::string* error) {
 }
 
 bool ShardedIndex::Save(const std::string& path, std::string* error) const {
+  if (static_mode()) {
+    if (error != nullptr) *error = "cannot Save a static index";
+    return false;
+  }
   std::ostringstream manifest;
   manifest << "sgshard 1\nshards " << num_shards() << "\n";
   const std::string text = manifest.str();
@@ -221,6 +231,32 @@ bool ShardedIndex::Save(const std::string& path, std::string* error) const {
                          error);
 }
 
+bool ShardedIndex::SaveStatic(const std::string& path,
+                              std::string* error) const {
+  if (static_mode()) {
+    if (error != nullptr) *error = "cannot re-export a static index";
+    return false;
+  }
+  std::ostringstream manifest;
+  manifest << "sgshard 2\nformat static\nshards " << num_shards() << "\n";
+  const std::string text = manifest.str();
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    std::string shard_error;
+    if (!BuildStaticTree(*shards_[i], ShardSnapshotPath(path, i),
+                         &shard_error)) {
+      if (error != nullptr) {
+        *error = "shard " + std::to_string(i) + ": " + shard_error;
+      }
+      return false;
+    }
+  }
+  // Same publish order as Save: the manifest lands last, so a crash
+  // mid-export never names a shard image that does not exist.
+  return AtomicWriteFile(path,
+                         std::vector<uint8_t>(text.begin(), text.end()),
+                         error);
+}
+
 std::unique_ptr<ShardedIndex> ShardedIndex::Load(
     const std::string& path, const ShardedIndexOptions& options,
     std::string* error) {
@@ -231,11 +267,24 @@ std::unique_ptr<ShardedIndex> ShardedIndex::Load(
   }
   std::string magic;
   uint32_t version = 0;
+  in >> magic >> version;
+  if (!in || magic != "sgshard" || (version != 1 && version != 2)) {
+    if (error != nullptr) *error = "malformed shard manifest " + path;
+    return nullptr;
+  }
+  std::string format = "trees";
+  if (version == 2) {
+    std::string format_key;
+    in >> format_key >> format;
+    if (!in || format_key != "format" || format != "static") {
+      if (error != nullptr) *error = "malformed shard manifest " + path;
+      return nullptr;
+    }
+  }
   std::string key;
   uint32_t n = 0;
-  in >> magic >> version >> key >> n;
-  if (!in || magic != "sgshard" || version != 1 || key != "shards" ||
-      n == 0 || n > kMaxShards) {
+  in >> key >> n;
+  if (!in || key != "shards" || n == 0 || n > kMaxShards) {
     if (error != nullptr) *error = "malformed shard manifest " + path;
     return nullptr;
   }
@@ -244,6 +293,21 @@ std::unique_ptr<ShardedIndex> ShardedIndex::Load(
   index->options_.num_shards = n;
   for (uint32_t i = 0; i < n; ++i) {
     std::string shard_error;
+    if (format == "static") {
+      StaticOpenOptions open_options;
+      open_options.tree = options.tree;
+      std::unique_ptr<StaticTreeView> view =
+          StaticTreeView::Open(Env::Posix(), ShardSnapshotPath(path, i),
+                               open_options, &shard_error);
+      if (view == nullptr) {
+        if (error != nullptr) {
+          *error = "shard " + std::to_string(i) + ": " + shard_error;
+        }
+        return nullptr;
+      }
+      index->static_shards_.push_back(std::move(view));
+      continue;
+    }
     std::unique_ptr<SgTree> tree =
         LoadTree(ShardSnapshotPath(path, i), options.tree, &shard_error);
     if (tree == nullptr) {

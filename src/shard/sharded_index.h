@@ -13,6 +13,7 @@
 #include "sgtree/bulk_load.h"
 #include "sgtree/options.h"
 #include "sgtree/sg_tree.h"
+#include "static/static_tree_view.h"
 
 namespace sgtree {
 
@@ -36,7 +37,7 @@ struct ShardedIndexOptions {
 /// QueryRouter does exactly that, and the merged answer is byte-identical
 /// to a single tree over the same data (see query_router.h for why).
 ///
-/// Shards come in two flavors, mirroring the single-tree story:
+/// Shards come in three flavors, mirroring the single-tree story:
 ///  - In-memory (constructor / BulkLoad), snapshot-persisted via
 ///    Save()/Load(): a small manifest at `path` plus one SaveTree image per
 ///    shard at `path.shard<i>`.
@@ -44,6 +45,10 @@ struct ShardedIndexOptions {
 ///    subdirectory `<dir>/shard-<i>` with a private page file + WAL, so a
 ///    crash is recovered shard by shard at the next OpenDurable and a
 ///    fault in one shard's log never contaminates the others.
+///  - Static (SaveStatic / Load of a v2 manifest): each shard is an
+///    immutable mmap'ed StaticTreeView (static/static_tree_view.h). The
+///    index is read-only — updates return failure — and serves the same
+///    byte-identical merged answers through the QueryRouter.
 ///
 /// Thread-safety matches SgTree: concurrent reads of const shards are safe
 /// (the router fans out on that basis); mutations must be externally
@@ -94,7 +99,8 @@ class ShardedIndex {
   /// Routed updates. In durable mode these are logged per shard
   /// (log-before-acknowledge; false = the owning shard could not make the
   /// operation durable). In-memory inserts always succeed; Erase returns
-  /// whether the key existed.
+  /// whether the key existed. In static mode the index is immutable:
+  /// Insert/Erase return false and InsertBatch acknowledges 0.
   bool Insert(const Transaction& txn);
   bool Erase(const Transaction& txn);
 
@@ -104,9 +110,12 @@ class ShardedIndex {
   size_t InsertBatch(const std::vector<Transaction>& txns);
 
   uint32_t num_shards() const {
-    return static_cast<uint32_t>(shards_.size());
+    return static_cast<uint32_t>(shards_.empty() ? static_shards_.size()
+                                                 : shards_.size());
   }
   bool durable() const { return !durable_shards_.empty(); }
+  /// True when the shards are immutable static images (v2 manifest).
+  bool static_mode() const { return !static_shards_.empty(); }
 
   /// Sum of the shards' sizes / node counts.
   size_t size() const;
@@ -121,6 +130,11 @@ class ShardedIndex {
     return durable_shards_.empty() ? nullptr : durable_shards_[i].get();
   }
 
+  /// Shard `i`'s static view (static_mode() only).
+  const StaticTreeView& static_shard(uint32_t i) const {
+    return *static_shards_[i];
+  }
+
   /// Durable mode: fsyncs / checkpoints every shard. No-ops in-memory.
   bool Sync();
   bool Checkpoint(std::string* error = nullptr);
@@ -130,9 +144,17 @@ class ShardedIndex {
   /// image per shard at ShardSnapshotPath(path, i).
   bool Save(const std::string& path, std::string* error = nullptr) const;
 
-  /// Rebuilds a Save()d index. `options.num_shards` is taken from the
-  /// manifest, not the caller; `options.tree` supplies the runtime
-  /// (metric, buffer pages) exactly like LoadTree.
+  /// Writes a read-only deployment image of this (dynamic) index: a v2
+  /// manifest at `path` ("sgshard 2" + a format tag) plus one static
+  /// SG-tree image per shard at ShardSnapshotPath(path, i), each published
+  /// crash-atomically. Load() restores it in static mode.
+  bool SaveStatic(const std::string& path, std::string* error = nullptr) const;
+
+  /// Rebuilds a Save()d or SaveStatic()d index, dispatching on the manifest
+  /// version (v1 = dynamic trees via LoadTree, v2 static = mmap'ed views).
+  /// `options.num_shards` is taken from the manifest, not the caller;
+  /// `options.tree` supplies the runtime (metric, buffer pages) exactly
+  /// like LoadTree.
   static std::unique_ptr<ShardedIndex> Load(const std::string& path,
                                             const ShardedIndexOptions& options,
                                             std::string* error = nullptr);
@@ -153,10 +175,13 @@ class ShardedIndex {
 
   ShardedIndexOptions options_;
   /// Views of the shard trees: owned by trees_ in-memory, or by the
-  /// DurableTrees in durable mode. Always num_shards entries.
+  /// DurableTrees in durable mode. num_shards entries — except in static
+  /// mode, where static_shards_ holds the index instead and these stay
+  /// empty.
   std::vector<SgTree*> shards_;
   std::vector<std::unique_ptr<SgTree>> trees_;
   std::vector<std::unique_ptr<DurableTree>> durable_shards_;
+  std::vector<std::unique_ptr<StaticTreeView>> static_shards_;
 };
 
 }  // namespace sgtree

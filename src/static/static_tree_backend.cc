@@ -1,0 +1,34 @@
+#include "static/static_tree_backend.h"
+
+namespace sgtree {
+
+void StaticTreeBackend::Run(const QueryRequest& request,
+                            const QueryContext& ctx,
+                            QueryResult* result) const {
+  switch (request.type) {
+    case QueryType::kKnn:
+      result->neighbors =
+          DfsKNearestCore(*view_, request.query, request.k, ctx,
+                          shared_bound_);
+      break;
+    case QueryType::kBestFirstKnn:
+      result->neighbors = BestFirstKNearestCore(*view_, request.query,
+                                                request.k, ctx, shared_bound_);
+      break;
+    case QueryType::kRange:
+      result->neighbors =
+          RangeSearchCore(*view_, request.query, request.epsilon, ctx);
+      break;
+    case QueryType::kContainment:
+      result->ids = ContainmentSearchCore(*view_, request.query, ctx);
+      break;
+    case QueryType::kExact:
+      result->ids = ExactSearchCore(*view_, request.query, ctx);
+      break;
+    case QueryType::kSubset:
+      result->ids = SubsetSearchCore(*view_, request.query, ctx);
+      break;
+  }
+}
+
+}  // namespace sgtree

@@ -1,0 +1,37 @@
+#ifndef SGTREE_STATIC_STATIC_TREE_BUILDER_H_
+#define SGTREE_STATIC_STATIC_TREE_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "durability/durable_tree.h"
+#include "sgtree/sg_tree.h"
+
+namespace sgtree {
+
+/// Serializes `tree` into a static SG-tree image (static_format.h) in
+/// `*out`. Nodes are laid out in BFS order from the root, which makes the
+/// output a pure function of the tree's logical content — byte-stable
+/// across runs, hosts, and heap layouts (the golden-file tests depend on
+/// this). Returns false with `*error` set (when non-null) on failure (node
+/// capacity beyond the format's 16-bit entry count).
+bool BuildStaticImage(const SgTree& tree, std::vector<uint8_t>* out,
+                      std::string* error = nullptr);
+
+/// BuildStaticImage + crash-atomic publication: the image is written to a
+/// sibling temp file, fsynced, renamed over `path`, and the directory entry
+/// fsynced (AtomicWriteFile) — the same publish discipline as SaveTree.
+bool BuildStaticTree(const SgTree& tree, const std::string& path,
+                     std::string* error = nullptr);
+
+/// Exports a live durable index as a static image at `path`, holding the
+/// write path locked for the duration so the image is an
+/// operation-consistent snapshot. Lives here (not in src/durability) so the
+/// durability layer does not depend on the static format.
+bool ExportStatic(const DurableTree& durable, const std::string& path,
+                  std::string* error = nullptr);
+
+}  // namespace sgtree
+
+#endif  // SGTREE_STATIC_STATIC_TREE_BUILDER_H_

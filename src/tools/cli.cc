@@ -28,6 +28,11 @@
 #include "sgtree/search.h"
 #include "sgtree/sg_tree.h"
 #include "sgtree/tree_checker.h"
+#include "static/static_audit.h"
+#include "static/static_tree_backend.h"
+#include "static/static_tree_builder.h"
+#include "static/static_tree_view.h"
+#include "storage/buffer_pool.h"
 #include "tools/command_line.h"
 
 namespace sgtree {
@@ -161,6 +166,18 @@ int CmdBuild(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   const std::string bulk = cmd.StringOr("bulk", "none");
   const auto shards = static_cast<uint32_t>(cmd.IntOr("shards", 1));
   if (shards == 0) return Fail(err, "--shards must be positive");
+  // --static 1 writes the immutable mmap'able image (static_format.h)
+  // instead of the dynamic snapshot: query/check/stats open it read-only.
+  const bool static_out = cmd.IntOr("static", 0) != 0;
+  if (static_out && durable_dir.has_value()) {
+    return Fail(err,
+                "--static writes a read-only image; combine it with --out, "
+                "not --durable (use wal-checkpoint --export-static to "
+                "snapshot a durable index)");
+  }
+  if (static_out && !out_path.has_value()) {
+    return Fail(err, "build --static requires --out");
+  }
   if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
 
   BulkLoadOptions bulk_options;
@@ -227,13 +244,16 @@ int CmdBuild(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
       }
     }
     std::string save_error;
-    if (!index->Save(*out_path, &save_error)) {
+    const bool saved = static_out ? index->SaveStatic(*out_path, &save_error)
+                                  : index->Save(*out_path, &save_error);
+    if (!saved) {
       return Fail(err, "cannot write index " + *out_path + ": " + save_error);
     }
     out << "indexed " << index->size() << " transactions across " << shards
         << " shards in " << build_ms << " ms; " << index->node_count()
         << " nodes\n"
-        << "wrote " << *out_path << " + " << shards << " shard snapshots\n";
+        << "wrote " << *out_path << " + " << shards
+        << (static_out ? " static shard images\n" : " shard snapshots\n");
     return 0;
   }
 
@@ -289,13 +309,15 @@ int CmdBuild(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
     return Fail(err, "built tree failed validation: " + report.message);
   }
   std::string save_error;
-  if (!SaveTree(*tree, *out_path, &save_error)) {
+  const bool saved = static_out ? BuildStaticTree(*tree, *out_path, &save_error)
+                                : SaveTree(*tree, *out_path, &save_error);
+  if (!saved) {
     return Fail(err, "cannot write index " + *out_path + ": " + save_error);
   }
   out << "indexed " << tree->size() << " transactions in " << build_ms
       << " ms; height " << tree->height() << ", " << tree->node_count()
       << " nodes, utilization " << report.avg_utilization << "\n"
-      << "wrote " << *out_path << "\n";
+      << "wrote " << *out_path << (static_out ? " (static image)\n" : "\n");
   return 0;
 }
 
@@ -342,6 +364,7 @@ int CmdWalCheckpoint(const CommandLine& cmd, std::ostream& out,
   if (!dir.has_value())
     return Fail(err, "wal-checkpoint requires --durable");
   const auto metrics_path = cmd.GetString("metrics-json");
+  const auto export_path = cmd.GetString("export-static");
   if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
 
   obs::MetricsRegistry registry;
@@ -357,6 +380,12 @@ int CmdWalCheckpoint(const CommandLine& cmd, std::ostream& out,
   out << "checkpoint " << durable->checkpoint_seq() << " sealed: "
       << durable->tree().size() << " transactions, "
       << durable->tree().node_count() << " nodes folded; log truncated\n";
+  if (export_path.has_value()) {
+    if (!ExportStatic(*durable, *export_path, &error)) {
+      return Fail(err, "static export failed: " + error);
+    }
+    out << "exported static image " << *export_path << "\n";
+  }
   if (metrics_path.has_value()) {
     return WriteMetricsJson(registry, *metrics_path, out, err);
   }
@@ -412,7 +441,24 @@ int CmdCheck(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   audit_options.max_violations =
       static_cast<size_t>(cmd.IntOr("max-violations", 64));
   const bool paged = cmd.IntOr("paged", 1) != 0;
+  const bool static_image = cmd.IntOr("static", 0) != 0;
+  // --verify-checksums 0 admits an image whose body CRC no longer matches,
+  // so the semantic audit can localize the damage instead of the open
+  // refusing the whole file with one line.
+  const bool verify_checksums = cmd.IntOr("verify-checksums", 1) != 0;
   if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
+
+  if (static_image) {
+    StaticOpenOptions open_options;
+    open_options.verify_checksums = verify_checksums;
+    std::string open_error;
+    auto view = StaticTreeView::Open(Env::Posix(), *index_path, open_options,
+                                     &open_error);
+    if (view == nullptr) return Fail(err, "cannot open " + open_error);
+    const AuditReport report = AuditStaticImage(*view, audit_options);
+    out << "static audit: " << report.Summary();
+    return report.ok() ? 0 : 2;
+  }
 
   SgTreeOptions options;
   std::string load_error;
@@ -438,6 +484,35 @@ int CmdCheck(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
     }
   }
   return ok ? 0 : 2;
+}
+
+int CmdStaticInfo(const CommandLine& cmd, std::ostream& out,
+                  std::ostream& err) {
+  const auto index_path = cmd.GetString("index");
+  if (!index_path.has_value()) return Fail(err, "static-info requires --index");
+  StaticOpenOptions open_options;
+  open_options.verify_checksums = cmd.IntOr("verify-checksums", 1) != 0;
+  if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
+
+  std::string open_error;
+  auto view = StaticTreeView::Open(Env::Posix(), *index_path, open_options,
+                                   &open_error);
+  if (view == nullptr) return Fail(err, "cannot open " + open_error);
+  const auto [area_lo, area_hi] = view->TransactionAreaBounds();
+  out << "format version: " << static_format::kVersion << "\n"
+      << "transactions: " << view->size() << "\n"
+      << "signature bits: " << view->num_bits() << "\n"
+      << "height: " << view->height() << "\n"
+      << "nodes: " << view->node_count() << "\n"
+      << "node capacity: " << view->max_entries() << "\n"
+      << "file size: " << view->file_size() << " bytes\n"
+      << "area window: [" << area_lo << ", " << area_hi << "]\n"
+      << "mapping: " << (view->zero_copy() ? "mmap (zero copy)"
+                                           : "buffered read")
+      << "\n"
+      << "checksums: "
+      << (open_options.verify_checksums ? "verified" : "skipped") << "\n";
+  return 0;
 }
 
 int CmdQuery(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
@@ -471,11 +546,15 @@ int CmdQuery(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   options.metric = metric;
 
   // --shards 1 loads --index as a sharded manifest (the shard count comes
-  // from the manifest) and answers through the scatter-gather router;
-  // --threads sizes its worker pool.
+  // from the manifest, which also carries the static/dynamic format tag)
+  // and answers through the scatter-gather router; --threads sizes its
+  // worker pool. --static 1 opens a single-file static image instead of a
+  // dynamic snapshot.
   const bool sharded = cmd.IntOr("shards", 0) != 0;
+  const bool static_index = cmd.IntOr("static", 0) != 0;
   const auto threads = static_cast<uint32_t>(cmd.IntOr("threads", 0));
   std::unique_ptr<SgTree> tree;
+  std::unique_ptr<StaticTreeView> view;
   std::unique_ptr<ShardedIndex> index;
   uint32_t num_bits = 0;
   std::string load_error;
@@ -486,7 +565,15 @@ int CmdQuery(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
     if (index == nullptr) {
       return Fail(err, "cannot load " + *index_path + ": " + load_error);
     }
-    num_bits = index->shard(0).num_bits();
+    num_bits = index->static_mode() ? index->static_shard(0).num_bits()
+                                    : index->shard(0).num_bits();
+  } else if (static_index) {
+    StaticOpenOptions open_options;
+    open_options.tree = options;
+    view = StaticTreeView::Open(Env::Posix(), *index_path, open_options,
+                                &load_error);
+    if (view == nullptr) return Fail(err, "cannot load " + load_error);
+    num_bits = view->num_bits();
   } else {
     tree = LoadTree(*index_path, options, &load_error);
     if (tree == nullptr) {
@@ -542,6 +629,15 @@ int CmdQuery(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
     router_options.metrics = &registry;
     QueryRouter router(*index, &executor, router_options);
     results = router.Run(requests);
+  } else if (static_index) {
+    // The static view owns no pool (it is shared and immutable), so the
+    // query loop brings its own — uncleared between queries, matching the
+    // warm-cache protocol of the dynamic branch below.
+    BufferPool pool(options.buffer_pages);
+    results.reserve(requests.size());
+    for (const QueryRequest& request : requests) {
+      results.push_back(Execute(StaticTreeBackend(*view), request, &pool));
+    }
   } else {
     results.reserve(requests.size());
     for (const QueryRequest& request : requests) {
@@ -611,8 +707,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   CommandLine cmd(args);
   if (!cmd.error().empty()) return Fail(err, cmd.error());
   if (cmd.positional().empty()) {
-    err << "usage: sgtree_cli gen|build|stats|check|query|recover|"
-           "wal-checkpoint ... (see tools/cli.h)\n";
+    err << "usage: sgtree_cli gen|build|stats|check|static-info|query|"
+           "recover|wal-checkpoint ... (see tools/cli.h)\n";
     return 1;
   }
   const std::string& verb = cmd.positional()[0];
@@ -620,6 +716,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (verb == "build") return CmdBuild(cmd, out, err);
   if (verb == "stats") return CmdStats(cmd, out, err);
   if (verb == "check") return CmdCheck(cmd, out, err);
+  if (verb == "static-info") return CmdStaticInfo(cmd, out, err);
   if (verb == "query") return CmdQuery(cmd, out, err);
   if (verb == "recover") return CmdRecover(cmd, out, err);
   if (verb == "wal-checkpoint") return CmdWalCheckpoint(cmd, out, err);

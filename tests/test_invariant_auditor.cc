@@ -7,8 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include "common/bit_ops.h"
 #include "sgtree/paged_reader.h"
 #include "sgtree/sg_tree.h"
+#include "static/static_audit.h"
+#include "static/static_format.h"
+#include "static/static_tree_builder.h"
+#include "static/static_tree_view.h"
 #include "storage/node_format.h"
 #include "tests/test_util.h"
 
@@ -305,6 +310,158 @@ TEST(InvariantAuditorTest, SummaryOfCleanReportMentionsStats) {
   const std::string summary = AuditTree(*tree).Summary();
   EXPECT_NE(summary.find("all invariants hold"), std::string::npos);
   EXPECT_NE(summary.find("height"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Static-image audits: the same semantic invariants, checked over the
+// mmap'able image. Corruption is injected by patching raw image bytes and
+// reopening with checksum verification off — the structurally-consistent
+// damage a CRC would flag but a traversal would otherwise happily serve.
+// ---------------------------------------------------------------------------
+
+namespace sf = ::sgtree::static_format;
+
+// Byte-level accessors over an image, mirroring the documented layout.
+struct ImagePatcher {
+  std::vector<uint8_t> bytes;
+
+  uint64_t NodeOffset(uint64_t i) const {
+    return sf::LoadU64(bytes.data() + sf::kHeaderSize + i * 8);
+  }
+  uint16_t LevelOf(uint64_t i) const {
+    return sf::LoadU16(bytes.data() + NodeOffset(i));
+  }
+  uint16_t CountOf(uint64_t i) const {
+    return sf::LoadU16(bytes.data() + NodeOffset(i) + 2);
+  }
+  // Byte offset of entry `e` of node `i` (the u64 ref; sig words follow).
+  uint64_t EntryOffset(uint64_t i, uint64_t e, uint32_t words) const {
+    return NodeOffset(i) + 8 + e * (8 + uint64_t{words} * 8);
+  }
+  // First leaf node holding at least two entries.
+  uint64_t SomeLeaf(uint64_t node_count) const {
+    for (uint64_t i = 0; i < node_count; ++i) {
+      if (LevelOf(i) == 0 && CountOf(i) >= 2) return i;
+    }
+    ADD_FAILURE() << "no leaf with 2+ entries";
+    return 0;
+  }
+};
+
+ImagePatcher BuildStaticImageOf(const SgTree& tree) {
+  ImagePatcher patcher;
+  std::string error;
+  EXPECT_TRUE(BuildStaticImage(tree, &patcher.bytes, &error)) << error;
+  return patcher;
+}
+
+std::unique_ptr<StaticTreeView> OpenPatched(const ImagePatcher& patcher) {
+  StaticOpenOptions options;
+  options.tree = SmallOptions();
+  options.verify_checksums = false;  // Admit the CRC-stale patched image.
+  std::string error;
+  auto view = StaticTreeView::OpenFromBytes(
+      patcher.bytes.data(), patcher.bytes.size(), options, &error);
+  EXPECT_NE(view, nullptr) << error;
+  return view;
+}
+
+TEST(StaticAuditTest, CleanImagePasses) {
+  auto tree = BuildTree();
+  const ImagePatcher patcher = BuildStaticImageOf(*tree);
+  auto view = OpenPatched(patcher);
+  const AuditReport report = AuditStaticImage(*view);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.stats.node_count, tree->node_count());
+  EXPECT_EQ(report.stats.leaf_entries, tree->size());
+  // The per-level area profile matches the dynamic auditor's.
+  const AuditReport dynamic_report = AuditTree(*tree);
+  EXPECT_EQ(report.stats.avg_entry_area, dynamic_report.stats.avg_entry_area);
+  EXPECT_EQ(report.stats.avg_utilization, dynamic_report.stats.avg_utilization);
+}
+
+TEST(StaticAuditTest, EmptyImagePasses) {
+  const SgTree empty(SmallOptions());
+  auto view = OpenPatched(BuildStaticImageOf(empty));
+  const AuditReport report = AuditStaticImage(*view);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.stats.node_count, 0u);
+}
+
+TEST(StaticAuditTest, DetectsFlippedDirectorySignatureBit) {
+  auto tree = BuildTree();
+  ImagePatcher patcher = BuildStaticImageOf(*tree);
+  const uint32_t words = WordsForBits(tree->num_bits());
+  // Node 0 is the root — a directory (BuildTree guarantees height >= 2).
+  ASSERT_GT(patcher.LevelOf(0), 0u);
+  // Flip one in-width bit of the root's first entry signature: the entry
+  // no longer equals the OR of its child's entries.
+  patcher.bytes[patcher.EntryOffset(0, 0, words) + 8 + 3] ^= 0x10;  // Bit 28.
+  auto view = OpenPatched(patcher);
+  const AuditReport report = AuditStaticImage(*view);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kCoverage)) << report.Summary();
+  EXPECT_TRUE(AnyDetailContains(report, "not the OR of child node"));
+}
+
+TEST(StaticAuditTest, DetectsDuplicateTid) {
+  auto tree = BuildTree();
+  ImagePatcher patcher = BuildStaticImageOf(*tree);
+  const uint32_t words = WordsForBits(tree->num_bits());
+  const uint64_t leaf = patcher.SomeLeaf(tree->node_count());
+  // Rewrite leaf entry 0's tid to collide with entry 1's. Signatures are
+  // untouched, so coverage still holds — only the tid index is corrupt.
+  const uint64_t tid1 =
+      sf::LoadU64(patcher.bytes.data() + patcher.EntryOffset(leaf, 1, words));
+  sf::StoreU64(patcher.bytes.data() + patcher.EntryOffset(leaf, 0, words),
+               tid1);
+  auto view = OpenPatched(patcher);
+  const AuditReport report = AuditStaticImage(*view);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kDuplicateTid)) << report.Summary();
+  EXPECT_TRUE(AnyDetailContains(report, "already indexed by node"));
+}
+
+TEST(StaticAuditTest, DetectsLeafSignatureDrift) {
+  auto tree = BuildTree();
+  ImagePatcher patcher = BuildStaticImageOf(*tree);
+  const uint32_t words = WordsForBits(tree->num_bits());
+  const uint64_t leaf = patcher.SomeLeaf(tree->node_count());
+  // Set an in-width bit that is clear in the leaf entry's signature: the
+  // child union gains a bit its parent entry never covered.
+  uint8_t* word0 =
+      patcher.bytes.data() + patcher.EntryOffset(leaf, 0, words) + 8;
+  uint64_t value = sf::LoadU64(word0);
+  int clear_bit = -1;
+  for (int b = 0; b < 64; ++b) {
+    if ((value & (uint64_t{1} << b)) == 0) {
+      clear_bit = b;
+      break;
+    }
+  }
+  ASSERT_GE(clear_bit, 0);
+  sf::StoreU64(word0, value | (uint64_t{1} << clear_bit));
+  auto view = OpenPatched(patcher);
+  const AuditReport report = AuditStaticImage(*view);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kCoverage)) << report.Summary();
+  EXPECT_TRUE(AnyDetailContains(report, "lost bit"));
+}
+
+TEST(StaticAuditTest, DetectsBitsBeyondSignatureWidth) {
+  auto tree = BuildTree();  // 100 bits: word 1 has 28 tail bits.
+  ImagePatcher patcher = BuildStaticImageOf(*tree);
+  const uint32_t words = WordsForBits(tree->num_bits());
+  ASSERT_EQ(words, 2u);
+  const uint64_t leaf = patcher.SomeLeaf(tree->node_count());
+  uint8_t* word1 =
+      patcher.bytes.data() + patcher.EntryOffset(leaf, 0, words) + 8 + 8;
+  sf::StoreU64(word1, sf::LoadU64(word1) | (uint64_t{1} << 60));  // Bit 124.
+  auto view = OpenPatched(patcher);
+  const AuditReport report = AuditStaticImage(*view);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kSignatureWidth)) << report.Summary();
+  EXPECT_TRUE(AnyDetailContains(report, "beyond the signature width"));
 }
 
 }  // namespace

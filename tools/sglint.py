@@ -19,6 +19,13 @@ Rules (all first-party C++ under src/ and fuzz/):
                 repro story depends on seeded RNG (common/rng.h); libc
                 rand is hidden global state.
 
+  raw-mmap      mmap( / munmap( outside src/common/ and src/static/.
+                The blessed entry point is Env::MapReadOnly (wrapping
+                common/mmap_file.h): it owns the fallback path for
+                environments without mmap and keeps fault injection able
+                to interpose. A stray raw mapping is untracked lifetime
+                the static-view invariants can't see.
+
   memory-order  every std::atomic load/store/exchange/fetch_*/
                 compare_exchange names an explicit std::memory_order.
                 Defaulted seq_cst hides the cost and, worse, hides the
@@ -49,6 +56,7 @@ RAW_SYNC = re.compile(
     r"shared_lock|condition_variable|condition_variable_any)\b")
 BARE_ASSERT = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
 RAND = re.compile(r"(?<![A-Za-z0-9_.])(?:std::)?s?rand\s*\(")
+RAW_MMAP = re.compile(r"(?<![A-Za-z0-9_])(?:::)?m(?:un)?map\s*\(")
 ATOMIC_OP = re.compile(
     r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
     r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(")
@@ -92,7 +100,7 @@ def call_expression(lines, row, start_col):
     return " ".join(parts)
 
 
-def lint_cpp(path, rel, in_common, findings):
+def lint_cpp(path, rel, in_common, may_mmap, findings):
     with open(path, encoding="utf-8", errors="replace") as fh:
         lines = fh.read().splitlines()
 
@@ -119,6 +127,13 @@ def lint_cpp(path, rel, in_common, findings):
                     (rel, i, "rand",
                      "libc rand is unseeded global state; use "
                      "common/rng.h"))
+
+        if not may_mmap:
+            if RAW_MMAP.search(code) and not allowed(raw, "raw-mmap"):
+                findings.append(
+                    (rel, i, "raw-mmap",
+                     "raw mmap/munmap outside src/common/ and src/static/; "
+                     "map files through Env::MapReadOnly"))
 
         for m in ATOMIC_OP.finditer(code):
             paren = code.index("(", m.end() - 1)
@@ -150,7 +165,7 @@ def main():
     args = parser.parse_args()
 
     if args.list_rules:
-        print("raw-sync bare-assert rand memory-order todo-tag")
+        print("raw-sync bare-assert rand raw-mmap memory-order todo-tag")
         return 0
 
     root = args.root or os.path.dirname(
@@ -173,7 +188,9 @@ def main():
                 path = os.path.join(dirpath, name)
                 rel = os.path.relpath(path, root)
                 in_common = rel.startswith(os.path.join("src", "common"))
-                lint_cpp(path, rel, in_common, findings)
+                may_mmap = in_common or rel.startswith(
+                    os.path.join("src", "static"))
+                lint_cpp(path, rel, in_common, may_mmap, findings)
                 checked += 1
 
     # TODO policy sweeps everything first-party, scripts included.
