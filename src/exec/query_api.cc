@@ -1,18 +1,40 @@
 #include "exec/query_api.h"
 
 #include <cmath>
+#include <sstream>
 
 namespace sgtree {
+namespace {
+
+// "-3.5", not "-3.500000": default ostream precision keeps the message as
+// short as the value allows.
+std::string FormatDouble(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace
 
 std::string ValidateRequest(const QueryRequest& request) {
   switch (request.type) {
     case QueryType::kKnn:
     case QueryType::kBestFirstKnn:
-      if (request.k == 0) return "k must be positive for k-NN queries";
+      // Name the offending value: "k must be > 0" alone sends the caller
+      // back to a debugger to learn what they actually passed.
+      if (request.k == 0) {
+        return "k must be > 0 for k-NN queries, got " +
+               std::to_string(request.k);
+      }
       break;
     case QueryType::kRange:
-      if (std::isnan(request.epsilon) || request.epsilon < 0.0) {
-        return "epsilon must be non-negative for range queries";
+      if (std::isnan(request.epsilon)) {
+        return "epsilon must be a non-negative number for range queries, "
+               "got NaN";
+      }
+      if (request.epsilon < 0.0) {
+        return "epsilon must be >= 0 for range queries, got " +
+               FormatDouble(request.epsilon);
       }
       break;
     case QueryType::kContainment:

@@ -1,0 +1,289 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace sgtree {
+namespace net {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Remaining budget of a deadline started `start_ms` ago; never negative.
+/// A timeout_ms < 0 means "no deadline" and always yields a 1 s poll slice
+/// (callers loop).
+int RemainingMs(int timeout_ms, int64_t start_ms) {
+  if (timeout_ms < 0) return 1000;
+  const int64_t spent = NowMs() - start_ms;
+  const int64_t left = static_cast<int64_t>(timeout_ms) - spent;
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+/// Polls `fd` for `events` with a deadline. Returns 1 = ready, 0 = timed
+/// out, -1 = error.
+int PollFd(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc >= 0) return rc > 0 ? 1 : 0;
+    if (errno != EINTR) return -1;
+  }
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket Socket::ConnectTcp(const std::string& host, uint16_t port,
+                          int timeout_ms, std::string* error) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad IPv4 address '" + host + "'";
+    return Socket();
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("socket");
+    return Socket();
+  }
+  // Non-blocking connect with a poll deadline: a refused or unreachable
+  // port fails within timeout_ms instead of the kernel's minutes-long SYN
+  // retry schedule.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    if (error != nullptr) *error = Errno("connect");
+    ::close(fd);
+    return Socket();
+  }
+  if (rc != 0) {
+    const int ready = PollFd(fd, POLLOUT, timeout_ms);
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (ready != 1 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      if (error != nullptr) {
+        *error = ready == 0 ? "connect timed out"
+                            : "connect: " + std::string(std::strerror(
+                                  soerr != 0 ? soerr : errno));
+      }
+      ::close(fd);
+      return Socket();
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  SetNoDelay(fd);
+  return Socket(fd);
+}
+
+IoStatus Socket::SendAll(const void* data, size_t size, int timeout_ms,
+                         std::string* error) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  const int64_t start = NowMs();
+  while (sent < size) {
+    const int wait = RemainingMs(timeout_ms, start);
+    if (timeout_ms >= 0 && wait == 0) {
+      if (error != nullptr) *error = "send timed out";
+      return IoStatus::kTimeout;
+    }
+    const int ready = PollFd(fd_, POLLOUT, wait);
+    if (ready < 0) {
+      if (error != nullptr) *error = Errno("poll");
+      return IoStatus::kError;
+    }
+    if (ready == 0) continue;  // Re-derive the remaining budget.
+    const ssize_t n =
+        ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                  errno == EWOULDBLOCK)) {
+      continue;
+    }
+    if (error != nullptr) *error = Errno("send");
+    return errno == EPIPE || errno == ECONNRESET ? IoStatus::kClosed
+                                                 : IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus Socket::RecvAll(void* data, size_t size, int timeout_ms,
+                         std::string* error) {
+  auto* bytes = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  const int64_t start = NowMs();
+  while (got < size) {
+    const int wait = RemainingMs(timeout_ms, start);
+    if (timeout_ms >= 0 && wait == 0) {
+      if (got == 0) return IoStatus::kTimeout;
+      // Mid-frame deadline: the stream is desynchronized, not idle.
+      if (error != nullptr) *error = "recv timed out mid-frame";
+      return IoStatus::kError;
+    }
+    const int ready = PollFd(fd_, POLLIN, wait);
+    if (ready < 0) {
+      if (error != nullptr) *error = Errno("poll");
+      return IoStatus::kError;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd_, bytes + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got != 0 && error != nullptr) *error = "peer closed mid-frame";
+      return IoStatus::kClosed;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (error != nullptr) *error = Errno("recv");
+    return errno == ECONNRESET ? IoStatus::kClosed : IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+ListenSocket::~ListenSocket() { Close(); }
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ListenSocket ListenSocket::Listen(uint16_t port, int backlog,
+                                  std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("socket");
+    return ListenSocket();
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = Errno("bind");
+    ::close(fd);
+    return ListenSocket();
+  }
+  if (::listen(fd, backlog) != 0) {
+    if (error != nullptr) *error = Errno("listen");
+    ::close(fd);
+    return ListenSocket();
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    if (error != nullptr) *error = Errno("getsockname");
+    ::close(fd);
+    return ListenSocket();
+  }
+  ListenSocket out;
+  out.fd_ = fd;
+  out.port_ = ntohs(addr.sin_port);
+  return out;
+}
+
+AcceptStatus ListenSocket::Accept(int timeout_ms, Socket* out,
+                                  std::string* error) {
+  const int ready = PollFd(fd_, POLLIN, timeout_ms);
+  if (ready == 0) return AcceptStatus::kTimeout;
+  if (ready < 0) {
+    if (error != nullptr) *error = Errno("poll");
+    return AcceptStatus::kError;
+  }
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      *out = Socket(fd);
+      return AcceptStatus::kAccepted;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return AcceptStatus::kTimeout;
+    if (error != nullptr) *error = Errno("accept");
+    return AcceptStatus::kError;
+  }
+}
+
+}  // namespace net
+}  // namespace sgtree

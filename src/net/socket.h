@@ -1,0 +1,123 @@
+#ifndef SGTREE_NET_SOCKET_H_
+#define SGTREE_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sgtree {
+namespace net {
+
+/// Thin RAII TCP socket layer for the serving front end (src/server/).
+///
+/// This is the ONLY translation unit allowed to issue raw socket / bind /
+/// listen / accept / connect calls — tools/sglint.py's `raw-socket` rule
+/// enforces it, mirroring the raw-mmap rule that funnels mappings through
+/// Env::MapReadOnly. Everything above this layer talks in terms of
+/// "send these bytes / receive exactly N bytes, with a deadline", so
+/// timeout handling, EINTR retries, SIGPIPE suppression, and partial
+/// read/write loops exist in exactly one place.
+///
+/// Locking: a Socket is a plain resource owner with no internal
+/// synchronization. The serving layer's discipline (documented per field
+/// with the PR 7 annotations in src/server/) is one reader thread per
+/// connection; Shutdown() is the only member another thread may call
+/// concurrently, which is what unblocks a reader at server stop.
+
+/// Outcome of a blocking receive with a deadline.
+enum class IoStatus {
+  kOk,       // The full buffer was transferred.
+  kTimeout,  // The deadline passed before any/all bytes arrived.
+  kClosed,   // The peer closed the connection (clean EOF mid-frame = kClosed).
+  kError,    // Hard socket error; see the error string.
+};
+
+/// A connected TCP stream. Move-only; the descriptor closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  /// Connects to host:port (numeric IPv4, e.g. "127.0.0.1") within
+  /// `timeout_ms`. Returns an invalid socket with `*error` set on failure.
+  /// TCP_NODELAY is set: the serving protocol is request/response and a
+  /// 40 ms Nagle stall would dominate every latency budget in this repo.
+  static Socket ConnectTcp(const std::string& host, uint16_t port,
+                           int timeout_ms, std::string* error);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends the whole buffer, retrying partial writes. `timeout_ms` bounds
+  /// the total time. SIGPIPE is suppressed (a dead peer is kError, not a
+  /// process kill).
+  IoStatus SendAll(const void* data, size_t size, int timeout_ms,
+                   std::string* error);
+
+  /// Receives exactly `size` bytes. kTimeout is returned only when ZERO
+  /// bytes of this call arrived in time — a half-received buffer past the
+  /// deadline is kError (the stream is mid-frame and unrecoverable).
+  IoStatus RecvAll(void* data, size_t size, int timeout_ms,
+                   std::string* error);
+
+  /// Shuts down both directions without closing the descriptor, unblocking
+  /// any thread inside RecvAll/SendAll. Safe to call from another thread
+  /// while a reader is blocked; the reader sees kClosed/kError.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of an Accept() with a deadline.
+enum class AcceptStatus {
+  kAccepted,
+  kTimeout,
+  kError,
+};
+
+/// A listening TCP socket bound to 127.0.0.1. Move-only.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket();
+
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+
+  /// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral
+  /// port, readable via port() — how the tests and the in-process bench
+  /// avoid fixed-port collisions). SO_REUSEADDR is set so a restarted
+  /// server re-binds through TIME_WAIT.
+  static ListenSocket Listen(uint16_t port, int backlog, std::string* error);
+
+  bool valid() const { return fd_ >= 0; }
+  /// The bound port (resolves ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  /// Waits up to `timeout_ms` for a connection; kTimeout lets the accept
+  /// loop poll its shutdown flag instead of blocking forever. Accepted
+  /// sockets have TCP_NODELAY set.
+  AcceptStatus Accept(int timeout_ms, Socket* out, std::string* error);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace sgtree
+
+#endif  // SGTREE_NET_SOCKET_H_

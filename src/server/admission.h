@@ -1,0 +1,90 @@
+#ifndef SGTREE_SERVER_ADMISSION_H_
+#define SGTREE_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace sgtree {
+namespace serve {
+
+/// Admission controller of the serving front end: a fixed in-flight budget
+/// enforced with one atomic counter. A request that cannot get a slot is
+/// shed with an explicit BUSY frame instead of queueing — bounded queues
+/// with early rejection keep tail latency flat past saturation, while an
+/// unbounded queue would let p99 grow without limit as offered load passes
+/// capacity (the bench's top load row demonstrates exactly this shed).
+///
+/// Lock-free: TryAdmit is one CAS loop, Release one fetch_sub. Explicit
+/// memory orders per the repo's lock-free convention (sglint memory-order
+/// rule); relaxed suffices because the counter only gates capacity — it
+/// publishes no data.
+class AdmissionController {
+ public:
+  explicit AdmissionController(uint32_t max_inflight)
+      : max_inflight_(max_inflight) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Claims a slot; false = shed this request (send BUSY).
+  bool TryAdmit() {
+    uint32_t cur = inflight_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur >= max_inflight_) {
+        if (shed_ != nullptr) shed_->Increment();
+        return false;
+      }
+      if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_relaxed,
+                                          std::memory_order_relaxed)) {
+        if (admitted_ != nullptr) admitted_->Increment();
+        return true;
+      }
+    }
+  }
+
+  /// Returns a slot claimed by TryAdmit. Call exactly once per admit.
+  void Release() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+
+  uint32_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  uint32_t max_inflight() const { return max_inflight_; }
+
+  void BindMetrics(obs::Counter* admitted, obs::Counter* shed) {
+    admitted_ = admitted;
+    shed_ = shed;
+  }
+
+ private:
+  const uint32_t max_inflight_;
+  std::atomic<uint32_t> inflight_{0};
+  obs::Counter* admitted_ = nullptr;
+  obs::Counter* shed_ = nullptr;
+};
+
+/// RAII slot: releases on destruction if admitted.
+class AdmissionSlot {
+ public:
+  explicit AdmissionSlot(AdmissionController* controller)
+      : controller_(controller), admitted_(controller->TryAdmit()) {}
+  ~AdmissionSlot() {
+    if (admitted_) controller_->Release();
+  }
+
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+  bool admitted() const { return admitted_; }
+
+ private:
+  AdmissionController* const controller_;
+  const bool admitted_;
+};
+
+}  // namespace serve
+}  // namespace sgtree
+
+#endif  // SGTREE_SERVER_ADMISSION_H_

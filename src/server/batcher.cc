@@ -1,0 +1,173 @@
+#include "server/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+namespace sgtree {
+namespace serve {
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void PendingQuery::Complete(QueryResult r) {
+  {
+    MutexLock lock(&mu);
+    result = std::move(r);
+    done = true;
+  }
+  cv.Signal();
+}
+
+QueryResult PendingQuery::Wait() {
+  MutexLock lock(&mu);
+  while (!done) cv.Wait(&mu);
+  return std::move(result);
+}
+
+Batcher::Batcher(const BatcherOptions& options, Runner runner)
+    : options_(options),
+      runner_(std::move(runner)),
+      linger_us_(options.max_linger_us) {}
+
+Batcher::~Batcher() { Stop(); }
+
+void Batcher::Start() {
+  if (started_) return;
+  started_ = true;
+  const uint32_t n = std::max<uint32_t>(1, options_.num_dispatchers);
+  dispatchers_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    dispatchers_.emplace_back([this] { DispatchLoop(); });
+  }
+}
+
+void Batcher::Stop() {
+  {
+    MutexLock lock(&mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.SignalAll();
+  for (std::thread& t : dispatchers_) t.join();
+  dispatchers_.clear();
+  // Dispatchers drain the queue before exiting, but a Submit that raced the
+  // stop flag may have left a straggler; fail it rather than strand its
+  // waiter.
+  std::deque<std::shared_ptr<PendingQuery>> leftover;
+  {
+    MutexLock lock(&mu_);
+    leftover.swap(queue_);
+  }
+  for (const auto& pending : leftover) {
+    QueryResult result;
+    result.error = "server shutting down";
+    pending->Complete(std::move(result));
+  }
+}
+
+std::shared_ptr<PendingQuery> Batcher::Submit(const QueryRequest& request) {
+  auto pending = std::make_shared<PendingQuery>();
+  pending->request = request;
+  pending->enqueue_us = NowUs();
+  {
+    MutexLock lock(&mu_);
+    if (stop_) return nullptr;
+    queue_.push_back(pending);
+  }
+  cv_.Signal();
+  return pending;
+}
+
+void Batcher::BindMetrics(obs::Histogram* queue_depth,
+                          obs::Histogram* batch_size,
+                          obs::Histogram* exec_us) {
+  queue_depth_hist_ = queue_depth;
+  batch_size_hist_ = batch_size;
+  exec_us_hist_ = exec_us;
+}
+
+void Batcher::UpdateLinger() {
+  if (exec_us_hist_ == nullptr) return;
+  const double p99 = exec_us_hist_->Percentile(99.0);
+  if (std::isnan(p99)) return;  // No observations yet; keep the window.
+  int64_t linger;
+  if (std::isinf(p99)) {
+    // Exec tail beyond the histogram's range: the budget is blown either
+    // way, stop adding wait.
+    linger = options_.min_linger_us;
+  } else {
+    linger = std::clamp(
+        options_.latency_budget_us - static_cast<int64_t>(p99),
+        options_.min_linger_us, options_.max_linger_us);
+  }
+  linger_us_.store(linger, std::memory_order_relaxed);
+}
+
+void Batcher::DispatchLoop() {
+  for (;;) {
+    std::vector<std::shared_ptr<PendingQuery>> batch;
+    {
+      MutexLock lock(&mu_);
+      for (;;) {
+        if (queue_.empty()) {
+          if (stop_) return;
+          cv_.Wait(&mu_);
+          continue;
+        }
+        if (stop_ || queue_.size() >= options_.max_batch) break;
+        const int64_t flush_at =
+            queue_.front()->enqueue_us +
+            linger_us_.load(std::memory_order_relaxed);
+        const int64_t now = NowUs();
+        if (now >= flush_at) break;
+        cv_.WaitFor(&mu_, flush_at - now);
+      }
+      if (queue_depth_hist_ != nullptr) {
+        queue_depth_hist_->Observe(static_cast<double>(queue_.size()));
+      }
+      const size_t take = std::min<size_t>(queue_.size(), options_.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (batch_size_hist_ != nullptr) {
+      batch_size_hist_->Observe(static_cast<double>(batch.size()));
+    }
+    std::vector<QueryRequest> requests;
+    requests.reserve(batch.size());
+    for (const auto& pending : batch) requests.push_back(pending->request);
+    const int64_t start = NowUs();
+    // The completion may run on this thread (primary finished first) or on
+    // the hedge manager's; `batch` is moved in so the pendings outlive this
+    // loop iteration either way.
+    runner_(requests, [this, start, batch = std::move(batch)](
+                          std::vector<QueryResult> results) {
+      if (exec_us_hist_ != nullptr) {
+        exec_us_hist_->Observe(static_cast<double>(NowUs() - start));
+      }
+      UpdateLinger();
+      for (size_t i = 0; i < batch.size(); ++i) {
+        QueryResult result;
+        if (i < results.size()) {
+          result = std::move(results[i]);
+        } else {
+          result.error = "batch runner returned too few results";
+        }
+        batch[i]->Complete(std::move(result));
+      }
+    });
+  }
+}
+
+}  // namespace serve
+}  // namespace sgtree

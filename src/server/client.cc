@@ -1,0 +1,230 @@
+#include "server/client.h"
+
+#include <cstring>
+
+#include "durability/byte_io.h"
+
+namespace sgtree {
+namespace serve {
+
+bool Client::Connect(const std::string& host, uint16_t port, int timeout_ms) {
+  timeout_ms_ = timeout_ms;
+  socket_ = net::Socket::ConnectTcp(host, port, timeout_ms, &error_);
+  if (!socket_.valid()) return false;
+  uint8_t preamble[kPreambleBytes];
+  std::memcpy(preamble, kPreambleMagic, 4);
+  const uint32_t version = kProtocolVersion;
+  std::memcpy(preamble + 4, &version, 4);
+  if (socket_.SendAll(preamble, sizeof(preamble), timeout_ms_, &error_) !=
+      net::IoStatus::kOk) {
+    socket_.Close();
+    return false;
+  }
+  uint8_t echo[kPreambleBytes];
+  if (socket_.RecvAll(echo, sizeof(echo), timeout_ms_, &error_) !=
+      net::IoStatus::kOk) {
+    socket_.Close();
+    return false;
+  }
+  if (std::memcmp(echo, preamble, sizeof(echo)) != 0) {
+    error_ = "server echoed a different preamble (version mismatch?)";
+    socket_.Close();
+    return false;
+  }
+  return true;
+}
+
+Client::Status Client::Exchange(FrameType type,
+                                const std::vector<uint8_t>& payload,
+                                FrameType* resp_type,
+                                std::vector<uint8_t>* resp_payload) {
+  if (!socket_.valid()) {
+    error_ = "not connected";
+    return Status::kTransport;
+  }
+  const std::vector<uint8_t> frame = EncodeFrame(type, payload);
+  if (socket_.SendAll(frame.data(), frame.size(), timeout_ms_, &error_) !=
+      net::IoStatus::kOk) {
+    socket_.Close();
+    return Status::kTransport;
+  }
+  uint8_t header[4];
+  if (socket_.RecvAll(header, 4, timeout_ms_, &error_) != net::IoStatus::kOk) {
+    socket_.Close();
+    return Status::kTransport;
+  }
+  uint32_t length = 0;
+  for (int b = 0; b < 4; ++b) {
+    length |= static_cast<uint32_t>(header[b]) << (8 * b);
+  }
+  if (length == 0 || length > kMaxFrameBytes) {
+    error_ = "response frame length out of range";
+    socket_.Close();
+    return Status::kTransport;
+  }
+  uint8_t raw_type = 0;
+  if (socket_.RecvAll(&raw_type, 1, timeout_ms_, &error_) !=
+      net::IoStatus::kOk) {
+    socket_.Close();
+    return Status::kTransport;
+  }
+  resp_payload->resize(length - 1);
+  if (length > 1 &&
+      socket_.RecvAll(resp_payload->data(), resp_payload->size(), timeout_ms_,
+                      &error_) != net::IoStatus::kOk) {
+    socket_.Close();
+    return Status::kTransport;
+  }
+  *resp_type = static_cast<FrameType>(raw_type);
+  if (*resp_type == FrameType::kBusy) return Status::kBusy;
+  if (*resp_type == FrameType::kError) {
+    // u32 len | message. The server closes after an error frame.
+    size_t offset = 0;
+    uint32_t len = 0;
+    error_ = "server error";
+    if (resp_payload->size() >= 4) {
+      for (int b = 0; b < 4; ++b) {
+        len |= static_cast<uint32_t>((*resp_payload)[static_cast<size_t>(b)])
+               << (8 * b);
+      }
+      offset = 4;
+      if (offset + len <= resp_payload->size()) {
+        error_.assign(
+            reinterpret_cast<const char*>(resp_payload->data() + offset), len);
+      }
+    }
+    socket_.Close();
+    return Status::kServerError;
+  }
+  return Status::kOk;
+}
+
+Client::Status Client::Query(const QueryRequest& request,
+                             QueryResult* result) {
+  FrameType resp_type;
+  std::vector<uint8_t> resp;
+  const Status status =
+      Exchange(FrameType::kQuery, EncodeRequest(request), &resp_type, &resp);
+  if (status != Status::kOk) return status;
+  if (resp_type != FrameType::kAnswer) {
+    error_ = "expected an answer frame, got type " +
+             std::to_string(static_cast<int>(resp_type));
+    socket_.Close();
+    return Status::kTransport;
+  }
+  if (!DecodeAnswer(resp.data(), resp.size(), result, &error_)) {
+    socket_.Close();
+    return Status::kTransport;
+  }
+  return Status::kOk;
+}
+
+Client::Status Client::DecodeOpAck(const std::vector<uint8_t>& payload,
+                                   bool* accepted, std::string* message,
+                                   uint64_t* epoch_after) {
+  if (payload.size() < 13) {
+    error_ = "op ack truncated";
+    socket_.Close();
+    return Status::kTransport;
+  }
+  *accepted = payload[0] != 0;
+  uint32_t len = 0;
+  for (int b = 0; b < 4; ++b) {
+    len |= static_cast<uint32_t>(payload[1 + static_cast<size_t>(b)])
+           << (8 * b);
+  }
+  if (5 + size_t{len} + 8 != payload.size()) {
+    error_ = "op ack has inconsistent lengths";
+    socket_.Close();
+    return Status::kTransport;
+  }
+  message->assign(reinterpret_cast<const char*>(payload.data() + 5), len);
+  uint64_t epoch = 0;
+  for (int b = 0; b < 8; ++b) {
+    epoch |= static_cast<uint64_t>(payload[5 + len + static_cast<size_t>(b)])
+             << (8 * b);
+  }
+  *epoch_after = epoch;
+  return Status::kOk;
+}
+
+Client::Status Client::Insert(const Transaction& txn, bool* accepted,
+                              std::string* message, uint64_t* epoch_after) {
+  FrameType resp_type;
+  std::vector<uint8_t> resp;
+  const Status status =
+      Exchange(FrameType::kInsert, EncodeInsert(txn), &resp_type, &resp);
+  if (status != Status::kOk) return status;
+  if (resp_type != FrameType::kOpAck) {
+    error_ = "expected an op ack frame";
+    socket_.Close();
+    return Status::kTransport;
+  }
+  return DecodeOpAck(resp, accepted, message, epoch_after);
+}
+
+Client::Status Client::Checkpoint(bool* accepted, std::string* message,
+                                  uint64_t* epoch_after) {
+  FrameType resp_type;
+  std::vector<uint8_t> resp;
+  const Status status =
+      Exchange(FrameType::kCheckpoint, {}, &resp_type, &resp);
+  if (status != Status::kOk) return status;
+  if (resp_type != FrameType::kOpAck) {
+    error_ = "expected an op ack frame";
+    socket_.Close();
+    return Status::kTransport;
+  }
+  return DecodeOpAck(resp, accepted, message, epoch_after);
+}
+
+Client::Status Client::Ping() {
+  FrameType resp_type;
+  std::vector<uint8_t> resp;
+  const Status status = Exchange(FrameType::kPing, {}, &resp_type, &resp);
+  if (status != Status::kOk) return status;
+  if (resp_type != FrameType::kPong || !resp.empty()) {
+    error_ = "expected an empty pong frame";
+    socket_.Close();
+    return Status::kTransport;
+  }
+  return Status::kOk;
+}
+
+Client::Status Client::GetEpoch(uint64_t* epoch) {
+  FrameType resp_type;
+  std::vector<uint8_t> resp;
+  const Status status = Exchange(FrameType::kEpochReq, {}, &resp_type, &resp);
+  if (status != Status::kOk) return status;
+  if (resp_type != FrameType::kEpochResp || resp.size() != 8) {
+    error_ = "expected an 8-byte epoch frame";
+    socket_.Close();
+    return Status::kTransport;
+  }
+  uint64_t value = 0;
+  for (int b = 0; b < 8; ++b) {
+    value |= static_cast<uint64_t>(resp[static_cast<size_t>(b)]) << (8 * b);
+  }
+  *epoch = value;
+  return Status::kOk;
+}
+
+Client::Status Client::GetMetrics(uint8_t format, std::string* body) {
+  FrameType resp_type;
+  std::vector<uint8_t> resp;
+  std::vector<uint8_t> payload;
+  if (format != 0) payload.push_back(format);
+  const Status status =
+      Exchange(FrameType::kMetricsReq, payload, &resp_type, &resp);
+  if (status != Status::kOk) return status;
+  if (resp_type != FrameType::kMetricsResp) {
+    error_ = "expected a metrics frame";
+    socket_.Close();
+    return Status::kTransport;
+  }
+  body->assign(resp.begin(), resp.end());
+  return Status::kOk;
+}
+
+}  // namespace serve
+}  // namespace sgtree

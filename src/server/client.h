@@ -1,0 +1,86 @@
+#ifndef SGTREE_SERVER_CLIENT_H_
+#define SGTREE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/transaction.h"
+#include "exec/query_api.h"
+#include "net/socket.h"
+#include "server/protocol.h"
+
+namespace sgtree {
+namespace serve {
+
+/// Synchronous client for the sgtree_serve protocol: one connection, one
+/// request in flight at a time. The tests, the CLI, and the load generator
+/// all speak through this class, so the wire encoding has exactly two
+/// implementations total (this one and the server's) and the differential
+/// suite exercises both.
+///
+/// Not thread-safe: a connection carries one request/response exchange at a
+/// time. Concurrency = more clients (how both the stress test and the
+/// open-loop bench generate parallel load).
+class Client {
+ public:
+  /// Outcome of one exchange, separating transport state from the
+  /// application result so a caller can tell "server said BUSY" (retry)
+  /// from "connection died" (reconnect).
+  enum class Status {
+    kOk,
+    kBusy,         // Shed by admission control; retry later.
+    kServerError,  // Server sent an error frame (connection is closed).
+    kTransport,    // Socket-level failure; see error().
+  };
+
+  Client() = default;
+
+  /// Connects and runs the preamble handshake. False = *this stays
+  /// disconnected; see error().
+  bool Connect(const std::string& host, uint16_t port, int timeout_ms);
+
+  bool connected() const { return socket_.valid(); }
+  void Disconnect() { socket_.Close(); }
+
+  /// Last transport/protocol error message.
+  const std::string& error() const { return error_; }
+
+  /// Runs one query. On kOk, *result holds the decoded answer (which may
+  /// itself carry a validation error in result->error — that is an
+  /// application answer, not a transport failure).
+  Status Query(const QueryRequest& request, QueryResult* result);
+
+  /// Routed insert. On kOk, *accepted says whether the server applied it
+  /// (false for a static index, with the reason in *message) and
+  /// *epoch_after holds the post-operation epoch.
+  Status Insert(const Transaction& txn, bool* accepted, std::string* message,
+                uint64_t* epoch_after);
+
+  /// Durable checkpoint (same ack shape as Insert).
+  Status Checkpoint(bool* accepted, std::string* message,
+                    uint64_t* epoch_after);
+
+  Status Ping();
+  Status GetEpoch(uint64_t* epoch);
+
+  /// Scrapes the server's metrics registry; format 0 = JSON, 1 =
+  /// Prometheus text.
+  Status GetMetrics(uint8_t format, std::string* body);
+
+ private:
+  /// Writes one frame and reads the response frame.
+  Status Exchange(FrameType type, const std::vector<uint8_t>& payload,
+                  FrameType* resp_type, std::vector<uint8_t>* resp_payload);
+  Status DecodeOpAck(const std::vector<uint8_t>& payload, bool* accepted,
+                     std::string* message, uint64_t* epoch_after);
+
+  net::Socket socket_;
+  int timeout_ms_ = 30000;
+  std::string error_;
+};
+
+}  // namespace serve
+}  // namespace sgtree
+
+#endif  // SGTREE_SERVER_CLIENT_H_

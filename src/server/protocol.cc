@@ -1,0 +1,265 @@
+#include "server/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/bit_ops.h"
+#include "durability/byte_io.h"
+
+namespace sgtree {
+namespace serve {
+namespace {
+
+/// Bounds-checked little-endian readers over a raw buffer; same contract
+/// as durability/byte_io.h (advance only on success) without copying the
+/// payload into a vector first.
+bool ReadU8(const uint8_t* data, size_t size, size_t* offset, uint8_t* v) {
+  if (*offset + 1 > size) return false;
+  *v = data[*offset];
+  *offset += 1;
+  return true;
+}
+
+bool ReadU32(const uint8_t* data, size_t size, size_t* offset, uint32_t* v) {
+  if (*offset + 4 > size) return false;
+  uint32_t value = 0;
+  for (int b = 0; b < 4; ++b) {
+    value |= static_cast<uint32_t>(data[*offset + static_cast<size_t>(b)])
+             << (8 * b);
+  }
+  *offset += 4;
+  *v = value;
+  return true;
+}
+
+bool ReadU64(const uint8_t* data, size_t size, size_t* offset, uint64_t* v) {
+  if (*offset + 8 > size) return false;
+  uint64_t value = 0;
+  for (int b = 0; b < 8; ++b) {
+    value |= static_cast<uint64_t>(data[*offset + static_cast<size_t>(b)])
+             << (8 * b);
+  }
+  *offset += 8;
+  *v = value;
+  return true;
+}
+
+bool KnownType(uint8_t type) {
+  return type <= static_cast<uint8_t>(QueryType::kSubset);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(5 + payload.size());
+  AppendU32(static_cast<uint32_t>(payload.size() + 1), &frame);
+  AppendU8(static_cast<uint8_t>(type), &frame);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+std::vector<uint8_t> EncodeRequest(const QueryRequest& request) {
+  std::vector<uint8_t> out;
+  const auto words = request.query.words();
+  out.reserve(1 + 4 + words.size() * 8 + 8);
+  AppendU8(static_cast<uint8_t>(request.type), &out);
+  AppendU32(request.query.num_bits(), &out);
+  for (const uint64_t word : words) AppendU64(word, &out);
+  switch (request.type) {
+    case QueryType::kKnn:
+    case QueryType::kBestFirstKnn:
+      AppendU32(request.k, &out);
+      break;
+    case QueryType::kRange:
+      AppendU64(std::bit_cast<uint64_t>(request.epsilon), &out);
+      break;
+    case QueryType::kContainment:
+    case QueryType::kExact:
+    case QueryType::kSubset:
+      break;  // Signature-only: k / epsilon are not part of the answer.
+  }
+  return out;
+}
+
+bool DecodeRequest(const uint8_t* data, size_t size, QueryRequest* request,
+                   std::string* error) {
+  size_t offset = 0;
+  uint8_t type = 0;
+  uint32_t num_bits = 0;
+  if (!ReadU8(data, size, &offset, &type) ||
+      !ReadU32(data, size, &offset, &num_bits)) {
+    *error = "request truncated before signature";
+    return false;
+  }
+  if (!KnownType(type)) {
+    *error = "unknown query type " + std::to_string(type);
+    return false;
+  }
+  if (num_bits == 0 || num_bits > kMaxRequestBits) {
+    *error = "signature width " + std::to_string(num_bits) +
+             " out of range (1.." + std::to_string(kMaxRequestBits) + ")";
+    return false;
+  }
+  const size_t num_words = WordsForBits(num_bits);
+  if (offset + num_words * 8 > size) {
+    *error = "request truncated inside signature";
+    return false;
+  }
+  request->type = static_cast<QueryType>(type);
+  request->query = Signature(num_bits);
+  std::span<uint64_t> words = request->query.mutable_words();
+  for (size_t i = 0; i < num_words; ++i) {
+    ReadU64(data, size, &offset, &words[i]);
+  }
+  // Bits beyond num_bits must be zero or two distinct requests could share
+  // a Signature — the codec stays a bijection onto VALID requests.
+  if (num_bits % 64 != 0 && num_words > 0 &&
+      (words[num_words - 1] >> (num_bits % 64)) != 0) {
+    *error = "signature has bits set beyond its declared width";
+    return false;
+  }
+  request->k = 0;
+  request->epsilon = 0.0;
+  switch (request->type) {
+    case QueryType::kKnn:
+    case QueryType::kBestFirstKnn:
+      if (!ReadU32(data, size, &offset, &request->k)) {
+        *error = "request truncated before k";
+        return false;
+      }
+      break;
+    case QueryType::kRange: {
+      uint64_t bits = 0;
+      if (!ReadU64(data, size, &offset, &bits)) {
+        *error = "request truncated before epsilon";
+        return false;
+      }
+      request->epsilon = std::bit_cast<double>(bits);
+      break;
+    }
+    case QueryType::kContainment:
+    case QueryType::kExact:
+    case QueryType::kSubset:
+      // ValidateRequest never reads k/epsilon for these, but give them the
+      // canonical values so re-encoding reproduces the input bytes.
+      break;
+  }
+  if (offset != size) {
+    *error = "request has " + std::to_string(size - offset) +
+             " trailing byte(s)";
+    return false;
+  }
+  return true;
+}
+
+std::vector<uint8_t> EncodeAnswer(const QueryResult& result) {
+  std::vector<uint8_t> out;
+  if (!result.ok()) {
+    out.reserve(5 + result.error.size());
+    AppendU8(0, &out);
+    AppendU32(static_cast<uint32_t>(result.error.size()), &out);
+    out.insert(out.end(), result.error.begin(), result.error.end());
+    return out;
+  }
+  out.reserve(9 + result.neighbors.size() * 16 + result.ids.size() * 8);
+  AppendU8(1, &out);
+  AppendU32(static_cast<uint32_t>(result.neighbors.size()), &out);
+  for (const Neighbor& n : result.neighbors) {
+    AppendU64(n.tid, &out);
+    AppendU64(std::bit_cast<uint64_t>(n.distance), &out);
+  }
+  AppendU32(static_cast<uint32_t>(result.ids.size()), &out);
+  for (const uint64_t id : result.ids) AppendU64(id, &out);
+  return out;
+}
+
+bool DecodeAnswer(const uint8_t* data, size_t size, QueryResult* result,
+                  std::string* error) {
+  *result = QueryResult();
+  size_t offset = 0;
+  uint8_t ok = 0;
+  if (!ReadU8(data, size, &offset, &ok)) {
+    *error = "answer truncated";
+    return false;
+  }
+  if (ok == 0) {
+    uint32_t len = 0;
+    if (!ReadU32(data, size, &offset, &len) || offset + len > size) {
+      *error = "answer error string truncated";
+      return false;
+    }
+    result->error.assign(reinterpret_cast<const char*>(data + offset), len);
+    offset += len;
+    if (result->error.empty()) {
+      *error = "error answer with empty message";
+      return false;
+    }
+    return offset == size;
+  }
+  uint32_t n = 0;
+  if (!ReadU32(data, size, &offset, &n) || offset + size_t{n} * 16 > size) {
+    *error = "answer neighbor list truncated";
+    return false;
+  }
+  result->neighbors.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t tid = 0;
+    uint64_t dist = 0;
+    ReadU64(data, size, &offset, &tid);
+    ReadU64(data, size, &offset, &dist);
+    result->neighbors.push_back(Neighbor{tid, std::bit_cast<double>(dist)});
+  }
+  uint32_t m = 0;
+  if (!ReadU32(data, size, &offset, &m) || offset + size_t{m} * 8 > size) {
+    *error = "answer id list truncated";
+    return false;
+  }
+  result->ids.reserve(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    uint64_t id = 0;
+    ReadU64(data, size, &offset, &id);
+    result->ids.push_back(id);
+  }
+  if (offset != size) {
+    *error = "answer has trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+std::vector<uint8_t> EncodeInsert(const Transaction& txn) {
+  std::vector<uint8_t> out;
+  out.reserve(12 + txn.items.size() * 4);
+  AppendU64(txn.tid, &out);
+  AppendU32(static_cast<uint32_t>(txn.items.size()), &out);
+  for (const ItemId item : txn.items) AppendU32(item, &out);
+  return out;
+}
+
+bool DecodeInsert(const uint8_t* data, size_t size, Transaction* txn,
+                  std::string* error) {
+  size_t offset = 0;
+  uint32_t n = 0;
+  if (!ReadU64(data, size, &offset, &txn->tid) ||
+      !ReadU32(data, size, &offset, &n) || offset + size_t{n} * 4 > size) {
+    *error = "insert payload truncated";
+    return false;
+  }
+  txn->items.clear();
+  txn->items.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t item = 0;
+    ReadU32(data, size, &offset, &item);
+    txn->items.push_back(item);
+  }
+  if (offset != size) {
+    *error = "insert payload has trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace serve
+}  // namespace sgtree

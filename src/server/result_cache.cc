@@ -1,0 +1,94 @@
+#include "server/result_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace sgtree {
+namespace serve {
+
+ResultCache::ResultCache(size_t max_entries)
+    : per_stripe_capacity_(max_entries == 0
+                               ? 0
+                               : std::max<size_t>(1, max_entries / kStripes)) {
+}
+
+std::string ResultCache::Key(uint64_t epoch,
+                             const std::vector<uint8_t>& canonical_request) {
+  std::string key;
+  key.reserve(8 + canonical_request.size());
+  for (int b = 0; b < 8; ++b) {
+    key.push_back(static_cast<char>((epoch >> (8 * b)) & 0xff));
+  }
+  key.append(reinterpret_cast<const char*>(canonical_request.data()),
+             canonical_request.size());
+  return key;
+}
+
+ResultCache::Stripe& ResultCache::StripeFor(const std::string& key) {
+  return stripes_[std::hash<std::string>{}(key) % kStripes];
+}
+
+bool ResultCache::Get(const std::string& key, std::vector<uint8_t>* payload) {
+  if (per_stripe_capacity_ == 0) {
+    if (misses_ != nullptr) misses_->Increment();
+    return false;
+  }
+  Stripe& stripe = StripeFor(key);
+  MutexLock lock(&stripe.mu);
+  auto it = stripe.index.find(key);
+  if (it == stripe.index.end()) {
+    if (misses_ != nullptr) misses_->Increment();
+    return false;
+  }
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+  *payload = it->second->payload;
+  if (hits_ != nullptr) hits_->Increment();
+  return true;
+}
+
+void ResultCache::Put(const std::string& key,
+                      const std::vector<uint8_t>& payload) {
+  if (per_stripe_capacity_ == 0) return;
+  Stripe& stripe = StripeFor(key);
+  MutexLock lock(&stripe.mu);
+  auto it = stripe.index.find(key);
+  if (it != stripe.index.end()) {
+    it->second->payload = payload;
+    stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+    return;
+  }
+  if (stripe.lru.size() >= per_stripe_capacity_) {
+    stripe.index.erase(stripe.lru.back().key);
+    stripe.lru.pop_back();
+    if (evictions_ != nullptr) evictions_->Increment();
+  }
+  stripe.lru.push_front(Entry{key, payload});
+  stripe.index.emplace(key, stripe.lru.begin());
+}
+
+void ResultCache::Clear() {
+  for (Stripe& stripe : stripes_) {
+    MutexLock lock(&stripe.mu);
+    stripe.lru.clear();
+    stripe.index.clear();
+  }
+}
+
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    MutexLock lock(&stripe.mu);
+    total += stripe.lru.size();
+  }
+  return total;
+}
+
+void ResultCache::BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                              obs::Counter* evictions) {
+  hits_ = hits;
+  misses_ = misses;
+  evictions_ = evictions;
+}
+
+}  // namespace serve
+}  // namespace sgtree

@@ -1,0 +1,93 @@
+#ifndef SGTREE_SERVER_RESULT_CACHE_H_
+#define SGTREE_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sync.h"
+#include "obs/metrics.h"
+
+namespace sgtree {
+namespace serve {
+
+/// Query-result cache of the serving front end: maps (backend epoch,
+/// canonical request bytes) to the encoded answer payload that was served
+/// for it. Because the value is the exact byte string written to the wire,
+/// a hit is byte-identical to a recomputation by construction — the
+/// differential suite leans on this.
+///
+/// Invalidation rule (DESIGN.md §10): the server bumps its epoch on every
+/// successful insert / checkpoint and clears the cache. The epoch is ALSO
+/// the first 8 bytes of every key, so even a racing reader that looked up
+/// between the data change and the clear can only hit an entry whose key
+/// carries the old epoch — i.e. an answer that was correct for the epoch
+/// the reader captured. A result computed while the epoch moved is never
+/// stored (the server re-checks the epoch before Put).
+///
+/// Lock discipline: kStripes independent stripes, each an LRU list + index
+/// map under its own annotated Mutex; a key's stripe is a pure function of
+/// its bytes, so two operations contend only when they touch the same
+/// stripe. No lock is ever held across a backend call.
+class ResultCache {
+ public:
+  /// `max_entries` is the total capacity across stripes (rounded up to at
+  /// least one entry per stripe). 0 disables the cache: Get always misses,
+  /// Put drops.
+  explicit ResultCache(size_t max_entries);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cache key of a request under `epoch`: 8 epoch bytes + the
+  /// canonical request encoding.
+  static std::string Key(uint64_t epoch,
+                         const std::vector<uint8_t>& canonical_request);
+
+  /// On hit, copies the payload into `*payload` and refreshes LRU order.
+  bool Get(const std::string& key, std::vector<uint8_t>* payload);
+
+  /// Inserts (or refreshes) `key`, evicting the stripe's LRU tail when
+  /// full.
+  void Put(const std::string& key, const std::vector<uint8_t>& payload);
+
+  /// Drops every entry (the insert/checkpoint invalidation path).
+  void Clear();
+
+  size_t size() const;
+
+  /// Binds hit/miss/eviction counters (may be null to unbind).
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                   obs::Counter* evictions);
+
+ private:
+  static constexpr size_t kStripes = 16;
+
+  struct Entry {
+    std::string key;
+    std::vector<uint8_t> payload;
+  };
+
+  struct Stripe {
+    mutable Mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru SGTREE_GUARDED_BY(mu);
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        SGTREE_GUARDED_BY(mu);
+  };
+
+  Stripe& StripeFor(const std::string& key);
+
+  size_t per_stripe_capacity_;
+  Stripe stripes_[kStripes];
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+};
+
+}  // namespace serve
+}  // namespace sgtree
+
+#endif  // SGTREE_SERVER_RESULT_CACHE_H_

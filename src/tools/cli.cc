@@ -1,6 +1,8 @@
 #include "tools/cli.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -49,6 +51,24 @@ int CheckUnused(const CommandLine& cmd, std::ostream& err) {
   std::string joined;
   for (const auto& flag : unused) joined += " --" + flag;
   return Fail(err, "unknown flag(s):" + joined);
+}
+
+// JSON string escape for the few free-text fields the --json reports carry
+// (invariant messages, file paths).
+std::string JsonQuoted(const std::string& text) {
+  std::string quoted = "\"";
+  for (const char c : text) {
+    if (c == '"' || c == '\\') quoted.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      quoted += buf;
+      continue;
+    }
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
 }
 
 bool ParseMetric(const std::string& name, Metric* metric) {
@@ -396,6 +416,9 @@ int CmdStats(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   const auto index_path = cmd.GetString("index");
   if (!index_path.has_value()) return Fail(err, "stats requires --index");
   const auto metrics_path = cmd.GetString("metrics-json");
+  // --json 1: emit the same report as one JSON object on stdout, so ops
+  // tooling scrapes fields instead of parsing the human text.
+  const bool json = cmd.IntOr("json", 0) != 0;
   if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
   SgTreeOptions options;
   std::string load_error;
@@ -405,6 +428,45 @@ int CmdStats(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   }
   const TreeReport report = CheckTree(*tree);
   const IoStats& io = tree->io_stats();
+  if (json) {
+    const double hit_ratio = io.HitRatio();
+    out << "{\"transactions\": " << tree->size()
+        << ", \"signature_bits\": " << tree->num_bits()
+        << ", \"height\": " << tree->height()
+        << ", \"nodes\": " << tree->node_count()
+        << ", \"node_capacity\": " << tree->max_entries()
+        << ", \"min_entries\": " << tree->min_entries()
+        << ", \"utilization\": " << report.avg_utilization
+        << ", \"invariants_ok\": " << (report.ok ? "true" : "false")
+        << ", \"invariants\": "
+        << JsonQuoted(report.ok ? std::string("OK") : report.message)
+        << ", \"buffer\": {\"accesses\": " << io.page_accesses
+        << ", \"hits\": " << io.buffer_hits
+        << ", \"random_ios\": " << io.random_ios
+        << ", \"writes\": " << io.page_writes << ", \"hit_ratio\": ";
+    if (std::isnan(hit_ratio)) {
+      out << "null";
+    } else {
+      out << hit_ratio;
+    }
+    out << "}, \"avg_entry_area\": [";
+    for (size_t level = 0; level < report.avg_entry_area.size(); ++level) {
+      out << (level > 0 ? ", " : "") << report.avg_entry_area[level];
+    }
+    out << "]}\n";
+    if (metrics_path.has_value()) {
+      obs::MetricsRegistry registry;
+      registry.GetCounter("tree.transactions")->Increment(tree->size());
+      registry.GetCounter("tree.nodes")->Increment(tree->node_count());
+      registry.GetCounter("tree.height")->Increment(tree->height());
+      registry.GetCounter("buffer.accesses")->Increment(io.page_accesses);
+      registry.GetCounter("buffer.hits")->Increment(io.buffer_hits);
+      registry.GetCounter("buffer.misses")->Increment(io.random_ios);
+      registry.GetCounter("buffer.writes")->Increment(io.page_writes);
+      return WriteMetricsJson(registry, *metrics_path, out, err);
+    }
+    return 0;
+  }
   out << "transactions: " << tree->size() << "\n"
       << "signature bits: " << tree->num_bits() << "\n"
       << "height: " << tree->height() << "\n"
@@ -492,6 +554,7 @@ int CmdStaticInfo(const CommandLine& cmd, std::ostream& out,
   if (!index_path.has_value()) return Fail(err, "static-info requires --index");
   StaticOpenOptions open_options;
   open_options.verify_checksums = cmd.IntOr("verify-checksums", 1) != 0;
+  const bool json = cmd.IntOr("json", 0) != 0;
   if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
 
   std::string open_error;
@@ -499,6 +562,20 @@ int CmdStaticInfo(const CommandLine& cmd, std::ostream& out,
                                    &open_error);
   if (view == nullptr) return Fail(err, "cannot open " + open_error);
   const auto [area_lo, area_hi] = view->TransactionAreaBounds();
+  if (json) {
+    out << "{\"format_version\": " << static_format::kVersion
+        << ", \"transactions\": " << view->size()
+        << ", \"signature_bits\": " << view->num_bits()
+        << ", \"height\": " << view->height()
+        << ", \"nodes\": " << view->node_count()
+        << ", \"node_capacity\": " << view->max_entries()
+        << ", \"file_size\": " << view->file_size()
+        << ", \"area_window\": [" << area_lo << ", " << area_hi << "]"
+        << ", \"zero_copy\": " << (view->zero_copy() ? "true" : "false")
+        << ", \"checksums_verified\": "
+        << (open_options.verify_checksums ? "true" : "false") << "}\n";
+    return 0;
+  }
   out << "format version: " << static_format::kVersion << "\n"
       << "transactions: " << view->size() << "\n"
       << "signature bits: " << view->num_bits() << "\n"

@@ -270,6 +270,51 @@ TEST(CliTest, StatsAndQueryExportMetrics) {
   std::remove(query_json.c_str());
 }
 
+// --json 1 turns the stats / static-info reports into one machine-readable
+// JSON object on stdout (the human text disappears entirely) so ops tooling
+// scrapes fields instead of parsing prose.
+TEST(CliTest, StatsAndStaticInfoEmitJson) {
+  const std::string data = TempPath("cli_json_data.txt");
+  const std::string index = TempPath("cli_json_index.bin");
+  const std::string image = TempPath("cli_json_static.sgt");
+  ASSERT_EQ(RunArgs({"gen", "quest", "--out", data, "--d", "700", "--items",
+                 "150", "--patterns", "40"})
+                .code,
+            0);
+  ASSERT_EQ(RunArgs({"build", "--data", data, "--out", index}).code, 0);
+  ASSERT_EQ(
+      RunArgs({"build", "--data", data, "--out", image, "--static", "1"}).code,
+      0);
+
+  CliResult r = RunArgs({"stats", "--index", index, "--json", "1"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.front(), '{');
+  EXPECT_NE(r.out.find("\"transactions\": 700"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"invariants_ok\": true"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"buffer\": {\"accesses\":"), std::string::npos);
+  EXPECT_NE(r.out.find("\"avg_entry_area\": ["), std::string::npos);
+  EXPECT_EQ(r.out.find("transactions: "), std::string::npos)
+      << "human text leaked into the JSON report";
+
+  r = RunArgs({"static-info", "--index", image, "--json", "1"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.front(), '{');
+  EXPECT_NE(r.out.find("\"format_version\": "), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"transactions\": 700"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"file_size\": "), std::string::npos);
+  EXPECT_NE(r.out.find("\"checksums_verified\": true"), std::string::npos);
+  EXPECT_EQ(r.out.find("format version:"), std::string::npos);
+
+  // --json 0 keeps the human report.
+  r = RunArgs({"stats", "--index", index, "--json", "0"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("transactions: 700"), std::string::npos);
+
+  std::remove(data.c_str());
+  std::remove(index.c_str());
+  std::remove(image.c_str());
+}
+
 TEST(CliTest, ErrorPaths) {
   EXPECT_EQ(RunArgs({"gen", "quest"}).code, 1);                    // No --out.
   EXPECT_EQ(RunArgs({"gen", "warehouse", "--out", "/tmp/x"}).code, 1);

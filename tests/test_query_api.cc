@@ -78,6 +78,27 @@ TEST(ValidateRequestTest, RangeRequiresNonNegativeEpsilon) {
   EXPECT_TRUE(ValidateRequest(Request(QueryType::kRange, q, 1, 0.0)).empty());
 }
 
+// The messages must name the offending value — a rejection that does not
+// say what was passed sends the caller to a debugger.
+TEST(ValidateRequestTest, MessagesIncludeOffendingValue) {
+  const Signature q = Signature::FromItems(std::vector<uint32_t>{1}, kBits);
+  for (QueryType type : {QueryType::kKnn, QueryType::kBestFirstKnn}) {
+    const std::string message = ValidateRequest(Request(type, q, 0));
+    EXPECT_NE(message.find("k must be > 0"), std::string::npos) << message;
+    EXPECT_NE(message.find("got 0"), std::string::npos) << message;
+  }
+  const std::string neg =
+      ValidateRequest(Request(QueryType::kRange, q, 1, -3.0));
+  EXPECT_NE(neg.find("epsilon must be >= 0"), std::string::npos) << neg;
+  EXPECT_NE(neg.find("got -3"), std::string::npos) << neg;
+  const std::string frac =
+      ValidateRequest(Request(QueryType::kRange, q, 1, -0.25));
+  EXPECT_NE(frac.find("got -0.25"), std::string::npos) << frac;
+  const std::string nan_message =
+      ValidateRequest(Request(QueryType::kRange, q, 1, std::nan("")));
+  EXPECT_NE(nan_message.find("got NaN"), std::string::npos) << nan_message;
+}
+
 TEST(ValidateRequestTest, IdQueriesIgnoreKAndEpsilon) {
   const Signature q = Signature::FromItems(std::vector<uint32_t>{1}, kBits);
   for (QueryType type :

@@ -329,6 +329,77 @@ TEST(QueryRouterTest, InvalidRequestsAreNotFannedOut) {
   EXPECT_EQ(report.rejected, 2u);
 }
 
+// Degenerate batch shapes. The serving layer leans on these: an adaptive
+// batcher can legitimately flush a single request (deadline fired first) or
+// a batch holding byte-identical duplicates (two clients asked the same
+// thing before the cache had it), and the result-cache keying assumes each
+// duplicate gets its own, equal answer in order.
+TEST(QueryRouterTest, EmptyBatchYieldsEmptyResults) {
+  const Dataset dataset = ClusteredDataset(51, 300, kBits, 6, 10, 2);
+  ShardedIndex index(ShardOptions(4));
+  index.InsertBatch(dataset.transactions);
+  QueryExecutor executor;
+  QueryRouter router(index, &executor);
+
+  const std::vector<QueryResult> results = router.Run({});
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(router.last_batch_report().queries, 0u);
+  EXPECT_EQ(router.last_batch_report().rejected, 0u);
+
+  // The router is still healthy afterwards: a real batch runs normally.
+  const auto batch = MixedBatch(51, 6);
+  EXPECT_EQ(router.Run(batch).size(), batch.size());
+}
+
+TEST(QueryRouterTest, SingleQueryOnEightShardFleetMatchesSingleTree) {
+  const Dataset dataset = ClusteredDataset(53, 900, kBits, 8, 10, 2);
+  SgTree single(TreeOptions());
+  for (const Transaction& txn : dataset.transactions) single.Insert(txn);
+  ShardedIndex index(ShardOptions(8));
+  index.InsertBatch(dataset.transactions);
+  QueryExecutor executor;
+  QueryRouter router(index, &executor);
+
+  // Every type, one at a time: the fan-out runs 8 shard tasks for ONE
+  // query and the merge must still be byte-identical to the single tree.
+  const std::vector<QueryRequest> all = MixedBatch(53, 6);
+  for (size_t i = 0; i < all.size(); ++i) {
+    const std::vector<QueryRequest> one = {all[i]};
+    ExpectSameAnswers(SingleTreeReference(single, one), router.Run(one),
+                      "single query " + std::to_string(i));
+  }
+}
+
+TEST(QueryRouterTest, DuplicateRequestsGetIdenticalAnswersInOrder) {
+  const Dataset dataset = ClusteredDataset(55, 600, kBits, 6, 10, 2);
+  SgTree single(TreeOptions());
+  for (const Transaction& txn : dataset.transactions) single.Insert(txn);
+  ShardedIndex index(ShardOptions(4));
+  index.InsertBatch(dataset.transactions);
+  QueryExecutor executor;
+  QueryRouter router(index, &executor);
+
+  // Triplicate every request, interleaved so duplicates are not adjacent.
+  const std::vector<QueryRequest> distinct = MixedBatch(55, 6);
+  std::vector<QueryRequest> batch;
+  for (int round = 0; round < 3; ++round) {
+    for (const QueryRequest& request : distinct) batch.push_back(request);
+  }
+  const std::vector<QueryResult> results = router.Run(batch);
+  ExpectSameAnswers(SingleTreeReference(single, batch), results,
+                    "duplicated batch");
+  ASSERT_EQ(results.size(), 3 * distinct.size());
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    for (int round = 1; round < 3; ++round) {
+      const QueryResult& first = results[i];
+      const QueryResult& again = results[i + round * distinct.size()];
+      EXPECT_EQ(first.neighbors, again.neighbors) << "query " << i;
+      EXPECT_EQ(first.ids, again.ids) << "query " << i;
+      EXPECT_EQ(first.error, again.error) << "query " << i;
+    }
+  }
+}
+
 TEST(QueryRouterTest, FeedsShardMetrics) {
   const Dataset dataset = ClusteredDataset(49, 400, kBits, 6, 10, 2);
   ShardedIndex index(ShardOptions(3));

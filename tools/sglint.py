@@ -26,6 +26,13 @@ Rules (all first-party C++ under src/ and fuzz/):
                 to interpose. A stray raw mapping is untracked lifetime
                 the static-view invariants can't see.
 
+  raw-socket    socket( / bind( / listen( / accept( / connect( / send( /
+                recv( / shutdown( and friends outside src/net/. The
+                blessed entry points are net::Socket / net::ListenSocket
+                (net/socket.h): they own the timeout discipline, the
+                EINTR loops, and the cross-thread Shutdown unblock. A
+                stray raw socket call is an fd with none of that.
+
   memory-order  every std::atomic load/store/exchange/fetch_*/
                 compare_exchange names an explicit std::memory_order.
                 Defaulted seq_cst hides the cost and, worse, hides the
@@ -57,6 +64,11 @@ RAW_SYNC = re.compile(
 BARE_ASSERT = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
 RAND = re.compile(r"(?<![A-Za-z0-9_.])(?:std::)?s?rand\s*\(")
 RAW_MMAP = re.compile(r"(?<![A-Za-z0-9_])(?:::)?m(?:un)?map\s*\(")
+RAW_SOCKET = re.compile(
+    r"(?<![A-Za-z0-9_])(?<!std::)(?:::)?"
+    r"(?:socket|bind|listen|accept4?|connect|setsockopt|getsockopt|"
+    r"getsockname|getpeername|send|sendto|sendmsg|recv|recvfrom|recvmsg|"
+    r"shutdown)\s*\(")
 ATOMIC_OP = re.compile(
     r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
     r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(")
@@ -100,7 +112,7 @@ def call_expression(lines, row, start_col):
     return " ".join(parts)
 
 
-def lint_cpp(path, rel, in_common, may_mmap, findings):
+def lint_cpp(path, rel, in_common, may_mmap, may_socket, findings):
     with open(path, encoding="utf-8", errors="replace") as fh:
         lines = fh.read().splitlines()
 
@@ -135,6 +147,13 @@ def lint_cpp(path, rel, in_common, may_mmap, findings):
                      "raw mmap/munmap outside src/common/ and src/static/; "
                      "map files through Env::MapReadOnly"))
 
+        if not may_socket:
+            if RAW_SOCKET.search(code) and not allowed(raw, "raw-socket"):
+                findings.append(
+                    (rel, i, "raw-socket",
+                     "raw socket call outside src/net/; go through "
+                     "net::Socket / net::ListenSocket (net/socket.h)"))
+
         for m in ATOMIC_OP.finditer(code):
             paren = code.index("(", m.end() - 1)
             call = call_expression(lines, i - 1, paren)
@@ -165,7 +184,8 @@ def main():
     args = parser.parse_args()
 
     if args.list_rules:
-        print("raw-sync bare-assert rand raw-mmap memory-order todo-tag")
+        print("raw-sync bare-assert rand raw-mmap raw-socket memory-order "
+              "todo-tag")
         return 0
 
     root = args.root or os.path.dirname(
@@ -190,7 +210,9 @@ def main():
                 in_common = rel.startswith(os.path.join("src", "common"))
                 may_mmap = in_common or rel.startswith(
                     os.path.join("src", "static"))
-                lint_cpp(path, rel, in_common, may_mmap, findings)
+                may_socket = rel.startswith(os.path.join("src", "net"))
+                lint_cpp(path, rel, in_common, may_mmap, may_socket,
+                         findings)
                 checked += 1
 
     # TODO policy sweeps everything first-party, scripts included.
