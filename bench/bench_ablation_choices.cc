@@ -68,13 +68,14 @@ void Run() {
   Timer dfs_timer;
   for (const Signature& q : queries) {
     built.tree->buffer_pool().Clear();
-    DfsNearest(*built.tree, q, &dfs_stats);
+    DfsNearest(*built.tree, q, built.tree->OwnPoolContext(&dfs_stats));
   }
   const double dfs_ms = dfs_timer.ElapsedMs();
   Timer bf_timer;
   for (const Signature& q : queries) {
     built.tree->buffer_pool().Clear();
-    BestFirstKNearest(*built.tree, q, 1, &bf_stats);
+    BestFirstKNearest(*built.tree, q, 1,
+                      built.tree->OwnPoolContext(&bf_stats));
   }
   const double bf_ms = bf_timer.ElapsedMs();
   std::printf("%-16s %14s %14s\n", "algorithm", "nodes/query", "cpu_ms/query");

@@ -36,7 +36,8 @@ void Run() {
     built.tree->ResetIo();
     Timer timer;
     for (const Signature& q : queries) {
-      DfsNearest(*built.tree, q);  // Buffer stays warm across queries.
+      DfsNearest(*built.tree, q,
+                 built.tree->OwnPoolContext());  // Buffer stays warm.
     }
     const double elapsed = timer.ElapsedMs();
     const IoStats& io = built.tree->io_stats();

@@ -15,6 +15,8 @@
 #include "common/stats.h"
 #include "data/census_generator.h"
 #include "data/quest_generator.h"
+#include "exec/index_backend.h"
+#include "exec/query_api.h"
 #include "obs/percentile.h"
 #include "sgtable/sg_table.h"
 #include "sgtree/search.h"
@@ -154,11 +156,17 @@ inline MethodResult RunTreeKnn(SgTree& tree,
   std::vector<double> latencies_us;
   latencies_us.reserve(queries.size());
   Timer timer;
+  const SgTreeBackend backend(tree);
   for (const Signature& q : queries) {
     tree.buffer_pool().Clear();
+    QueryRequest request;
+    request.type = QueryType::kKnn;
+    request.query = q;
+    request.k = k;
     Timer per_query;
-    DfsKNearest(tree, q, k, &stats);
+    const QueryResult r = Execute(backend, request, &tree.buffer_pool());
     latencies_us.push_back(per_query.ElapsedMs() * 1000.0);
+    stats += r.stats;
   }
   const double elapsed = timer.ElapsedMs();
   const double n = static_cast<double>(queries.size());
@@ -195,11 +203,17 @@ inline MethodResult RunTreeRange(SgTree& tree,
   std::vector<double> latencies_us;
   latencies_us.reserve(queries.size());
   Timer timer;
+  const SgTreeBackend backend(tree);
   for (const Signature& q : queries) {
     tree.buffer_pool().Clear();
+    QueryRequest request;
+    request.type = QueryType::kRange;
+    request.query = q;
+    request.epsilon = epsilon;
     Timer per_query;
-    RangeSearch(tree, q, epsilon, &stats);
+    const QueryResult r = Execute(backend, request, &tree.buffer_pool());
     latencies_us.push_back(per_query.ElapsedMs() * 1000.0);
+    stats += r.stats;
   }
   const double elapsed = timer.ElapsedMs();
   const double n = static_cast<double>(queries.size());

@@ -47,7 +47,7 @@ void Run() {
       built.tree->buffer_pool().Clear();
       ContainmentSearch(*built.tree,
                         Signature::FromItems(probe, dataset.num_items),
-                        &tree_stats);
+                        built.tree->OwnPoolContext(&tree_stats));
     }
     const double tree_ms = tree_timer.ElapsedMs();
     QueryStats inv_stats;
@@ -80,7 +80,8 @@ void Run() {
     Timer tree_timer;
     for (const auto& probe : probes) {
       built.tree->buffer_pool().Clear();
-      SubsetSearch(*built.tree, probe, &tree_stats);
+      SubsetSearch(*built.tree, probe,
+                   built.tree->OwnPoolContext(&tree_stats));
     }
     const double tree_ms = tree_timer.ElapsedMs();
     QueryStats inv_stats;
@@ -105,7 +106,7 @@ void Run() {
       built.tree->buffer_pool().Clear();
       DfsNearest(*built.tree,
                  Signature::FromItems(q.items, dataset.num_items),
-                 &tree_stats);
+                 built.tree->OwnPoolContext(&tree_stats));
     }
     const double tree_ms = tree_timer.ElapsedMs();
     QueryStats inv_stats;

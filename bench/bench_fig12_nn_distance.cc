@@ -48,7 +48,8 @@ void Run() {
     built.tree->buffer_pool().Clear();
     QueryStats tree_stats;
     Timer tree_timer;
-    const Neighbor nn = DfsNearest(*built.tree, q, &tree_stats);
+    const Neighbor nn =
+        DfsNearest(*built.tree, q, built.tree->OwnPoolContext(&tree_stats));
     const double tree_ms = tree_timer.ElapsedMs();
 
     QueryStats table_stats;

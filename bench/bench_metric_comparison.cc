@@ -27,7 +27,8 @@ void RunOn(const char* name, const Dataset& dataset,
     bool exact = true;
     for (const Signature& q : queries) {
       built.tree->buffer_pool().Clear();
-      const Neighbor nn = DfsNearest(*built.tree, q, &stats);
+      const Neighbor nn =
+          DfsNearest(*built.tree, q, built.tree->OwnPoolContext(&stats));
       if (nn.distance != scan.Nearest(q, metric).distance) exact = false;
     }
     const double elapsed = timer.ElapsedMs();

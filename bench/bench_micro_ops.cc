@@ -158,8 +158,9 @@ void BM_TreeNearestNeighbor(benchmark::State& state) {
   const TreeFixture& f = TreeFixture::Get();
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        DfsNearest(*f.tree, f.queries[i++ % f.queries.size()]));
+    benchmark::DoNotOptimize(DfsNearest(*f.tree,
+                                        f.queries[i++ % f.queries.size()],
+                                        f.tree->OwnPoolContext()));
   }
 }
 BENCHMARK(BM_TreeNearestNeighbor);
@@ -168,8 +169,9 @@ void BM_TreeRangeQuery(benchmark::State& state) {
   const TreeFixture& f = TreeFixture::Get();
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        RangeSearch(*f.tree, f.queries[i++ % f.queries.size()], 6.0));
+    benchmark::DoNotOptimize(RangeSearch(*f.tree,
+                                         f.queries[i++ % f.queries.size()],
+                                         6.0, f.tree->OwnPoolContext()));
   }
 }
 BENCHMARK(BM_TreeRangeQuery);

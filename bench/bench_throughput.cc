@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "exec/index_backend.h"
 #include "exec/query_executor.h"
 
 namespace sgtree::bench {
@@ -104,10 +105,11 @@ void Run() {
 
     // Warm-up pass so thread start-up and first-touch page faults do not
     // pollute the measured run.
-    executor.Run(tree, batch);
+    executor.Run(SgTreeBackend(tree), batch);
 
     Timer timer;
-    const std::vector<QueryResult> results = executor.Run(tree, batch);
+    const std::vector<QueryResult> results =
+        executor.Run(SgTreeBackend(tree), batch);
     const double wall_ms = timer.ElapsedMs();
 
     std::vector<double> latencies;

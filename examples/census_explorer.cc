@@ -36,7 +36,7 @@ int main() {
     const Signature q = Signature::FromItems(person.items, census.num_items);
 
     QueryStats stats;
-    const auto knn = DfsKNearest(tree, q, 5, &stats);
+    const auto knn = DfsKNearest(tree, q, 5, tree.OwnPoolContext(&stats));
     std::printf("5 most similar individuals (of %zu):", census.size());
     for (const Neighbor& n : knn) {
       std::printf(" #%llu(d=%.0f)", static_cast<unsigned long long>(n.tid),
@@ -48,7 +48,8 @@ int main() {
     // All individuals differing in at most 2 attributes (Hamming <= 4,
     // since every attribute mismatch flips two bits).
     QueryStats range_stats;
-    const auto close_matches = RangeSearch(tree, q, 4.0, &range_stats);
+    const auto close_matches =
+        RangeSearch(tree, q, 4.0, tree.OwnPoolContext(&range_stats));
     std::printf("  individuals within 2 attribute changes: %zu "
                 "(touched %.2f%%)\n\n",
                 close_matches.size(),

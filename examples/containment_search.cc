@@ -36,7 +36,8 @@ int main() {
   const Signature probe_sig =
       Signature::FromItems(pair_probe, qopt.num_items);
   QueryStats stats;
-  const auto holders = ContainmentSearch(*tree_a, probe_sig, &stats);
+  const auto holders =
+      ContainmentSearch(*tree_a, probe_sig, tree_a->OwnPoolContext(&stats));
   std::printf("Transactions containing items {%u, %u}: %zu "
               "(visited %llu nodes of %llu)\n\n",
               pair_probe[0], pair_probe[1], holders.size(),

@@ -47,7 +47,8 @@ int main() {
     // 20 most similar historical baskets.
     QueryStats stats;
     Timer query_timer;
-    const auto neighbors = DfsKNearest(tree, q, 20, &stats);
+    const auto neighbors =
+        DfsKNearest(tree, q, 20, tree.OwnPoolContext(&stats));
     const double ms = query_timer.ElapsedMs();
 
     // Score candidate items by how many similar baskets contain them.

@@ -7,7 +7,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "sgtree/search.h"
+#include "exec/index_backend.h"
+#include "exec/query_api.h"
 #include "sgtree/sg_tree.h"
 
 int main() {
@@ -43,19 +44,36 @@ int main() {
   const Signature query =
       Signature::FromItems(std::vector<uint32_t>{0, 1, 6}, 8);
 
-  const Neighbor nn = DfsNearest(tree, query);
+  // Every query goes through the unified API: build a QueryRequest, pick
+  // a backend, call Execute(). The same request shapes run unchanged
+  // against the SG-table, the inverted file, or a sharded index.
+  const SgTreeBackend backend(tree);
+
+  QueryRequest nn_request;
+  nn_request.type = QueryType::kKnn;
+  nn_request.query = query;
+  const QueryResult nn = Execute(backend, nn_request, &tree.buffer_pool());
   std::printf("Nearest basket to {bread, milk, coffee}: basket %llu "
               "(Hamming distance %.0f)\n",
-              static_cast<unsigned long long>(nn.tid), nn.distance);
+              static_cast<unsigned long long>(nn.neighbors[0].tid),
+              nn.neighbors[0].distance);
 
   std::printf("\nTop-3 most similar baskets:\n");
-  for (const Neighbor& n : DfsKNearest(tree, query, 3)) {
+  QueryRequest knn_request = nn_request;
+  knn_request.k = 3;
+  for (const Neighbor& n :
+       Execute(backend, knn_request, &tree.buffer_pool()).neighbors) {
     std::printf("  basket %llu at distance %.0f\n",
                 static_cast<unsigned long long>(n.tid), n.distance);
   }
 
   std::printf("\nBaskets within distance 2:\n");
-  for (const Neighbor& n : RangeSearch(tree, query, 2.0)) {
+  QueryRequest range_request;
+  range_request.type = QueryType::kRange;
+  range_request.query = query;
+  range_request.epsilon = 2.0;
+  for (const Neighbor& n :
+       Execute(backend, range_request, &tree.buffer_pool()).neighbors) {
     std::printf("  basket %llu at distance %.0f\n",
                 static_cast<unsigned long long>(n.tid), n.distance);
   }
@@ -64,7 +82,11 @@ int main() {
   const Signature beer_diapers =
       Signature::FromItems(std::vector<uint32_t>{4, 5}, 8);
   std::printf("\nBaskets containing {%s, %s}:", names[4], names[5]);
-  for (uint64_t tid : ContainmentSearch(tree, beer_diapers)) {
+  QueryRequest contain_request;
+  contain_request.type = QueryType::kContainment;
+  contain_request.query = beer_diapers;
+  for (uint64_t tid :
+       Execute(backend, contain_request, &tree.buffer_pool()).ids) {
     std::printf(" %llu", static_cast<unsigned long long>(tid));
   }
   std::printf("\n");

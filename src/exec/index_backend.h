@@ -34,7 +34,12 @@ class SgTreeBackend : public IndexBackend {
       : tree_(&tree), shared_bound_(shared_bound) {}
 
   const char* name() const override { return "sgtree"; }
-  bool Supports(QueryType /*type*/) const override { return true; }
+  std::string SupportReason(QueryType /*type*/) const override {
+    return std::string();  // All six query types.
+  }
+  std::string JoinInputReason() const override {
+    return std::string();  // SetCollection::FromTree walks the leaves.
+  }
   void Run(const QueryRequest& request, const QueryContext& ctx,
            QueryResult* result) const override;
 
@@ -52,9 +57,17 @@ class SgTableBackend : public IndexBackend {
   explicit SgTableBackend(const SgTable& table) : table_(&table) {}
 
   const char* name() const override { return "sgtable"; }
-  bool Supports(QueryType type) const override {
-    return type == QueryType::kKnn || type == QueryType::kBestFirstKnn ||
-           type == QueryType::kRange;
+  std::string SupportReason(QueryType type) const override {
+    if (type == QueryType::kKnn || type == QueryType::kBestFirstKnn ||
+        type == QueryType::kRange) {
+      return std::string();
+    }
+    return "sgtable indexes Hamming-distance buckets only; set predicates "
+           "need the sgtree, inverted, or linear_scan backend";
+  }
+  std::string JoinInputReason() const override {
+    return "sgtable stores signature buckets, not per-transaction item "
+           "sets; join from an sgtree-backed index instead";
   }
   void Run(const QueryRequest& request, const QueryContext& ctx,
            QueryResult* result) const override;
@@ -72,8 +85,15 @@ class InvertedIndexBackend : public IndexBackend {
       : index_(&index) {}
 
   const char* name() const override { return "inverted"; }
-  bool Supports(QueryType type) const override {
-    return type != QueryType::kExact;
+  std::string SupportReason(QueryType type) const override {
+    if (type != QueryType::kExact) return std::string();
+    return "the inverted file stores posting lists, not signatures; exact "
+           "match needs the sgtree backend";
+  }
+  std::string JoinInputReason() const override {
+    return "the inverted file stores per-item posting lists, not "
+           "per-transaction item sets; join from an sgtree-backed index "
+           "instead";
   }
   void Run(const QueryRequest& request, const QueryContext& ctx,
            QueryResult* result) const override;
@@ -94,8 +114,10 @@ class LinearScanBackend : public IndexBackend {
       : scan_(&scan), metric_(metric) {}
 
   const char* name() const override { return "linear_scan"; }
-  bool Supports(QueryType type) const override {
-    return type != QueryType::kExact;
+  std::string SupportReason(QueryType type) const override {
+    if (type != QueryType::kExact) return std::string();
+    return "the linear scan exposes no signature-equality entry point; "
+           "exact match needs the sgtree backend";
   }
   void Run(const QueryRequest& request, const QueryContext& ctx,
            QueryResult* result) const override;

@@ -90,10 +90,27 @@ class IndexBackend {
   /// error messages, and bench labels.
   virtual const char* name() const = 0;
 
+  /// The support matrix, with reasons: empty when this backend answers
+  /// `type`, else one line saying why not and what to use instead (e.g.
+  /// "sgtable indexes Hamming buckets only; ..."). Harnesses and the CLI
+  /// surface the reason instead of asserting on an unsupported combo.
+  virtual std::string SupportReason(QueryType type) const = 0;
+
   /// Whether this backend answers `type` at all. Running an unsupported
   /// type is not an error: it yields an empty result (the backend indexes
   /// nothing that could match — e.g. the SG-table has no set predicates).
-  virtual bool Supports(QueryType type) const = 0;
+  bool Supports(QueryType type) const { return SupportReason(type).empty(); }
+
+  /// Join-capability column of the support matrix: empty when this
+  /// backend's collection can be enumerated as one side of a
+  /// collection-level join (exec/join_api.h), else a one-line reason. Only
+  /// the tree-shaped backends store per-transaction item sets, so the
+  /// default is a refusal naming the backend.
+  virtual std::string JoinInputReason() const {
+    return std::string("backend '") + name() +
+           "' cannot enumerate per-transaction item sets; join from an "
+           "sgtree-backed index instead";
+  }
 
   /// Answers `request`, filling result->neighbors or result->ids and
   /// charging node accesses / counters to `ctx`. Called with a validated

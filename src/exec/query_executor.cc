@@ -308,7 +308,7 @@ std::vector<QueryResult> QueryExecutor::RunSerial(
   results.reserve(batch.size());
   for (const BatchQuery& query : batch) {
     pool.Clear();
-    results.push_back(ExecuteTreeQuery(tree, query, &pool));
+    results.push_back(Execute(SgTreeBackend(tree), query, &pool));
   }
   return results;
 }

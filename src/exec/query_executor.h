@@ -143,18 +143,22 @@ class QueryExecutor {
   std::vector<QueryResult> Run(const IndexBackend& backend,
                                const std::vector<QueryRequest>& batch);
 
-  /// Runs a batch against the SG-tree; all query types are supported.
-  /// Wrapper over Run(SgTreeBackend(tree), batch).
+  /// LEGACY typed overload; wrapper over Run(SgTreeBackend(tree), batch).
+  [[deprecated(
+      "legacy typed overload; call Run(SgTreeBackend(tree), batch). Removal schedule: DESIGN.md section 11.4")]]
   std::vector<QueryResult> Run(const SgTree& tree,
                                const std::vector<BatchQuery>& batch);
 
-  /// Runs a batch against the SG-table baseline (Hamming only; see
-  /// SgTableBackend). Wrapper over the generic Run.
+  /// LEGACY typed overload; wrapper over Run(SgTableBackend(table), batch).
+  [[deprecated(
+      "legacy typed overload; call Run(SgTableBackend(table), batch). Removal schedule: DESIGN.md section 11.4")]]
   std::vector<QueryResult> Run(const SgTable& table,
                                const std::vector<BatchQuery>& batch);
 
-  /// Runs a batch against the inverted-file baseline (see
-  /// InvertedIndexBackend). Wrapper over the generic Run.
+  /// LEGACY typed overload; wrapper over
+  /// Run(InvertedIndexBackend(index), batch).
+  [[deprecated(
+      "legacy typed overload; call Run(InvertedIndexBackend(index), batch). Removal schedule: DESIGN.md section 11.4")]]
   std::vector<QueryResult> Run(const InvertedIndex& index,
                                const std::vector<BatchQuery>& batch);
 
@@ -265,9 +269,18 @@ class QueryExecutor {
 /// LEGACY single-query kernels, now thin wrappers over Execute() with the
 /// matching exec/index_backend.h adapter. Kept for old tests and harnesses;
 /// new code should construct the adapter and call Execute() directly.
+[[deprecated(
+    "legacy single-query kernel; call Execute(SgTreeBackend(tree), query, "
+    "pool). Removal schedule: DESIGN.md section 11.4")]]
 QueryResult ExecuteTreeQuery(const SgTree& tree, const BatchQuery& query,
                              PageCache* pool);
+[[deprecated(
+    "legacy single-query kernel; call Execute(SgTableBackend(table), query). "
+    "Removal schedule: DESIGN.md section 11.4")]]
 QueryResult ExecuteTableQuery(const SgTable& table, const BatchQuery& query);
+[[deprecated(
+    "legacy single-query kernel; call Execute(InvertedIndexBackend(index), "
+    "query). Removal schedule: DESIGN.md section 11.4")]]
 QueryResult ExecuteInvertedQuery(const InvertedIndex& index,
                                  const BatchQuery& query);
 

@@ -1,0 +1,79 @@
+#ifndef SGTREE_JOIN_FVT_JOIN_H_
+#define SGTREE_JOIN_FVT_JOIN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/join_api.h"
+#include "join/set_collection.h"
+
+namespace sgtree {
+
+/// Filter-and-verification tree over the S (superset) side of a containment
+/// join: a trie whose paths spell S item sets in ascending item order, with
+/// every subtree's end rows flattened into one contiguous [begin, end)
+/// slice of a preorder array. Once a probe set is fully matched at a node,
+/// its supersets are exactly that slice — emitted directly, no candidate
+/// lists and no verification. Immutable after construction, so a sharded
+/// join builds it once per S partition and shares it read-only.
+class FvtTrie {
+ public:
+  explicit FvtTrie(const SetCollection& s);
+
+  const SetCollection& collection() const { return *s_; }
+
+  struct NodeRec {
+    ItemId item = 0;
+    uint32_t children_begin = 0;  // Into children(), sorted by item.
+    uint32_t children_end = 0;
+    uint32_t ends_begin = 0;  // Into subtree_ends(): every S row whose set
+    uint32_t ends_end = 0;    // terminates at or below this node.
+  };
+
+  const NodeRec& node(uint32_t idx) const { return nodes_[idx]; }
+  std::span<const uint32_t> Children(const NodeRec& node) const {
+    return {children_.data() + node.children_begin,
+            children_.data() + node.children_end};
+  }
+  std::span<const uint32_t> SubtreeEnds(const NodeRec& node) const {
+    return {subtree_ends_.data() + node.ends_begin,
+            subtree_ends_.data() + node.ends_end};
+  }
+
+ private:
+  const SetCollection* s_;
+  std::vector<NodeRec> nodes_;      // nodes_[0] is the root (no item).
+  std::vector<uint32_t> children_;  // Node indices, grouped per parent.
+  std::vector<uint32_t> subtree_ends_;  // S rows in preorder.
+};
+
+/// FVT-style candidate-free containment join: probes each distinct R set
+/// down the S trie, consuming probe items on matching edges and skipping
+/// over smaller ones (path items ascend, so an edge larger than the next
+/// unmatched item prunes the rest of the children). Identical R sets are
+/// grouped so duplicates pay for one descent.
+///
+/// Containment-only: similarity requests are refused via SupportReason.
+class FvtJoinBackend : public JoinBackend {
+ public:
+  /// `r` and `s` must outlive the backend.
+  FvtJoinBackend(const SetCollection& r, const FvtTrie& s);
+
+  const char* name() const override { return "fvt"; }
+  std::string SupportReason(const JoinRequest& request) const override;
+  bool Run(const JoinRequest& request, const QueryContext& ctx,
+           JoinSink* sink) const override;
+
+ private:
+  void Probe(uint32_t node_idx, std::span<const ItemId> probe, size_t matched,
+             const QueryContext& ctx, std::vector<uint32_t>* hits) const;
+
+  const SetCollection* r_;
+  const FvtTrie* s_;
+  std::vector<uint32_t> probe_order_;  // R rows, identical sets adjacent.
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_JOIN_FVT_JOIN_H_

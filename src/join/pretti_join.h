@@ -1,0 +1,72 @@
+#ifndef SGTREE_JOIN_PRETTI_JOIN_H_
+#define SGTREE_JOIN_PRETTI_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/join_api.h"
+#include "join/set_collection.h"
+
+namespace sgtree {
+
+/// Inverted index over the S (superset) side of a containment join: one
+/// ascending posting list of S row indices per item. Immutable after
+/// construction, so a sharded join builds it once per S partition and
+/// shares it read-only across every R-shard task.
+class InvertedPostings {
+ public:
+  explicit InvertedPostings(const SetCollection& s);
+
+  const SetCollection& collection() const { return *s_; }
+
+  /// Rows of S containing `item`, ascending. Items outside the dictionary
+  /// have an empty posting list (a join side built over a wider dictionary
+  /// may probe items S never saw).
+  const std::vector<uint32_t>& Posting(ItemId item) const;
+
+  /// |Posting(item)| — the item frequency PRETTI orders prefixes by.
+  size_t Frequency(ItemId item) const;
+
+ private:
+  const SetCollection* s_;
+  std::vector<std::vector<uint32_t>> postings_;
+};
+
+/// PRETTI-style containment join (Jampani & Pudi's PRETTI, revisited as
+/// PIEJoin by Bouros/Mamoulis et al.): a prefix tree over the R side whose
+/// paths order items rarest-in-S first, walked depth-first while
+/// intersecting S posting lists incrementally. At a trie node whose path
+/// spells a complete R set, the surviving candidate list is exactly the
+/// supersets of that set — identical R sets share one path, so duplicate
+/// sets pay for their intersections once.
+///
+/// Containment-only: similarity requests are refused via SupportReason.
+class PrettiJoinBackend : public JoinBackend {
+ public:
+  /// Builds the R-side prefix tree; `s` must outlive the backend.
+  PrettiJoinBackend(const SetCollection& r, const InvertedPostings& s);
+
+  const char* name() const override { return "pretti"; }
+  std::string SupportReason(const JoinRequest& request) const override;
+  bool Run(const JoinRequest& request, const QueryContext& ctx,
+           JoinSink* sink) const override;
+
+ private:
+  struct TrieNode {
+    ItemId item = 0;
+    std::vector<std::pair<ItemId, uint32_t>> children;  // Sorted by item.
+    std::vector<uint32_t> ends;  // R rows whose set is this node's path.
+  };
+
+  bool Walk(uint32_t node_idx, const std::vector<uint32_t>& candidates,
+            size_t depth, const QueryContext& ctx, JoinSink* sink,
+            std::vector<std::vector<uint32_t>>* scratch) const;
+
+  const SetCollection* r_;
+  const InvertedPostings* s_;
+  std::vector<TrieNode> nodes_;  // nodes_[0] is the root (no item).
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_JOIN_PRETTI_JOIN_H_

@@ -1,0 +1,38 @@
+#ifndef SGTREE_JOIN_SET_COLLECTION_H_
+#define SGTREE_JOIN_SET_COLLECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/transaction.h"
+#include "sgtree/sg_tree.h"
+#include "storage/query_context.h"
+
+namespace sgtree {
+
+/// One side of a collection-level join: transaction ids alongside their
+/// item sets, held as parallel arrays. Items are sorted ascending and
+/// duplicate-free; rows are sorted by tid so a collection extracted from a
+/// dataset and one extracted from a tree over the same data are identical,
+/// which is what lets the differential tests compare backends built from
+/// either source.
+struct SetCollection {
+  uint32_t num_bits = 0;
+  std::vector<uint64_t> tids;
+  std::vector<std::vector<ItemId>> items;
+
+  size_t size() const { return tids.size(); }
+
+  /// Normalizes (sorts + dedupes) each transaction's items. Rows sorted by
+  /// tid.
+  static SetCollection FromDataset(const Dataset& dataset);
+
+  /// Leaf walk over `tree`: every leaf entry's signature expands to its
+  /// item set, charging node reads to `ctx` (pass {} to walk uncharged).
+  /// Rows sorted by tid.
+  static SetCollection FromTree(const SgTree& tree, const QueryContext& ctx);
+};
+
+}  // namespace sgtree
+
+#endif  // SGTREE_JOIN_SET_COLLECTION_H_

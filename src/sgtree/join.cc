@@ -32,6 +32,25 @@ bool PairLess(const JoinPair& x, const JoinPair& y) {
   return x.tid_b < y.tid_b;
 }
 
+// Containment pairs carry their distance in (tid_a, tid_b), so id order is
+// the natural canonical order there.
+bool IdPairLess(const JoinPair& x, const JoinPair& y) {
+  if (x.tid_a != y.tid_a) return x.tid_a < y.tid_a;
+  return x.tid_b < y.tid_b;
+}
+
+class VectorSink : public JoinSink {
+ public:
+  explicit VectorSink(std::vector<JoinPair>* out) : out_(out) {}
+  bool OnPair(const JoinPair& pair) override {
+    out_->push_back(pair);
+    return true;
+  }
+
+ private:
+  std::vector<JoinPair>* out_;
+};
+
 }  // namespace
 
 double PairMinDist(const Signature& a, bool leaf_a, const Signature& b,
@@ -70,31 +89,33 @@ struct JoinContext {
   Metric metric;
   uint32_t fixed_dim;
   double epsilon;
-  std::vector<JoinPair>* result;
+  JoinSink* sink;
   QueryContext primary;  // Pair-level counter sink (pool unused).
+  bool cancelled = false;
 };
 
-void JoinNodes(const JoinContext& ctx, PageId id_a, PageId id_b) {
+void JoinNodes(JoinContext& ctx, PageId id_a, PageId id_b) {
   const Node& na = ctx.tree_a->GetNode(id_a, ctx.ctx_a);
   const Node& nb = ctx.tree_b->GetNode(id_b, ctx.ctx_b);
   ctx.ctx_a.CountNode(na.IsLeaf());
   ctx.ctx_b.CountNode(nb.IsLeaf());
 
   if (na.IsLeaf() && nb.IsLeaf()) {
-    ctx.primary.CountVerified(na.entries.size() * nb.entries.size());
-    uint64_t matched = 0;
     for (const Entry& ea : na.entries) {
       for (const Entry& eb : nb.entries) {
+        ctx.primary.CountVerified(1);
         const double d = Distance(ea.sig, eb.sig, ctx.metric);
         if (d <= ctx.epsilon) {
-          ctx.result->push_back({ea.ref, eb.ref, d});
-          ++matched;
+          ctx.primary.TraceResults(1);
+          if (!ctx.sink->OnPair({ea.ref, eb.ref, d})) {
+            ctx.cancelled = true;
+            return;
+          }
+        } else {
+          ctx.primary.TraceFalseDrops(1);
         }
       }
     }
-    ctx.primary.TraceResults(matched);
-    ctx.primary.TraceFalseDrops(na.entries.size() * nb.entries.size() -
-                                matched);
     return;
   }
 
@@ -108,6 +129,7 @@ void JoinNodes(const JoinContext& ctx, PageId id_a, PageId id_b) {
           ctx.primary.TraceDescended(1);
           JoinNodes(ctx, static_cast<PageId>(ea.ref),
                     static_cast<PageId>(eb.ref));
+          if (ctx.cancelled) return;
         } else {
           ctx.primary.TracePruned(1);
         }
@@ -144,25 +166,99 @@ void JoinNodes(const JoinContext& ctx, PageId id_a, PageId id_b) {
     } else {
       JoinNodes(ctx, static_cast<PageId>(ed.ref), id_b);
     }
+    if (ctx.cancelled) return;
+  }
+}
+
+// R ⋈⊆ S traversal. The R (a) side is descended unconditionally — a
+// covering signature admits no subset prune, since any subset of it
+// (including the empty set) may live below — so the only real pruning
+// happens on the S (b) side once the R side reaches a leaf: an S directory
+// child whose covering signature does not contain some R leaf signature
+// cannot hold a superset of it. Unconditional descents still charge one
+// tested signature each so descended + pruned <= signatures_tested holds.
+void ContainJoinNodes(JoinContext& ctx, PageId id_a, PageId id_b) {
+  const Node& na = ctx.tree_a->GetNode(id_a, ctx.ctx_a);
+
+  if (!na.IsLeaf()) {
+    ctx.ctx_a.CountNode(false);
+    for (const Entry& ea : na.entries) {
+      ctx.primary.TraceSignatures(1);
+      ctx.primary.TraceDescended(1);
+      ContainJoinNodes(ctx, static_cast<PageId>(ea.ref), id_b);
+      if (ctx.cancelled) return;
+    }
+    return;
+  }
+
+  ctx.ctx_a.CountNode(true);
+  const Node& nb = ctx.tree_b->GetNode(id_b, ctx.ctx_b);
+  ctx.ctx_b.CountNode(nb.IsLeaf());
+
+  if (nb.IsLeaf()) {
+    for (const Entry& ea : na.entries) {
+      for (const Entry& eb : nb.entries) {
+        ctx.primary.CountVerified(1);
+        if (eb.sig.Contains(ea.sig)) {
+          ctx.primary.TraceResults(1);
+          const double gap = Signature::AndNotCount(eb.sig, ea.sig);
+          if (!ctx.sink->OnPair({ea.ref, eb.ref, gap})) {
+            ctx.cancelled = true;
+            return;
+          }
+        } else {
+          ctx.primary.TraceFalseDrops(1);
+        }
+      }
+    }
+    return;
+  }
+
+  for (const Entry& eb : nb.entries) {
+    bool needed = false;
+    for (const Entry& ea : na.entries) {
+      ctx.primary.TraceSignatures(1);
+      if (eb.sig.Contains(ea.sig)) {
+        needed = true;
+        break;
+      }
+    }
+    if (!needed) {
+      ctx.primary.TracePruned(1);
+      continue;
+    }
+    ctx.primary.TraceDescended(1);
+    // Re-entering with the same leaf `id_a` re-reads it from the pool; the
+    // recursion stays in the leaf × node arm until `eb` bottoms out.
+    ContainJoinNodes(ctx, id_a, static_cast<PageId>(eb.ref));
+    if (ctx.cancelled) return;
   }
 }
 
 }  // namespace
 
-std::vector<JoinPair> SimilarityJoin(const SgTree& a, const SgTree& b,
-                                     double epsilon,
-                                     const QueryContext& ctx_a,
-                                     const QueryContext& ctx_b) {
+bool SimilarityJoinInto(const SgTree& a, const SgTree& b, double epsilon,
+                        const QueryContext& ctx_a, const QueryContext& ctx_b,
+                        JoinSink* sink) {
   SGTREE_ASSERT(a.num_bits() == b.num_bits());
-  std::vector<JoinPair> result;
-  if (a.root() == kInvalidPageId || b.root() == kInvalidPageId) return result;
+  if (a.root() == kInvalidPageId || b.root() == kInvalidPageId) return true;
   const uint32_t fixed_dim = a.options().fixed_dimensionality ==
                                      b.options().fixed_dimensionality
                                  ? a.options().fixed_dimensionality
                                  : 0;
-  JoinContext ctx{&a,        &b,      ctx_a,   ctx_b, a.options().metric,
-                  fixed_dim, epsilon, &result, PrimarySink(ctx_a, ctx_b)};
+  JoinContext ctx{&a,        &b,      ctx_a, ctx_b, a.options().metric,
+                  fixed_dim, epsilon, sink,  PrimarySink(ctx_a, ctx_b)};
   JoinNodes(ctx, a.root(), b.root());
+  return !ctx.cancelled;
+}
+
+std::vector<JoinPair> SimilarityJoin(const SgTree& a, const SgTree& b,
+                                     double epsilon,
+                                     const QueryContext& ctx_a,
+                                     const QueryContext& ctx_b) {
+  std::vector<JoinPair> result;
+  VectorSink sink(&result);
+  SimilarityJoinInto(a, b, epsilon, ctx_a, ctx_b, &sink);
   std::sort(result.begin(), result.end(), PairLess);
   return result;
 }
@@ -171,6 +267,40 @@ std::vector<JoinPair> SimilarityJoin(SgTree& a, SgTree& b, double epsilon,
                                      QueryStats* stats) {
   return SimilarityJoin(a, b, epsilon, a.OwnPoolContext(stats),
                         b.OwnPoolContext(stats));
+}
+
+bool ContainmentJoinInto(const SgTree& a, const SgTree& b,
+                         const QueryContext& ctx_a, const QueryContext& ctx_b,
+                         JoinSink* sink) {
+  SGTREE_ASSERT(a.num_bits() == b.num_bits());
+  if (a.root() == kInvalidPageId || b.root() == kInvalidPageId) return true;
+  JoinContext ctx{&a,
+                  &b,
+                  ctx_a,
+                  ctx_b,
+                  a.options().metric,
+                  0,
+                  0.0,
+                  sink,
+                  PrimarySink(ctx_a, ctx_b)};
+  ContainJoinNodes(ctx, a.root(), b.root());
+  return !ctx.cancelled;
+}
+
+std::vector<JoinPair> ContainmentJoin(const SgTree& a, const SgTree& b,
+                                      const QueryContext& ctx_a,
+                                      const QueryContext& ctx_b) {
+  std::vector<JoinPair> result;
+  VectorSink sink(&result);
+  ContainmentJoinInto(a, b, ctx_a, ctx_b, &sink);
+  std::sort(result.begin(), result.end(), IdPairLess);
+  return result;
+}
+
+std::vector<JoinPair> ContainmentJoin(SgTree& a, SgTree& b,
+                                      QueryStats* stats) {
+  return ContainmentJoin(a, b, a.OwnPoolContext(stats),
+                         b.OwnPoolContext(stats));
 }
 
 std::vector<JoinPair> ClosestPairs(const SgTree& a, const SgTree& b,

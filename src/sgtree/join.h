@@ -31,6 +31,17 @@ struct JoinPair {
   friend bool operator==(const JoinPair&, const JoinPair&) = default;
 };
 
+/// Streaming consumer of join pairs. The join algorithms call OnPair once
+/// per matching pair in traversal order (no global sort — multi-million-pair
+/// outputs never have to materialize); returning false cancels the join,
+/// which then returns false to its caller. The collection-level join API
+/// (exec/join_api.h) builds on this seam.
+class JoinSink {
+ public:
+  virtual ~JoinSink() = default;
+  virtual bool OnPair(const JoinPair& pair) = 0;
+};
+
 /// Lower bound on the distance between transactions drawn from two covering
 /// signatures. `leaf_a` / `leaf_b` mark exact (leaf-entry) signatures, which
 /// tighten the bound considerably.
@@ -52,6 +63,36 @@ std::vector<JoinPair> SimilarityJoin(const SgTree& a, const SgTree& b,
                                      const QueryContext& ctx_b);
 std::vector<JoinPair> SimilarityJoin(SgTree& a, SgTree& b, double epsilon,
                                      QueryStats* stats = nullptr);
+
+/// Streaming form of SimilarityJoin: pairs reach `sink` in traversal order
+/// (NOT distance-sorted). Returns false iff the sink cancelled the join.
+bool SimilarityJoinInto(const SgTree& a, const SgTree& b, double epsilon,
+                        const QueryContext& ctx_a, const QueryContext& ctx_b,
+                        JoinSink* sink);
+
+/// Set-containment join R ⋈⊆ S: all pairs (ta, tb), ta indexed by `a`, tb
+/// by `b`, whose item sets satisfy items(ta) ⊆ items(tb). An empty ta is
+/// contained in every tb. The pair distance is the containment gap
+/// |tb| - |ta| (well-defined because leaf signatures are exact item sets),
+/// so every join backend reports identical distances for identical pairs.
+///
+/// The traversal descends the R side to its leaves and prunes the S side
+/// with directory containment: an S child whose covering signature does not
+/// contain some R leaf signature cannot hold a superset of it. R-side
+/// directory signatures admit no such prune (any subset of a covering
+/// signature, including the empty set, may live below), which is what makes
+/// this the naive tree-vs-tree baseline the dedicated join backends in
+/// src/join/ are benched against. Pairs are sorted by (tid_a, tid_b).
+std::vector<JoinPair> ContainmentJoin(const SgTree& a, const SgTree& b,
+                                      const QueryContext& ctx_a,
+                                      const QueryContext& ctx_b);
+std::vector<JoinPair> ContainmentJoin(SgTree& a, SgTree& b,
+                                      QueryStats* stats = nullptr);
+
+/// Streaming form: pairs in traversal order; false iff the sink cancelled.
+bool ContainmentJoinInto(const SgTree& a, const SgTree& b,
+                         const QueryContext& ctx_a, const QueryContext& ctx_b,
+                         JoinSink* sink);
 
 /// The k closest pairs between the two trees, ascending distance.
 std::vector<JoinPair> ClosestPairs(const SgTree& a, const SgTree& b,

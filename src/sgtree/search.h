@@ -55,6 +55,10 @@ namespace sgtree {
 /// (see the tie-semantics note above).
 Neighbor DfsNearest(const SgTree& tree, const Signature& query,
                     const QueryContext& ctx);
+[[deprecated(
+    "legacy serial wrapper; build a QueryRequest and call Execute() on an "
+    "SgTreeBackend (exec/query_api.h), or use the const-tree + QueryContext "
+    "form. Removal schedule: DESIGN.md section 11.4")]]
 Neighbor DfsNearest(SgTree& tree, const Signature& query,
                     QueryStats* stats = nullptr);  // LEGACY; see note above.
 
@@ -65,6 +69,10 @@ Neighbor DfsNearest(SgTree& tree, const Signature& query,
 std::vector<Neighbor> DfsKNearest(const SgTree& tree, const Signature& query,
                                   uint32_t k, const QueryContext& ctx,
                                   SharedPruneBound* shared = nullptr);
+[[deprecated(
+    "legacy serial wrapper; build a QueryRequest and call Execute() on an "
+    "SgTreeBackend (exec/query_api.h), or use the const-tree + QueryContext "
+    "form. Removal schedule: DESIGN.md section 11.4")]]
 std::vector<Neighbor> DfsKNearest(SgTree& tree, const Signature& query,
                                   uint32_t k,
                                   QueryStats* stats = nullptr);  // LEGACY.
@@ -77,6 +85,10 @@ std::vector<Neighbor> BestFirstKNearest(const SgTree& tree,
                                         const Signature& query, uint32_t k,
                                         const QueryContext& ctx,
                                         SharedPruneBound* shared = nullptr);
+[[deprecated(
+    "legacy serial wrapper; build a QueryRequest and call Execute() on an "
+    "SgTreeBackend (exec/query_api.h), or use the const-tree + QueryContext "
+    "form. Removal schedule: DESIGN.md section 11.4")]]
 std::vector<Neighbor> BestFirstKNearest(SgTree& tree, const Signature& query,
                                         uint32_t k,
                                         QueryStats* stats = nullptr);  // LEGACY.
@@ -86,6 +98,10 @@ std::vector<Neighbor> BestFirstKNearest(SgTree& tree, const Signature& query,
 /// MinDistBound > epsilon are pruned.
 std::vector<Neighbor> RangeSearch(const SgTree& tree, const Signature& query,
                                   double epsilon, const QueryContext& ctx);
+[[deprecated(
+    "legacy serial wrapper; build a QueryRequest and call Execute() on an "
+    "SgTreeBackend (exec/query_api.h), or use the const-tree + QueryContext "
+    "form. Removal schedule: DESIGN.md section 11.4")]]
 std::vector<Neighbor> RangeSearch(SgTree& tree, const Signature& query,
                                   double epsilon,
                                   QueryStats* stats = nullptr);  // LEGACY.
@@ -96,12 +112,20 @@ std::vector<Neighbor> RangeSearch(SgTree& tree, const Signature& query,
 std::vector<uint64_t> ContainmentSearch(const SgTree& tree,
                                         const Signature& query,
                                         const QueryContext& ctx);
+[[deprecated(
+    "legacy serial wrapper; build a QueryRequest and call Execute() on an "
+    "SgTreeBackend (exec/query_api.h), or use the const-tree + QueryContext "
+    "form. Removal schedule: DESIGN.md section 11.4")]]
 std::vector<uint64_t> ContainmentSearch(SgTree& tree, const Signature& query,
                                         QueryStats* stats = nullptr);  // LEGACY.
 
 /// Exact-match lookup: ids of transactions whose signature equals `query`.
 std::vector<uint64_t> ExactSearch(const SgTree& tree, const Signature& query,
                                   const QueryContext& ctx);
+[[deprecated(
+    "legacy serial wrapper; build a QueryRequest and call Execute() on an "
+    "SgTreeBackend (exec/query_api.h), or use the const-tree + QueryContext "
+    "form. Removal schedule: DESIGN.md section 11.4")]]
 std::vector<uint64_t> ExactSearch(SgTree& tree, const Signature& query,
                                   QueryStats* stats = nullptr);  // LEGACY.
 
@@ -113,6 +137,10 @@ std::vector<uint64_t> ExactSearch(SgTree& tree, const Signature& query,
 /// honestly in bench_containment_methods.
 std::vector<uint64_t> SubsetSearch(const SgTree& tree, const Signature& query,
                                    const QueryContext& ctx);
+[[deprecated(
+    "legacy serial wrapper; build a QueryRequest and call Execute() on an "
+    "SgTreeBackend (exec/query_api.h), or use the const-tree + QueryContext "
+    "form. Removal schedule: DESIGN.md section 11.4")]]
 std::vector<uint64_t> SubsetSearch(SgTree& tree, const Signature& query,
                                    QueryStats* stats = nullptr);  // LEGACY.
 

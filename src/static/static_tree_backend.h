@@ -23,7 +23,13 @@ class StaticTreeBackend : public IndexBackend {
       : view_(&view), shared_bound_(shared_bound) {}
 
   const char* name() const override { return "static"; }
-  bool Supports(QueryType /*type*/) const override { return true; }
+  std::string SupportReason(QueryType /*type*/) const override {
+    return std::string();  // All six query types.
+  }
+  std::string JoinInputReason() const override {
+    return "static images serve point queries only; joins walk dynamic "
+           "trees — load the snapshot (v1) or durable form to join";
+  }
   void Run(const QueryRequest& request, const QueryContext& ctx,
            QueryResult* result) const override;
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -16,12 +17,18 @@
 #include "durability/env.h"
 #include "durability/recovery.h"
 #include "exec/index_backend.h"
+#include "exec/join_api.h"
 #include "exec/query_api.h"
 #include "exec/query_executor.h"
+#include "join/fvt_join.h"
+#include "join/pretti_join.h"
+#include "join/set_collection.h"
+#include "join/tree_join.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/query_trace.h"
 #include "sgtree/bulk_load.h"
+#include "shard/join_router.h"
 #include "shard/query_router.h"
 #include "shard/sharded_index.h"
 #include "sgtree/invariant_auditor.h"
@@ -777,6 +784,181 @@ int CmdQuery(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// Shared tail of both join paths: prints the pair list (human or JSON),
+// the merged trace on --trace, and the join.* metrics on --metrics-json.
+int ReportJoin(const JoinResult& result, const std::vector<JoinPair>& pairs,
+               JoinType type, const std::string& algo, bool sharded,
+               long long limit, bool json, bool print_trace,
+               obs::MetricsRegistry* registry,
+               const std::optional<std::string>& metrics_path,
+               std::ostream& out, std::ostream& err) {
+  const size_t shown =
+      limit <= 0 ? pairs.size()
+                 : std::min(pairs.size(), static_cast<size_t>(limit));
+  if (json) {
+    out << "{\"join\": "
+        << (type == JoinType::kContainment ? "\"contain\"" : "\"similar\"")
+        << ", \"algo\": " << JsonQuoted(algo)
+        << ", \"sharded\": " << (sharded ? "true" : "false")
+        << ", \"pairs\": " << result.pairs
+        << ", \"truncated\": " << (result.truncated ? "true" : "false")
+        << ", \"elapsed_us\": " << result.elapsed_us
+        << ", \"nodes_accessed\": " << result.stats.nodes_accessed
+        << ", \"signatures_tested\": " << result.trace.signatures_tested
+        << ", \"candidates_verified\": " << result.trace.candidates_verified
+        << ", \"sample\": [";
+    for (size_t pi = 0; pi < shown; ++pi) {
+      out << (pi > 0 ? ", " : "") << "[" << pairs[pi].tid_a << ", "
+          << pairs[pi].tid_b << ", " << pairs[pi].distance << "]";
+    }
+    out << "]}\n";
+  } else {
+    for (size_t pi = 0; pi < shown; ++pi) {
+      out << pairs[pi].tid_a << " " << pairs[pi].tid_b
+          << " (d=" << pairs[pi].distance << ")\n";
+    }
+    if (shown < pairs.size()) {
+      out << "... (" << (pairs.size() - shown)
+          << " more; raise --limit or pass --limit 0)\n";
+    }
+    out << "# " << result.pairs << " pairs via " << algo
+        << (sharded ? " (sharded)" : "") << " in "
+        << result.elapsed_us / 1000.0 << " ms\n";
+    if (print_trace) {
+      const QueryTrace& trace = result.trace;
+      out << "# trace: nodes=" << trace.nodes_visited()
+          << " tested=" << trace.signatures_tested
+          << " descended=" << trace.subtrees_descended
+          << " pruned=" << trace.subtrees_pruned
+          << " verified=" << trace.candidates_verified
+          << " results=" << trace.results << "\n";
+    }
+  }
+  if (metrics_path.has_value()) {
+    return WriteMetricsJson(*registry, *metrics_path, out, err);
+  }
+  return 0;
+}
+
+int CmdJoin(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  if (cmd.positional().size() < 2) {
+    return Fail(err,
+                "usage: join contain|similar --left FILE --right FILE "
+                "[--algo tree|pretti|fvt] [--shards 1] ...");
+  }
+  const std::string& kind = cmd.positional()[1];
+  JoinRequest request;
+  if (kind == "contain") {
+    request.type = JoinType::kContainment;
+  } else if (kind == "similar") {
+    request.type = JoinType::kSimilarity;
+  } else {
+    return Fail(err, "unknown join kind '" + kind + "'");
+  }
+  const auto left_path = cmd.GetString("left");
+  const auto right_path = cmd.GetString("right");
+  if (!left_path.has_value() || !right_path.has_value()) {
+    return Fail(err, "join requires --left and --right");
+  }
+
+  const std::string algo_name = cmd.StringOr("algo", "pretti");
+  JoinAlgo algo = JoinAlgo::kPretti;
+  if (!ParseJoinAlgo(algo_name, &algo)) {
+    return Fail(err, "unknown join algorithm '" + algo_name +
+                         "' (expected tree, pretti, or fvt)");
+  }
+  Metric metric = Metric::kHamming;
+  if (!ParseMetric(cmd.StringOr("metric", "hamming"), &metric)) {
+    return Fail(err, "unknown metric");
+  }
+  request.metric = metric;
+  request.threshold = cmd.DoubleOr("threshold", 0.0);
+
+  const bool sharded = cmd.IntOr("shards", 0) != 0;
+  const auto threads = static_cast<uint32_t>(cmd.IntOr("threads", 0));
+  const auto buffer_pages =
+      static_cast<uint32_t>(cmd.IntOr("buffer-pages", 64));
+  const bool json = cmd.IntOr("json", 0) != 0;
+  const bool print_trace = cmd.IntOr("trace", 0) != 0;
+  const long long limit = cmd.IntOr("limit", 20);
+  const auto metrics_path = cmd.GetString("metrics-json");
+  if (const int rc = CheckUnused(cmd, err); rc != 0) return rc;
+
+  SgTreeOptions options;
+  options.metric = metric;
+  obs::MetricsRegistry registry;
+  JoinResult result;
+  std::vector<JoinPair> pairs;
+
+  if (sharded) {
+    // Both sides load as sharded manifests (build --shards N); the
+    // |R shards| x |S shards| grid fans out over the executor's lanes.
+    ShardedIndexOptions sharded_options;
+    sharded_options.tree = options;
+    std::string load_error;
+    auto left = ShardedIndex::Load(*left_path, sharded_options, &load_error);
+    if (left == nullptr) {
+      return Fail(err, "cannot load " + *left_path + ": " + load_error);
+    }
+    auto right = ShardedIndex::Load(*right_path, sharded_options, &load_error);
+    if (right == nullptr) {
+      return Fail(err, "cannot load " + *right_path + ": " + load_error);
+    }
+    QueryExecutorOptions exec_options;
+    exec_options.num_threads = threads;
+    QueryExecutor executor(exec_options);
+    JoinRouterOptions router_options;
+    router_options.algo = algo;
+    router_options.buffer_pages = buffer_pages;
+    router_options.metrics = &registry;
+    JoinRouter router(*left, *right, &executor, router_options);
+    result = router.Run(request, &pairs);
+    if (!result.ok()) return Fail(err, result.error);
+    return ReportJoin(result, pairs, request.type, algo_name, true, limit,
+                      json, print_trace, &registry, metrics_path, out, err);
+  }
+
+  std::string load_error;
+  auto left = LoadTree(*left_path, options, &load_error);
+  if (left == nullptr) {
+    return Fail(err, "cannot load " + *left_path + ": " + load_error);
+  }
+  auto right = LoadTree(*right_path, options, &load_error);
+  if (right == nullptr) {
+    return Fail(err, "cannot load " + *right_path + ": " + load_error);
+  }
+
+  switch (algo) {
+    case JoinAlgo::kTree: {
+      const TreeJoinBackend backend(*left, *right, buffer_pages);
+      result = CollectJoin(backend, request, &pairs);
+      break;
+    }
+    case JoinAlgo::kPretti: {
+      const SetCollection r = SetCollection::FromTree(*left, {});
+      const SetCollection s = SetCollection::FromTree(*right, {});
+      const InvertedPostings postings(s);
+      const PrettiJoinBackend backend(r, postings);
+      result = CollectJoin(backend, request, &pairs);
+      break;
+    }
+    case JoinAlgo::kFvt: {
+      const SetCollection r = SetCollection::FromTree(*left, {});
+      const SetCollection s = SetCollection::FromTree(*right, {});
+      const FvtTrie trie(s);
+      const FvtJoinBackend backend(r, trie);
+      result = CollectJoin(backend, request, &pairs);
+      break;
+    }
+  }
+  if (!result.ok()) return Fail(err, result.error);
+  registry.GetCounter("join.requests")->Increment(1);
+  registry.GetCounter("join.pairs")->Increment(result.pairs);
+  registry.GetHistogram("join.latency_us")->Observe(result.elapsed_us);
+  return ReportJoin(result, pairs, request.type, algo_name, false, limit,
+                    json, print_trace, &registry, metrics_path, out, err);
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -784,7 +966,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   CommandLine cmd(args);
   if (!cmd.error().empty()) return Fail(err, cmd.error());
   if (cmd.positional().empty()) {
-    err << "usage: sgtree_cli gen|build|stats|check|static-info|query|"
+    err << "usage: sgtree_cli gen|build|stats|check|static-info|query|join|"
            "recover|wal-checkpoint ... (see tools/cli.h)\n";
     return 1;
   }
@@ -795,6 +977,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (verb == "check") return CmdCheck(cmd, out, err);
   if (verb == "static-info") return CmdStaticInfo(cmd, out, err);
   if (verb == "query") return CmdQuery(cmd, out, err);
+  if (verb == "join") return CmdJoin(cmd, out, err);
   if (verb == "recover") return CmdRecover(cmd, out, err);
   if (verb == "wal-checkpoint") return CmdWalCheckpoint(cmd, out, err);
   return Fail(err, "unknown command '" + verb + "'");

@@ -61,6 +61,25 @@ namespace sgtree {
 ///               (build --static); sharded static manifests need no flag —
 ///               the v2 manifest tags itself and the router serves the
 ///               mmap'ed shards transparently.
+///   join contain --left F --right F [--algo tree|pretti|fvt] [--shards 1]
+///               [--threads N] [--buffer-pages N] [--limit N] [--json 1]
+///               [--trace 1] [--metrics-json F]
+///   join similar --left F --right F --threshold X [--metric M]
+///               [--algo tree] [--shards 1] ...
+///               Collection-level joins through the join API
+///               (exec/join_api.h): `contain` reports every pair (r, s)
+///               with r's item set a subset of s's, d = the containment
+///               gap |s| - |r|; `similar` reports pairs within the
+///               threshold under the trees' build-time metric (tree
+///               backend only — pretti and fvt are containment-only and
+///               refuse with a one-line reason). Pairs print in canonical
+///               (tid_a, tid_b) order, capped at --limit (default 20,
+///               0 = all). With --shards 1 both sides load as sharded
+///               manifests and the join scatter-gathers over the
+///               |R shards| x |S shards| grid (shard/join_router.h) —
+///               results are byte-identical to the unsharded run.
+///               Validation errors (bad threshold, unsupported combo)
+///               exit 1 with the reason on stderr.
 ///   recover     --durable D [--out F] [--metrics-json F]
 ///               Replays the write-ahead log over the page file, gates the
 ///               result through the InvariantAuditor, and prints the

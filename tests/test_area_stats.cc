@@ -165,8 +165,11 @@ TEST(TreeAreaStatsTest, StatsLearnFixedDimensionalityOnCensus) {
   QueryStats configured_stats;
   for (const Transaction& q : gen.GenerateQueries(25)) {
     const Signature sig = Signature::FromItems(q.items, census.num_items);
-    const Neighbor a = DfsNearest(tree_learned, sig, &learned_stats);
-    const Neighbor b = DfsNearest(tree_configured, sig, &configured_stats);
+    const Neighbor a = DfsNearest(
+        tree_learned, sig, tree_learned.OwnPoolContext(&learned_stats));
+    const Neighbor b = DfsNearest(
+        tree_configured, sig,
+        tree_configured.OwnPoolContext(&configured_stats));
     EXPECT_DOUBLE_EQ(a.distance, b.distance);
   }
   EXPECT_EQ(learned_stats.transactions_compared,
@@ -194,9 +197,10 @@ TEST(TreeAreaStatsTest, ExactnessWithMixedSizes) {
   for (int q = 0; q < 25; ++q) {
     Signature query = RandomSignature(rng, 150, 0.05);
     if (query.Empty()) query.Set(0);
-    EXPECT_DOUBLE_EQ(DfsNearest(tree, query).distance,
+    EXPECT_DOUBLE_EQ(
+        DfsNearest(tree, query, tree.OwnPoolContext()).distance,
                      scan.Nearest(query).distance);
-    EXPECT_EQ(RangeSearch(tree, query, 10.0).size(),
+    EXPECT_EQ(RangeSearch(tree, query, 10.0, tree.OwnPoolContext()).size(),
               scan.Range(query, 10.0).size());
   }
 }

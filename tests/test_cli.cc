@@ -342,5 +342,105 @@ TEST(CliTest, ErrorPaths) {
   std::remove(index.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Collection-level joins.
+// ---------------------------------------------------------------------------
+
+TEST(CliTest, JoinRunsEveryAlgorithmWithIdenticalPairCounts) {
+  const std::string left_data = TempPath("cli_join_l.txt");
+  const std::string right_data = TempPath("cli_join_r.txt");
+  const std::string left = TempPath("cli_join_l.bin");
+  const std::string right = TempPath("cli_join_r.bin");
+  ASSERT_EQ(RunArgs({"gen", "quest", "--out", left_data, "--d", "300",
+                 "--items", "80", "--patterns", "20", "--seed", "3"})
+                .code,
+            0);
+  ASSERT_EQ(RunArgs({"gen", "quest", "--out", right_data, "--d", "300",
+                 "--items", "80", "--patterns", "20", "--seed", "4"})
+                .code,
+            0);
+  ASSERT_EQ(RunArgs({"build", "--data", left_data, "--out", left}).code, 0);
+  ASSERT_EQ(RunArgs({"build", "--data", right_data, "--out", right}).code, 0);
+
+  // All three algorithms report the same pair count in --json mode.
+  std::string pairs_field;
+  for (const std::string algo : {"tree", "pretti", "fvt"}) {
+    const CliResult r = RunArgs({"join", "contain", "--left", left, "--right",
+                             right, "--algo", algo, "--json", "1"});
+    ASSERT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("\"join\": \"contain\""), std::string::npos);
+    EXPECT_NE(r.out.find("\"algo\": \"" + algo + "\""), std::string::npos);
+    const size_t at = r.out.find("\"pairs\": ");
+    ASSERT_NE(at, std::string::npos) << r.out;
+    const std::string field = r.out.substr(at, r.out.find(',', at) - at);
+    if (pairs_field.empty()) {
+      pairs_field = field;
+    } else {
+      EXPECT_EQ(field, pairs_field) << algo;
+    }
+  }
+
+  // Human-readable mode prints the summary line.
+  const CliResult human = RunArgs(
+      {"join", "contain", "--left", left, "--right", right, "--limit", "5"});
+  ASSERT_EQ(human.code, 0) << human.err;
+  EXPECT_NE(human.out.find("pairs via pretti"), std::string::npos);
+
+  // A similarity join needs the tree backend; the trees were built with
+  // the default hamming metric, so a hamming threshold works end to end.
+  const CliResult similar =
+      RunArgs({"join", "similar", "--left", left, "--right", right, "--algo",
+           "tree", "--threshold", "6", "--json", "1"});
+  ASSERT_EQ(similar.code, 0) << similar.err;
+  EXPECT_NE(similar.out.find("\"join\": \"similar\""), std::string::npos);
+
+  std::remove(left_data.c_str());
+  std::remove(right_data.c_str());
+  std::remove(left.c_str());
+  std::remove(right.c_str());
+}
+
+TEST(CliTest, JoinValidationAndSupportErrorsExitNonzero) {
+  const std::string data = TempPath("cli_join_e.txt");
+  const std::string index = TempPath("cli_join_e.bin");
+  ASSERT_EQ(RunArgs({"gen", "quest", "--out", data, "--d", "120", "--items",
+                 "40", "--patterns", "10"})
+                .code,
+            0);
+  ASSERT_EQ(RunArgs({"build", "--data", data, "--out", index}).code, 0);
+
+  // Malformed threshold: exit 1 with the offending value in the message.
+  CliResult r = RunArgs({"join", "similar", "--left", index, "--right", index,
+                     "--algo", "tree", "--metric", "jaccard", "--threshold",
+                     "0"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(
+      r.err.find(
+          "threshold must be in (0,1] for jaccard similarity joins, got 0"),
+      std::string::npos)
+      << r.err;
+
+  // Containment-only backend asked for a similarity join: exit 1 with the
+  // support reason.
+  r = RunArgs({"join", "similar", "--left", index, "--right", index, "--algo",
+           "fvt", "--threshold", "4"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("fvt is a containment-only join"), std::string::npos)
+      << r.err;
+
+  // Unknown algorithm and missing inputs.
+  EXPECT_EQ(RunArgs({"join", "contain", "--left", index, "--right", index,
+                 "--algo", "quadratic"})
+                .code,
+            1);
+  EXPECT_EQ(RunArgs({"join", "contain", "--left", index}).code, 1);
+  EXPECT_EQ(RunArgs({"join", "frobnicate", "--left", index, "--right", index})
+                .code,
+            1);
+
+  std::remove(data.c_str());
+  std::remove(index.c_str());
+}
+
 }  // namespace
 }  // namespace sgtree

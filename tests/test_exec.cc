@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "baseline/linear_scan.h"
+#include "exec/index_backend.h"
 #include "common/rng.h"
 #include "common/sync.h"
 #include "inverted/inverted_index.h"
@@ -273,7 +274,7 @@ TEST_P(ExecutorDeterminismTest, ParallelMatchesSerialAllQueryTypes) {
     options.buffer_pages = 16;
     QueryExecutor executor(options);
     ASSERT_EQ(executor.num_threads(), threads);
-    const auto parallel = executor.Run(*f.tree, f.batch);
+    const auto parallel = executor.Run(SgTreeBackend(*f.tree), f.batch);
     ExpectBatchesIdentical(parallel, serial);
   }
 }
@@ -284,8 +285,8 @@ TEST_P(ExecutorDeterminismTest, RepeatedRunsAreIdentical) {
   options.num_threads = 4;
   options.buffer_pages = 16;
   QueryExecutor executor(options);
-  const auto first = executor.Run(*f.tree, f.batch);
-  const auto second = executor.Run(*f.tree, f.batch);
+  const auto first = executor.Run(SgTreeBackend(*f.tree), f.batch);
+  const auto second = executor.Run(SgTreeBackend(*f.tree), f.batch);
   ExpectBatchesIdentical(first, second);
 }
 
@@ -299,7 +300,7 @@ INSTANTIATE_TEST_SUITE_P(AllMetrics, ExecutorDeterminismTest,
 TEST(ExecutorTest, MatchesDirectSearchCalls) {
   ExecFixture f = MakeExecFixture(13, Metric::kHamming, 24);
   QueryExecutor executor({.num_threads = 3, .buffer_pages = 16});
-  const auto results = executor.Run(*f.tree, f.batch);
+  const auto results = executor.Run(SgTreeBackend(*f.tree), f.batch);
   ASSERT_EQ(results.size(), f.batch.size());
   for (size_t i = 0; i < f.batch.size(); ++i) {
     const BatchQuery& q = f.batch[i];
@@ -308,24 +309,32 @@ TEST(ExecutorTest, MatchesDirectSearchCalls) {
     f.tree->buffer_pool().Clear();
     switch (q.type) {
       case QueryType::kKnn:
-        EXPECT_EQ(results[i].neighbors, DfsKNearest(*f.tree, q.query, q.k));
+        EXPECT_EQ(results[i].neighbors,
+                  DfsKNearest(*f.tree, q.query, q.k,
+                              f.tree->OwnPoolContext()));
         break;
       case QueryType::kBestFirstKnn:
         EXPECT_EQ(results[i].neighbors,
-                  BestFirstKNearest(*f.tree, q.query, q.k));
+                  BestFirstKNearest(*f.tree, q.query, q.k,
+                                    f.tree->OwnPoolContext()));
         break;
       case QueryType::kRange:
         EXPECT_EQ(results[i].neighbors,
-                  RangeSearch(*f.tree, q.query, q.epsilon));
+                  RangeSearch(*f.tree, q.query, q.epsilon,
+                              f.tree->OwnPoolContext()));
         break;
       case QueryType::kContainment:
-        EXPECT_EQ(results[i].ids, ContainmentSearch(*f.tree, q.query));
+        EXPECT_EQ(results[i].ids,
+                  ContainmentSearch(*f.tree, q.query,
+                                    f.tree->OwnPoolContext()));
         break;
       case QueryType::kExact:
-        EXPECT_EQ(results[i].ids, ExactSearch(*f.tree, q.query));
+        EXPECT_EQ(results[i].ids,
+                  ExactSearch(*f.tree, q.query, f.tree->OwnPoolContext()));
         break;
       case QueryType::kSubset:
-        EXPECT_EQ(results[i].ids, SubsetSearch(*f.tree, q.query));
+        EXPECT_EQ(results[i].ids,
+                  SubsetSearch(*f.tree, q.query, f.tree->OwnPoolContext()));
         break;
     }
   }
@@ -334,7 +343,7 @@ TEST(ExecutorTest, MatchesDirectSearchCalls) {
 TEST(ExecutorTest, BatchStatsEqualSumOfPerQueryStats) {
   const ExecFixture f = MakeExecFixture(14, Metric::kHamming);
   QueryExecutor executor({.num_threads = 4, .buffer_pages = 16});
-  const auto results = executor.Run(*f.tree, f.batch);
+  const auto results = executor.Run(SgTreeBackend(*f.tree), f.batch);
   QueryStats sum;
   for (const QueryResult& r : results) sum += r.stats;
   EXPECT_EQ(executor.batch_stats().nodes_accessed, sum.nodes_accessed);
@@ -347,7 +356,7 @@ TEST(ExecutorTest, BatchStatsEqualSumOfPerQueryStats) {
 TEST(ExecutorTest, BatchReportAggregatesPerQueryTraces) {
   const ExecFixture f = MakeExecFixture(16, Metric::kHamming);
   QueryExecutor executor({.num_threads = 4, .buffer_pages = 16});
-  const auto results = executor.Run(*f.tree, f.batch);
+  const auto results = executor.Run(SgTreeBackend(*f.tree), f.batch);
 
   QueryTrace sum;
   for (const QueryResult& r : results) sum += r.trace;
@@ -393,7 +402,7 @@ TEST(ExecutorTest, MetricsRegistryIsFedByEachBatch) {
   options.buffer_pages = 16;
   options.metrics = &registry;
   QueryExecutor executor(options);
-  executor.Run(*f.tree, f.batch);
+  executor.Run(SgTreeBackend(*f.tree), f.batch);
 
   const BatchReport& report = executor.last_batch_report();
   EXPECT_EQ(registry.GetCounter("exec.queries")->Value(), f.batch.size());
@@ -413,7 +422,7 @@ TEST(ExecutorTest, MetricsRegistryIsFedByEachBatch) {
             f.batch.size());
 
   // Counters are monotonic: a second batch doubles them.
-  executor.Run(*f.tree, f.batch);
+  executor.Run(SgTreeBackend(*f.tree), f.batch);
   EXPECT_EQ(registry.GetCounter("exec.queries")->Value(),
             2 * f.batch.size());
   EXPECT_EQ(registry.GetHistogram("exec.query_latency_us")->Count(),
@@ -432,7 +441,7 @@ TEST(ExecutorTest, BatchReportCountsRejectedRequests) {
   options.buffer_pages = 16;
   options.metrics = &registry;
   QueryExecutor executor(options);
-  const auto results = executor.Run(*f.tree, f.batch);
+  const auto results = executor.Run(SgTreeBackend(*f.tree), f.batch);
   EXPECT_FALSE(results[2].ok());
   EXPECT_FALSE(results[7].ok());
   const BatchReport& report = executor.last_batch_report();
@@ -450,11 +459,11 @@ TEST(ExecutorTest, EmptyBatchAndEmptyTree) {
   SgTreeOptions options;
   options.num_bits = 64;
   SgTree empty_tree(options);
-  EXPECT_TRUE(executor.Run(empty_tree, {}).empty());
+  EXPECT_TRUE(executor.Run(SgTreeBackend(empty_tree), {}).empty());
   BatchQuery q;
   q.query = Signature(64);
   q.query.Set(1);
-  const auto results = executor.Run(empty_tree, {q});
+  const auto results = executor.Run(SgTreeBackend(empty_tree), {q});
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results[0].neighbors.empty());
 }
@@ -470,7 +479,7 @@ TEST(ExecutorTest, SharedShardedPoolReturnsSameValues) {
   options.pool_shards = 4;
   QueryExecutor executor(options);
   ASSERT_NE(executor.shared_pool(), nullptr);
-  const auto parallel = executor.Run(*f.tree, f.batch);
+  const auto parallel = executor.Run(SgTreeBackend(*f.tree), f.batch);
   ASSERT_EQ(parallel.size(), serial.size());
   for (size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(parallel[i].neighbors, serial[i].neighbors) << "query " << i;
@@ -527,7 +536,7 @@ TEST(ExecutorTest, ChunkPolicyDoesNotChangeAnswers) {
       options.buffer_pages = 16;
       options.max_chunk = max_chunk;
       QueryExecutor executor(options);
-      const auto parallel = executor.Run(*f.tree, f.batch);
+      const auto parallel = executor.Run(SgTreeBackend(*f.tree), f.batch);
       ExpectBatchesIdentical(parallel, serial);
     }
   }
@@ -579,7 +588,7 @@ TEST(ExecutorTest, TableBatchMatchesDirectCalls) {
     batch.push_back(std::move(q));
   }
   QueryExecutor executor({.num_threads = 4});
-  const auto results = executor.Run(table, batch);
+  const auto results = executor.Run(SgTableBackend(table), batch);
   ASSERT_EQ(results.size(), batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     QueryStats stats;
@@ -609,7 +618,7 @@ TEST(ExecutorTest, InvertedBatchMatchesDirectCalls) {
     batch.push_back(std::move(q));
   }
   QueryExecutor executor({.num_threads = 4});
-  const auto results = executor.Run(index, batch);
+  const auto results = executor.Run(InvertedIndexBackend(index), batch);
   ASSERT_EQ(results.size(), batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     const auto items = batch[i].query.ToItems();
@@ -648,7 +657,7 @@ TEST(ExecutorStressTest, ManyThreadsSmallSharedPool) {
   options.pool_shards = 2;
   QueryExecutor executor(options);
   for (int round = 0; round < 3; ++round) {
-    const auto parallel = executor.Run(*f.tree, f.batch);
+    const auto parallel = executor.Run(SgTreeBackend(*f.tree), f.batch);
     ASSERT_EQ(parallel.size(), serial.size());
     for (size_t i = 0; i < serial.size(); ++i) {
       ASSERT_EQ(parallel[i].neighbors, serial[i].neighbors)
@@ -665,9 +674,9 @@ TEST(ExecutorStressTest, ManyThreadsPrivatePoolsRepeatedBatches) {
   options.num_threads = 8;
   options.buffer_pages = 8;
   QueryExecutor executor(options);
-  const auto first = executor.Run(*f.tree, f.batch);
+  const auto first = executor.Run(SgTreeBackend(*f.tree), f.batch);
   for (int round = 0; round < 3; ++round) {
-    const auto again = executor.Run(*f.tree, f.batch);
+    const auto again = executor.Run(SgTreeBackend(*f.tree), f.batch);
     ExpectBatchesIdentical(again, first);
   }
 }
@@ -706,7 +715,7 @@ TEST(ExecutorStressTest, ExecutorsConstructedAndDestroyedRepeatedly) {
   for (int round = 0; round < 10; ++round) {
     QueryExecutor executor(
         {.num_threads = 4, .buffer_pages = 8});
-    const auto results = executor.Run(*f.tree, f.batch);
+    const auto results = executor.Run(SgTreeBackend(*f.tree), f.batch);
     ASSERT_EQ(results.size(), f.batch.size());
   }
 }

@@ -59,7 +59,9 @@ TEST(IntegrationTest, AllThreeIndexesAgreeOnQuestNn) {
   for (const Transaction& q : w.queries) {
     const Signature sig = Signature::FromItems(q.items, 400);
     const double expected = w.scan->Nearest(sig).distance;
-    EXPECT_DOUBLE_EQ(DfsNearest(*w.tree, sig).distance, expected);
+    EXPECT_DOUBLE_EQ(
+        DfsNearest(*w.tree, sig, w.tree->OwnPoolContext()).distance,
+        expected);
     EXPECT_DOUBLE_EQ(w.table->Nearest(sig).distance, expected);
   }
 }
@@ -69,14 +71,17 @@ TEST(IntegrationTest, AllThreeIndexesAgreeOnQuestKnnAndRange) {
   for (const Transaction& q : w.queries) {
     const Signature sig = Signature::FromItems(q.items, 400);
     const auto knn_scan = w.scan->KNearest(sig, 10);
-    const auto knn_tree = DfsKNearest(*w.tree, sig, 10);
+    const auto knn_tree =
+        DfsKNearest(*w.tree, sig, 10, w.tree->OwnPoolContext());
     const auto knn_table = w.table->KNearest(sig, 10);
     for (size_t i = 0; i < 10; ++i) {
       EXPECT_DOUBLE_EQ(knn_tree[i].distance, knn_scan[i].distance);
       EXPECT_DOUBLE_EQ(knn_table[i].distance, knn_scan[i].distance);
     }
     const auto range_scan = w.scan->Range(sig, 8.0);
-    EXPECT_EQ(RangeSearch(*w.tree, sig, 8.0).size(), range_scan.size());
+    EXPECT_EQ(
+        RangeSearch(*w.tree, sig, 8.0, w.tree->OwnPoolContext()).size(),
+        range_scan.size());
     EXPECT_EQ(w.table->Range(sig, 8.0).size(), range_scan.size());
   }
 }
@@ -102,7 +107,8 @@ TEST(IntegrationTest, CensusPipelineEndToEnd) {
   for (const Transaction& q : gen.GenerateQueries(20)) {
     const Signature sig = Signature::FromItems(q.items, dataset.num_items);
     const double expected = scan.Nearest(sig).distance;
-    EXPECT_DOUBLE_EQ(DfsNearest(*tree, sig).distance, expected);
+    EXPECT_DOUBLE_EQ(
+        DfsNearest(*tree, sig, tree->OwnPoolContext()).distance, expected);
     EXPECT_DOUBLE_EQ(table.Nearest(sig).distance, expected);
     // Census distances are even (fixed dimensionality 36).
     EXPECT_EQ(static_cast<long long>(expected) % 2, 0);
@@ -147,7 +153,8 @@ TEST(IntegrationTest, DynamicBatchesStayExact) {
   for (const Transaction& q : query_gen.GenerateQueries(15)) {
     const Signature sig = Signature::FromItems(q.items, 300);
     const double expected = scan.Nearest(sig).distance;
-    EXPECT_DOUBLE_EQ(DfsNearest(tree, sig).distance, expected);
+    EXPECT_DOUBLE_EQ(
+        DfsNearest(tree, sig, tree.OwnPoolContext()).distance, expected);
     EXPECT_DOUBLE_EQ(table.Nearest(sig).distance, expected);
   }
 }
@@ -157,7 +164,7 @@ TEST(IntegrationTest, TreePrunesBetterThanScanOnClusteredData) {
   QueryStats tree_stats;
   for (const Transaction& q : w.queries) {
     const Signature sig = Signature::FromItems(q.items, 400);
-    DfsNearest(*w.tree, sig, &tree_stats);
+    DfsNearest(*w.tree, sig, w.tree->OwnPoolContext(&tree_stats));
   }
   const uint64_t full = w.queries.size() * w.dataset.size();
   // The headline property: the index avoids a large share of the data even
@@ -172,8 +179,9 @@ TEST(IntegrationTest, BulkAndIncrementalTreesAgreeEverywhere) {
   auto bulk = BulkLoad(w.dataset, topt);
   for (const Transaction& q : w.queries) {
     const Signature sig = Signature::FromItems(q.items, 400);
-    EXPECT_DOUBLE_EQ(DfsNearest(*bulk, sig).distance,
-                     DfsNearest(*w.tree, sig).distance);
+    EXPECT_DOUBLE_EQ(
+        DfsNearest(*bulk, sig, bulk->OwnPoolContext()).distance,
+        DfsNearest(*w.tree, sig, w.tree->OwnPoolContext()).distance);
   }
 }
 
@@ -198,8 +206,9 @@ TEST(IntegrationTest, MixedWorkloadSurvivesEverything) {
   LinearScan scan(remaining);
   for (const Transaction& q : w.queries) {
     const Signature sig = Signature::FromItems(q.items, 400);
-    EXPECT_DOUBLE_EQ(DfsNearest(*w.tree, sig).distance,
-                     scan.Nearest(sig).distance);
+    EXPECT_DOUBLE_EQ(
+        DfsNearest(*w.tree, sig, w.tree->OwnPoolContext()).distance,
+        scan.Nearest(sig).distance);
   }
 
   // Re-insert the deleted third; results must match the full scan again.
@@ -209,8 +218,9 @@ TEST(IntegrationTest, MixedWorkloadSurvivesEverything) {
   ASSERT_TRUE(CheckTree(*w.tree).ok);
   for (const Transaction& q : w.queries) {
     const Signature sig = Signature::FromItems(q.items, 400);
-    EXPECT_DOUBLE_EQ(DfsNearest(*w.tree, sig).distance,
-                     w.scan->Nearest(sig).distance);
+    EXPECT_DOUBLE_EQ(
+        DfsNearest(*w.tree, sig, w.tree->OwnPoolContext()).distance,
+        w.scan->Nearest(sig).distance);
   }
 }
 
@@ -220,9 +230,9 @@ TEST(IntegrationTest, BufferPoolReducesIosOnRepeatedQueries) {
   const Signature sig =
       Signature::FromItems(w.queries[0].items, 400);
   QueryStats cold;
-  DfsNearest(*w.tree, sig, &cold);
+  DfsNearest(*w.tree, sig, w.tree->OwnPoolContext(&cold));
   QueryStats warm;
-  DfsNearest(*w.tree, sig, &warm);
+  DfsNearest(*w.tree, sig, w.tree->OwnPoolContext(&warm));
   EXPECT_LT(warm.random_ios, cold.random_ios + 1);  // Warm <= cold.
   EXPECT_EQ(warm.nodes_accessed, cold.nodes_accessed);
 }

@@ -159,6 +159,52 @@ TEST(BackendSupportTest, MatrixMatchesDocumentedCapabilities) {
   EXPECT_TRUE(r.ids.empty());
 }
 
+TEST(BackendSupportTest, ReasonsNameTheBackendAndTheAlternative) {
+  Fixture f;
+  SgTableOptions topt;
+  const SgTable table(f.dataset, topt);
+  const InvertedIndex inverted(f.dataset);
+
+  const SgTableBackend table_backend(table);
+  const InvertedIndexBackend inverted_backend(inverted);
+  const LinearScanBackend scan_backend(*f.scan);
+
+  EXPECT_EQ(table_backend.SupportReason(QueryType::kContainment),
+            "sgtable indexes Hamming-distance buckets only; set predicates "
+            "need the sgtree, inverted, or linear_scan backend");
+  EXPECT_EQ(inverted_backend.SupportReason(QueryType::kExact),
+            "the inverted file stores posting lists, not signatures; exact "
+            "match needs the sgtree backend");
+  EXPECT_EQ(scan_backend.SupportReason(QueryType::kExact),
+            "the linear scan exposes no signature-equality entry point; "
+            "exact match needs the sgtree backend");
+  // Supported combos report an empty reason (the Supports() contract).
+  EXPECT_EQ(table_backend.SupportReason(QueryType::kKnn), "");
+  EXPECT_EQ(inverted_backend.SupportReason(QueryType::kSubset), "");
+}
+
+TEST(BackendSupportTest, JoinCapabilityColumn) {
+  Fixture f;
+  SgTableOptions topt;
+  const SgTable table(f.dataset, topt);
+  const InvertedIndex inverted(f.dataset);
+
+  // Only tree-shaped backends can enumerate per-transaction item sets, so
+  // only they qualify as collection-join inputs.
+  EXPECT_EQ(SgTreeBackend(*f.tree).JoinInputReason(), "");
+  EXPECT_EQ(SgTableBackend(table).JoinInputReason(),
+            "sgtable stores signature buckets, not per-transaction item "
+            "sets; join from an sgtree-backed index instead");
+  EXPECT_EQ(InvertedIndexBackend(inverted).JoinInputReason(),
+            "the inverted file stores per-item posting lists, not "
+            "per-transaction item sets; join from an sgtree-backed index "
+            "instead");
+  // LinearScanBackend inherits the default refusal, which names it.
+  EXPECT_EQ(LinearScanBackend(*f.scan).JoinInputReason(),
+            "backend 'linear_scan' cannot enumerate per-transaction item "
+            "sets; join from an sgtree-backed index instead");
+}
+
 // ---------------------------------------------------------------------------
 // Execute() against the native entry points it replaces.
 // ---------------------------------------------------------------------------
@@ -173,25 +219,30 @@ TEST(ExecuteTest, SgTreeBackendMatchesDirectCalls) {
     pool.Clear();
     auto knn = Execute(SgTreeBackend(*f.tree), Request(QueryType::kKnn, q),
                        &pool);
-    EXPECT_EQ(knn.neighbors, DfsKNearest(*f.tree, q, 3));
+    EXPECT_EQ(knn.neighbors,
+              DfsKNearest(*f.tree, q, 3, f.tree->OwnPoolContext()));
 
     auto best =
         Execute(SgTreeBackend(*f.tree), Request(QueryType::kBestFirstKnn, q));
-    EXPECT_EQ(best.neighbors, BestFirstKNearest(*f.tree, q, 3));
+    EXPECT_EQ(best.neighbors,
+              BestFirstKNearest(*f.tree, q, 3, f.tree->OwnPoolContext()));
 
     auto range = Execute(SgTreeBackend(*f.tree), Request(QueryType::kRange, q));
-    EXPECT_EQ(range.neighbors, RangeSearch(*f.tree, q, 8.0));
+    EXPECT_EQ(range.neighbors,
+              RangeSearch(*f.tree, q, 8.0, f.tree->OwnPoolContext()));
 
     auto contain =
         Execute(SgTreeBackend(*f.tree), Request(QueryType::kContainment, q));
-    EXPECT_EQ(contain.ids, ContainmentSearch(*f.tree, q));
+    EXPECT_EQ(contain.ids,
+              ContainmentSearch(*f.tree, q, f.tree->OwnPoolContext()));
 
     auto exact = Execute(SgTreeBackend(*f.tree), Request(QueryType::kExact, q));
-    EXPECT_EQ(exact.ids, ExactSearch(*f.tree, q));
+    EXPECT_EQ(exact.ids, ExactSearch(*f.tree, q, f.tree->OwnPoolContext()));
 
     auto subset =
         Execute(SgTreeBackend(*f.tree), Request(QueryType::kSubset, q));
-    EXPECT_EQ(subset.ids, SubsetSearch(*f.tree, q));
+    EXPECT_EQ(subset.ids,
+              SubsetSearch(*f.tree, q, f.tree->OwnPoolContext()));
   }
 }
 
@@ -214,6 +265,12 @@ TEST(ExecuteTest, LinearScanBackendMatchesTreeAnswers) {
     }
   }
 }
+
+// The next two tests pin the [[deprecated]] shims to the unified API until
+// the shims are removed (DESIGN.md section 11.4) — they are the only
+// in-tree callers allowed to use them, hence the scoped suppression.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 TEST(ExecuteTest, LegacyKernelsAreThinWrappers) {
   Fixture f;
@@ -256,6 +313,8 @@ TEST(ExecutorGenericRunTest, MatchesTypedOverload) {
     EXPECT_EQ(generic[i], typed[i]) << "query " << i;
   }
 }
+
+#pragma GCC diagnostic pop
 
 TEST(ExecutorGenericRunTest, InvalidRequestsSurfaceInBatchOrder) {
   Fixture f;

@@ -148,6 +148,11 @@ TEST(StaticTreeBackendTest, SupportsAllSixQueryTypes) {
   for (int type = 0; type < 6; ++type) {
     EXPECT_TRUE(backend.Supports(static_cast<QueryType>(type))) << type;
   }
+  // Static images cannot feed collection-level joins: the support matrix
+  // says so with a reason pointing at the dynamic forms.
+  EXPECT_EQ(backend.JoinInputReason(),
+            "static images serve point queries only; joins walk dynamic "
+            "trees — load the snapshot (v1) or durable form to join");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Gate on the containment-join bench JSON (BENCH_join.json).
+
+Two promises are gated:
+
+  1. The state-of-the-art backends earn their keep: on the Zipf-skewed
+     workload, PRETTI or FVT must beat the tree-vs-tree baseline's join
+     throughput (pairs/sec) by at least --min-speedup. Relative throughput
+     on one machine is machine-independent enough to gate on; absolute
+     pairs/sec is not, so no absolute floor.
+  2. The sharded scatter-gather merge stayed byte-identical to the
+     single-index join for every algorithm (`sharded_matches` — the bench
+     itself compares the pair vectors and records the verdict).
+
+Every algorithm must also report the same pair count: a backend that wins
+by emitting fewer pairs is wrong, not fast.
+
+Exit code 0 = pass. Nonzero = regression (or an unreadable/incomplete
+bench file), always with a one-line FAIL message — never a traceback:
+this runs as a CI gate, and "the bench crashed before writing its JSON"
+must read as exactly that, not as a KeyError.
+
+Usage: check_join_bench.py BENCH_join.json [--min-speedup 1.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="required (best of pretti, fvt) / tree "
+                             "pairs-per-second ratio (default 1.0)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.json_path) as fh:
+            data = json.load(fh)
+    except OSError as err:
+        print(f"FAIL: cannot read {args.json_path}: {err.strerror or err} "
+              "(did bench_join run and write its JSON?)")
+        return 1
+    except json.JSONDecodeError as err:
+        print(f"FAIL: {args.json_path} is not valid JSON ({err}) — "
+              "truncated or partially written bench output?")
+        return 1
+    if not isinstance(data, dict) or not data.get("rows"):
+        print(f"FAIL: {args.json_path} has no 'rows' — empty or "
+              "incomplete bench output")
+        return 1
+
+    rows = {}
+    for row in data["rows"]:
+        if not isinstance(row, dict) or "algo" not in row:
+            print(f"FAIL: malformed bench row {row!r}")
+            return 1
+        rows[row["algo"]] = row
+    missing = [a for a in ("tree", "pretti", "fvt") if a not in rows]
+    if missing:
+        print(f"FAIL: bench rows missing algorithms: {', '.join(missing)}")
+        return 1
+
+    pair_counts = {a: rows[a].get("pairs") for a in rows}
+    if len(set(pair_counts.values())) != 1:
+        print(f"FAIL: algorithms disagree on the pair count: {pair_counts} "
+              "— a join backend is dropping or inventing pairs")
+        return 1
+    if not pair_counts["tree"]:
+        print("FAIL: the join produced zero pairs — the workload cannot "
+              "distinguish the backends")
+        return 1
+
+    if data.get("sharded_matches") is not True:
+        print("FAIL: sharded join merge is not byte-identical to the "
+              "single-index join (sharded_matches = "
+              f"{data.get('sharded_matches')!r})")
+        return 1
+
+    try:
+        tree_rate = float(rows["tree"]["pairs_per_sec"])
+        best_algo, best_rate = max(
+            ((a, float(rows[a]["pairs_per_sec"])) for a in ("pretti", "fvt")),
+            key=lambda kv: kv[1])
+    except (KeyError, TypeError, ValueError):
+        print("FAIL: bench rows lack numeric 'pairs_per_sec' fields")
+        return 1
+    if tree_rate <= 0:
+        print("FAIL: tree baseline reported non-positive pairs_per_sec "
+              f"({tree_rate})")
+        return 1
+    speedup = best_rate / tree_rate
+    if speedup < args.min_speedup:
+        print(f"FAIL: best set-containment backend ({best_algo}, "
+              f"{best_rate:.0f} pairs/s) is only {speedup:.2f}x the tree "
+              f"baseline ({tree_rate:.0f} pairs/s); required "
+              f">= {args.min_speedup:.2f}x")
+        return 1
+
+    print(f"OK: {best_algo} joins at {best_rate:.0f} pairs/s = "
+          f"{speedup:.2f}x the tree baseline ({tree_rate:.0f} pairs/s); "
+          f"all algorithms agree on {pair_counts['tree']} pairs; "
+          "sharded merge byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
